@@ -1,0 +1,73 @@
+// Cloud fusion bench (paper Section III-C3, last paragraph): accuracy of
+// the crowd-sourced gradient map as a function of the number of
+// contributing vehicles, with proper map matching. The paper sketches
+// this as the deployment path ("upload to the cloud ... fuse road
+// gradient results from different vehicles") without evaluating it; this
+// bench supplies the missing curve.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/evaluation.hpp"
+#include "core/map_matching.hpp"
+#include "core/pipeline.hpp"
+#include "core/track_fusion.hpp"
+#include "math/angles.hpp"
+#include "math/stats.hpp"
+#include "road/network.hpp"
+
+int main() {
+  using namespace rge;
+  bench::print_header(
+      "Cloud fusion: gradient-map accuracy vs number of vehicles",
+      "paper Section III-C3 (cloud fusion, sketched but not evaluated)");
+
+  const road::Road route = road::make_table3_route(2019);
+  const int kVehicles = 12;
+
+  std::vector<core::GradeTrack> uploads;
+  for (int v = 0; v < kVehicles; ++v) {
+    bench::DriveOptions opts;
+    opts.trip_seed = 800 + v;
+    opts.phone_seed = 900 + v;
+    opts.cruise_speed_mps = 8.0 + 0.7 * v;  // traffic diversity
+    opts.lane_changes_per_km = 3.0;
+    const bench::Drive d = bench::simulate_drive(route, opts);
+    // Cloud map-building is offline: use the RTS-smoothed pipeline.
+    core::PipelineConfig cfg;
+    cfg.use_rts_smoother = true;
+    auto res = core::estimate_gradient(d.trace, bench::default_vehicle(), cfg);
+    auto keyed = core::rekey_track_by_road(res.fused, route, d.trace.gps);
+    keyed.source = "vehicle-" + std::to_string(v);
+    uploads.push_back(std::move(keyed));
+  }
+
+  core::FusionConfig fc;
+  fc.distance_step_m = 10.0;
+  std::printf("\n%-10s %12s %14s %12s\n", "vehicles", "MAE (deg)",
+              "median (deg)", "p90 (deg)");
+  for (int k = 1; k <= kVehicles; ++k) {
+    const std::vector<core::GradeTrack> subset(uploads.begin(),
+                                               uploads.begin() + k);
+    const core::GradeTrack fused =
+        k == 1 ? subset[0] : core::fuse_tracks_distance(subset, fc);
+    std::vector<double> abs_err;
+    for (std::size_t i = 0; i < fused.s.size(); ++i) {
+      const double s = fused.s[i];
+      if (s < 100.0 || s > route.length_m() - 50.0) continue;
+      abs_err.push_back(
+          math::rad2deg(std::abs(fused.grade[i] - route.grade_at(s))));
+    }
+    std::printf("%-10d %12.3f %14.3f %12.3f\n", k, math::mean(abs_err),
+                math::median(abs_err), math::percentile(abs_err, 0.9));
+  }
+
+  std::printf(
+      "\nReading: per-trip noise is independent across vehicles, so the "
+      "crowd *median* tightens quickly (a handful of traversals per road "
+      "suffices). The tail (p90/MAE) plateaus: it is set by GPS "
+      "map-matching misalignment at grade transitions, which fusing more "
+      "vehicles cannot remove — a deployment would fix it with better "
+      "positioning, not more traffic.\n");
+  return 0;
+}

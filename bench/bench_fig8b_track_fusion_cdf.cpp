@@ -1,0 +1,76 @@
+// Fig. 8(b) reproduction: CDFs of absolute estimation error for different
+// numbers of fused tracks on the small-scale route.
+//
+// Paper reference: at CDF = 0.5, no-fusion error ~0.23 deg vs ~0.09 deg
+// with fusion; fusing 3 or more tracks captures nearly all of the gain.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "core/track_fusion.hpp"
+#include "road/network.hpp"
+
+int main() {
+  using namespace rge;
+  bench::print_header(
+      "Fig. 8(b): error CDFs for different numbers of fused tracks",
+      "paper Fig. 8(b); medians ~0.23 deg (no fusion) -> ~0.09 deg");
+
+  const road::Road route = road::make_table3_route(2019);
+
+  // Aggregate errors over several drives for smooth CDFs.
+  std::vector<double> single;                 // no fusion (per-track errors)
+  std::vector<std::vector<double>> fused_k(5);  // index = #tracks fused
+
+  for (std::uint64_t seed : {21, 22, 23, 24, 25}) {
+    bench::DriveOptions opts;
+    opts.trip_seed = seed;
+    opts.phone_seed = seed + 100;
+    opts.lane_changes_per_km = 4.0;
+    const bench::Drive d = bench::simulate_drive(route, opts);
+    const auto res =
+        core::estimate_gradient(d.trace, bench::default_vehicle());
+
+    // No fusion: every individual track contributes its errors.
+    for (const auto& tr : res.tracks) {
+      const auto st = core::evaluate_track(tr, d.trip);
+      single.insert(single.end(), st.abs_errors_deg.begin(),
+                    st.abs_errors_deg.end());
+    }
+    // k = 2..4 fused tracks (order: gps, speedometer, canbus, imu).
+    for (std::size_t k = 2; k <= res.tracks.size(); ++k) {
+      const std::vector<core::GradeTrack> subset(res.tracks.begin(),
+                                                 res.tracks.begin() + k);
+      const auto fused = core::fuse_tracks_time(subset);
+      const auto st = core::evaluate_track(fused, d.trip);
+      fused_k[k].insert(fused_k[k].end(), st.abs_errors_deg.begin(),
+                        st.abs_errors_deg.end());
+    }
+  }
+
+  std::printf("\nCDF rows: P(|error| <= x) at x = 0.0 .. 1.0 deg\n");
+  std::printf("%-28s", "");
+  for (int i = 0; i <= 10; ++i) std::printf(" %5.1f", 0.1 * i);
+  std::printf("\n");
+  bench::print_cdf("no fusion (single tracks)", single);
+  for (std::size_t k = 2; k <= 4; ++k) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "fusing %zu tracks", k);
+    bench::print_cdf(label, fused_k[k]);
+  }
+
+  const double med_single = bench::median_of(single);
+  const double med_3 = bench::median_of(fused_k[3]);
+  const double med_4 = bench::median_of(fused_k[4]);
+  std::printf(
+      "\nmedians: no-fusion %.3f deg, 3 tracks %.3f deg, 4 tracks %.3f deg"
+      "   (paper: 0.23 -> ~0.09)\n",
+      med_single, med_3, med_4);
+  std::printf(
+      "fusing 3+ tracks captures the gain (3-track vs 4-track medians "
+      "within %.0f%%), matching the paper's sensor-count guidance.\n",
+      100.0 * std::abs(med_3 - med_4) / med_4);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Lane-change detection accuracy (paper Section IV-B: "The results also
+// demonstrate the accuracy of our lane change detection"). Measures
+// precision/recall/type accuracy of Algorithm 1 against the simulator's
+// ground-truth maneuver labels, across many drives and speeds.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/pipeline.hpp"
+#include "math/angles.hpp"
+#include "road/network.hpp"
+#include "road/road.hpp"
+
+namespace {
+
+using namespace rge;
+
+struct Counts {
+  std::size_t true_events = 0;
+  std::size_t detected = 0;
+  std::size_t matched = 0;
+  std::size_t type_correct = 0;
+};
+
+void run_drives(const road::Road& road, double lc_per_km,
+                std::uint64_t seed_base, int n_drives, Counts& c) {
+  for (int k = 0; k < n_drives; ++k) {
+    bench::DriveOptions opts;
+    opts.trip_seed = seed_base + k;
+    opts.phone_seed = seed_base + 100 + k;
+    opts.lane_changes_per_km = lc_per_km;
+    const bench::Drive d = bench::simulate_drive(road, opts);
+    const auto res =
+        core::estimate_gradient(d.trace, bench::default_vehicle());
+    c.true_events += d.trip.lane_changes.size();
+    c.detected += res.lane_changes.size();
+    std::vector<bool> used(res.lane_changes.size(), false);
+    for (const auto& truth : d.trip.lane_changes) {
+      for (std::size_t i = 0; i < res.lane_changes.size(); ++i) {
+        if (used[i]) continue;
+        const auto& det = res.lane_changes[i];
+        const bool overlap = det.t_start < truth.end_t + 1.0 &&
+                             det.t_end > truth.start_t - 1.0;
+        if (!overlap) continue;
+        used[i] = true;
+        ++c.matched;
+        const bool same_type =
+            (truth.direction == vehicle::LaneChangeDirection::kLeft) ==
+            (det.type == core::LaneChangeType::kLeft);
+        if (same_type) ++c.type_correct;
+        break;
+      }
+    }
+  }
+}
+
+void report(const char* label, const Counts& c) {
+  const double recall =
+      c.true_events ? static_cast<double>(c.matched) / c.true_events : 0.0;
+  const double precision =
+      c.detected ? static_cast<double>(c.matched) / c.detected : 1.0;
+  const double type_acc =
+      c.matched ? static_cast<double>(c.type_correct) / c.matched : 0.0;
+  std::printf("%-28s %6zu %9zu %8.1f%% %10.1f%% %10.1f%%\n", label,
+              c.true_events, c.detected, 100.0 * recall, 100.0 * precision,
+              100.0 * type_acc);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Lane change detection accuracy",
+      "paper Section IV-B ('demonstrate the accuracy of lane change "
+      "detection')");
+
+  std::printf("\n%-28s %6s %9s %9s %11s %11s\n", "scenario", "true",
+              "detected", "recall", "precision", "type-acc");
+
+  // Table III route (the paper's lane-change test road).
+  {
+    Counts c;
+    run_drives(road::make_table3_route(2019), 5.0, 50, 12, c);
+    report("Table III route", c);
+  }
+  // Straight multi-lane arterial.
+  {
+    road::RoadBuilder b("arterial");
+    b.add_straight(4000.0, math::deg2rad(1.5), 3);
+    Counts c;
+    run_drives(b.build(), 3.0, 200, 8, c);
+    report("straight 3-lane arterial", c);
+  }
+  // Curvy two-lane road (harder: road curvature in the gyro).
+  {
+    road::RoadBuilder b("curvy");
+    for (int i = 0; i < 8; ++i) {
+      b.add_section(road::SectionSpec{400.0, math::deg2rad(i % 2 ? 2.0 : -2.0),
+                                      math::deg2rad(i % 2 ? -2.0 : 2.0),
+                                      math::deg2rad(i % 2 ? 20.0 : -20.0),
+                                      2});
+    }
+    Counts c;
+    run_drives(b.build(), 3.0, 300, 8, c);
+    report("curvy 2-lane road", c);
+  }
+  // S-curve road with no lane changes: false-positive stress test.
+  {
+    road::RoadBuilder b("s-curves");
+    for (int i = 0; i < 6; ++i) {
+      b.add_straight(300.0, math::deg2rad(1.0), 1);
+      b.add_s_curve(280.0, math::deg2rad(22.0), math::deg2rad(-1.0), 1);
+    }
+    Counts c;
+    run_drives(b.build(), 0.0, 400, 8, c);
+    report("S-curve road (0 true events)", c);
+  }
+
+  std::printf(
+      "\n(the paper reports its detector as accurate without giving exact "
+      "rates; we require recall/precision >= ~80%% on maneuver roads and "
+      "near-zero false positives on S-curves.)\n");
+  return 0;
+}

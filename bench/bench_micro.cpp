@@ -1,0 +1,147 @@
+// Google-benchmark microbenchmarks: throughput of the estimation stack's
+// hot paths (EKF steps, LOESS smoothing, bump extraction / detection,
+// track fusion, trace CSV parsing). These bound how far the pipeline is
+// from real-time on phone-class sample rates (50 Hz IMU).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/bump.hpp"
+#include "core/grade_ekf.hpp"
+#include "core/lane_change_detector.hpp"
+#include "core/pipeline.hpp"
+#include "core/track_fusion.hpp"
+#include "math/loess.hpp"
+#include "math/matrix.hpp"
+#include "math/rng.hpp"
+#include "road/network.hpp"
+#include "sensors/smartphone.hpp"
+#include "sensors/trace.hpp"
+#include "vehicle/trip.hpp"
+
+namespace {
+
+using namespace rge;
+
+void BM_GradeEkfStep(benchmark::State& state) {
+  core::GradeEkf ekf(vehicle::VehicleParams{}, core::GradeEkfConfig{}, 10.0);
+  math::Rng rng(1);
+  int i = 0;
+  for (auto _ : state) {
+    ekf.predict(0.5 + 0.01 * rng.gaussian(), 0.02);
+    if (++i % 5 == 0) ekf.update_velocity(10.0 + rng.gaussian(0.0, 0.2), 0.04);
+    benchmark::DoNotOptimize(ekf.grade());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GradeEkfStep);
+
+void BM_MatrixInverse4x4(benchmark::State& state) {
+  math::Rng rng(2);
+  math::Mat a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += 4.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.inverse());
+  }
+}
+BENCHMARK(BM_MatrixInverse4x4);
+
+void BM_LoessSmoothing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(3);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.1 * static_cast<double>(i);
+    y[i] = rng.gaussian();
+  }
+  math::LoessConfig cfg;
+  cfg.span = std::max(0.002, 8.0 / static_cast<double>(n));
+  const math::LoessSmoother smoother(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smoother.fit(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LoessSmoothing)->Arg(1000)->Arg(10000);
+
+void BM_BumpExtraction(benchmark::State& state) {
+  math::Rng rng(4);
+  const std::size_t n = 10000;
+  std::vector<double> t(n);
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = 0.1 * static_cast<double>(i);
+    w[i] = 0.05 * std::sin(0.05 * static_cast<double>(i)) +
+           rng.gaussian(0.0, 0.01);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extract_bumps(t, w));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BumpExtraction);
+
+void BM_TrackFusion4(benchmark::State& state) {
+  std::vector<core::GradeTrack> tracks(4);
+  math::Rng rng(5);
+  for (auto& tr : tracks) {
+    for (std::size_t i = 0; i < 2000; ++i) {
+      tr.t.push_back(0.1 * static_cast<double>(i));
+      tr.grade.push_back(rng.gaussian(0.02, 0.01));
+      tr.grade_var.push_back(1e-4);
+      tr.speed.push_back(10.0);
+      tr.s.push_back(static_cast<double>(i));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fuse_tracks_time(tracks));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_TrackFusion4);
+
+/// One-time scenario shared by the end-to-end benchmarks.
+const sensors::SensorTrace& shared_trace() {
+  static const sensors::SensorTrace trace = [] {
+    const road::Road route = road::make_table3_route(2019);
+    vehicle::TripConfig tc;
+    tc.seed = 9;
+    const auto trip = vehicle::simulate_trip(route, tc);
+    sensors::SmartphoneConfig pc;
+    pc.seed = 10;
+    return sensors::simulate_sensors(trip, route.anchor(),
+                                     vehicle::VehicleParams{}, pc);
+  }();
+  return trace;
+}
+
+void BM_FullPipeline216km(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::estimate_gradient(trace, vehicle::VehicleParams{}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trace.imu.size()));
+}
+BENCHMARK(BM_FullPipeline216km);
+
+void BM_TraceCsvRoundTrip(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  for (auto _ : state) {
+    std::stringstream ss;
+    sensors::write_csv(trace, ss);
+    benchmark::DoNotOptimize(sensors::read_csv(ss));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trace.imu.size()));
+}
+BENCHMARK(BM_TraceCsvRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Section III-D reproduction: the reference (ground truth) road-gradient
+// survey. The paper drives an altimeter-equipped vehicle (0.01 m accuracy),
+// splits the road into 1 m segments, and computes each segment's gradient
+// from endpoint altitudes. This bench validates that method against the
+// generator's exact profile, sweeps the segment length (accuracy/cost
+// trade-off the paper alludes to), and contrasts the survey's manual cost
+// with the smartphone system's accuracy — the paper's motivating trade.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "math/angles.hpp"
+#include "math/stats.hpp"
+#include "road/network.hpp"
+#include "road/reference_profile.hpp"
+
+int main() {
+  using namespace rge;
+  bench::print_header(
+      "Section III-D: reference gradient survey validation",
+      "paper Section III-D (altimeter survey, 1 m segments)");
+
+  const road::Road route = road::make_table3_route(2019);
+
+  std::printf("\nsurvey accuracy vs segment length (altimeter sigma 1 cm):\n");
+  std::printf("%14s %12s %12s %10s\n", "segment (m)", "MAE (deg)",
+              "p95 (deg)", "points");
+  for (double seg : {1.0, 2.0, 5.0, 10.0, 25.0}) {
+    road::SurveyOptions opts;
+    opts.segment_length_m = seg;
+    opts.seed = 7;
+    const auto ref = road::survey_reference_profile(route, opts);
+    const auto exact = road::exact_grades_at(route, ref);
+    const auto grades = ref.grades();
+    std::vector<double> abs_err;
+    for (std::size_t i = 0; i < grades.size(); ++i) {
+      abs_err.push_back(math::rad2deg(std::abs(grades[i] - exact[i])));
+    }
+    std::printf("%14.0f %12.3f %12.3f %10zu\n", seg,
+                math::mean(abs_err), math::percentile(abs_err, 0.95),
+                ref.segments.size());
+  }
+
+  std::printf(
+      "\nshorter segments resolve the profile but amplify altimeter noise "
+      "(1 cm over 1 m is ~0.6 deg per segment); the paper's choice of 1 m "
+      "relies on the unbiasedness of the per-segment errors.\n");
+
+  // The motivating trade: survey (accurate, manual) vs smartphone (free).
+  bench::DriveOptions opts;
+  opts.trip_seed = 21;
+  const bench::Drive d = bench::simulate_drive(route, opts);
+  const auto res =
+      core::estimate_gradient(d.trace, bench::default_vehicle());
+  const auto stats = core::evaluate_track(res.fused, d.trip);
+
+  road::SurveyOptions one_m;
+  one_m.seed = 7;
+  const auto ref = road::survey_reference_profile(route, one_m);
+  const auto exact = road::exact_grades_at(route, ref);
+  std::vector<double> ref_err;
+  const auto ref_grades = ref.grades();
+  for (std::size_t i = 0; i < ref_grades.size(); ++i) {
+    ref_err.push_back(math::rad2deg(std::abs(ref_grades[i] - exact[i])));
+  }
+
+  std::printf("\n%-34s %12s %16s\n", "method", "MAE (deg)",
+              "per-road cost");
+  std::printf("%-34s %12.3f %16s\n", "III-D survey (1 m, raw segments)",
+              math::mean(ref_err), "manual drive + rig");
+  std::printf("%-34s %12.3f %16s\n",
+              "III-D survey (smoothed to 25 m)",
+              [&] {
+                road::SurveyOptions s25;
+                s25.segment_length_m = 25.0;
+                s25.seed = 7;
+                const auto r = road::survey_reference_profile(route, s25);
+                const auto e = road::exact_grades_at(route, r);
+                std::vector<double> err;
+                const auto g = r.grades();
+                for (std::size_t i = 0; i < g.size(); ++i) {
+                  err.push_back(math::rad2deg(std::abs(g[i] - e[i])));
+                }
+                return math::mean(err);
+              }(),
+              "manual drive + rig");
+  std::printf("%-34s %12.3f %16s\n", "smartphone system (this paper)",
+              math::rad2deg(stats.mae_rad), "zero (crowd)");
+  std::printf(
+      "\nthe survey stays the gold standard, but the smartphone system "
+      "reaches within a few tenths of a degree at zero marginal cost — "
+      "the paper's pitch in one table.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Cloud fusion example (paper Section III-C3, last paragraph): several
+// vehicles drive the same road on different days with different phones;
+// each uploads its gradient track, and the cloud fuses them in the
+// distance domain with the same Eq. 6 convex combination. Accuracy
+// improves with the number of contributing vehicles — the crowd-sourced
+// gradient map the paper envisions for routing services.
+#include <cstdio>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/map_matching.hpp"
+#include "core/pipeline.hpp"
+#include "core/track_fusion.hpp"
+#include "math/angles.hpp"
+#include "math/stats.hpp"
+#include "road/network.hpp"
+#include "sensors/smartphone.hpp"
+#include "vehicle/trip.hpp"
+
+int main() {
+  using namespace rge;
+
+  const road::Road route = road::make_table3_route(2019);
+  const vehicle::VehicleParams car;
+  std::printf("Crowd-sourcing the gradient of '%s' (%.2f km)\n",
+              route.name().c_str(), route.length_m() / 1000.0);
+
+  // Eight vehicles, each with its own driver style, trip, and phone.
+  const int kVehicles = 8;
+  std::vector<core::GradeTrack> uploads;
+  for (int v = 0; v < kVehicles; ++v) {
+    vehicle::TripConfig tc;
+    tc.seed = 500 + v;
+    tc.cruise_speed_mps = 9.0 + v * 0.8;  // different traffic conditions
+    tc.lane_changes_per_km = 3.0;
+    const auto trip = vehicle::simulate_trip(route, tc);
+    sensors::SmartphoneConfig pc;
+    pc.seed = 600 + v;
+    const auto trace =
+        sensors::simulate_sensors(trip, route.anchor(), car, pc);
+    auto result = core::estimate_gradient(trace, car);
+    // Re-key the fused track from filter odometry to map-matched road
+    // distance so all vehicles share a datum — exactly what a deployment
+    // does before uploading.
+    core::GradeTrack keyed =
+        core::rekey_track_by_road(result.fused, route, trace.gps);
+    keyed.source = "vehicle-" + std::to_string(v);
+    uploads.push_back(std::move(keyed));
+  }
+
+  // Evaluate: per-vehicle error vs the cloud-fused error as more vehicles
+  // contribute, all sampled on a 10 m grid of the road.
+  core::FusionConfig fc;
+  fc.distance_step_m = 10.0;
+  std::printf("\n%-22s %12s %12s\n", "tracks fused", "MAE (deg)",
+              "median (deg)");
+  for (int k = 1; k <= kVehicles; ++k) {
+    const std::vector<core::GradeTrack> subset(uploads.begin(),
+                                               uploads.begin() + k);
+    const core::GradeTrack fused =
+        k == 1 ? subset[0] : core::fuse_tracks_distance(subset, fc);
+    // Truth at the fused track's distance keys.
+    std::vector<double> est;
+    std::vector<double> truth;
+    for (std::size_t i = 0; i < fused.s.size(); ++i) {
+      const double s = fused.s[i];
+      if (s < 100.0 || s > route.length_m() - 50.0) continue;  // edges
+      est.push_back(fused.grade[i]);
+      truth.push_back(route.grade_at(s));
+    }
+    std::vector<double> abs_err_deg;
+    for (std::size_t i = 0; i < est.size(); ++i) {
+      abs_err_deg.push_back(math::rad2deg(std::abs(est[i] - truth[i])));
+    }
+    std::printf("%-22d %12.3f %12.3f\n", k,
+                math::rad2deg(math::mae(est, truth)),
+                math::median(abs_err_deg));
+  }
+
+  std::printf(
+      "\nEach vehicle's track carries its own trip-specific noise "
+      "realization, so the cloud average keeps improving — the mechanism "
+      "behind the paper's crowd-sourced gradient map.\n");
+  return 0;
+}

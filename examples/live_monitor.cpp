@@ -1,0 +1,69 @@
+// Live monitor: the streaming estimator driven sample-by-sample, printing
+// a dashboard line every few seconds — the shape of an actual phone app
+// ("what grade am I on right now, and did I just change lanes?").
+#include <cstdio>
+
+#include "core/online_estimator.hpp"
+#include "math/angles.hpp"
+#include "road/network.hpp"
+#include "sensors/smartphone.hpp"
+#include "vehicle/trip.hpp"
+
+int main() {
+  using namespace rge;
+
+  const road::Road route = road::make_table3_route(2019);
+  vehicle::TripConfig tc;
+  tc.seed = 3;
+  tc.lane_changes_per_km = 4.0;
+  const auto trip = vehicle::simulate_trip(route, tc);
+  sensors::SmartphoneConfig pc;
+  pc.seed = 4;
+  const auto trace = sensors::simulate_sensors(
+      trip, route.anchor(), vehicle::VehicleParams{}, pc);
+
+  core::OnlineGradientEstimator est(vehicle::VehicleParams{});
+
+  std::printf("Streaming %zu IMU samples (%.0f s drive)...\n\n",
+              trace.imu.size(), trace.duration_s());
+  std::printf("%8s %10s %12s %10s %8s %6s\n", "t (s)", "odo (m)",
+              "grade (deg)", "+/- (deg)", "v (km/h)", "LC?");
+
+  std::size_t gi = 0;
+  std::size_t si = 0;
+  std::size_t ci = 0;
+  double next_print = 10.0;
+  for (const auto& imu : trace.imu) {
+    while (gi < trace.gps.size() && trace.gps[gi].t <= imu.t) {
+      est.push_gps(trace.gps[gi++]);
+    }
+    while (si < trace.speedometer.size() &&
+           trace.speedometer[si].t <= imu.t) {
+      est.push_speedometer(trace.speedometer[si].t,
+                           trace.speedometer[si].value);
+      ++si;
+    }
+    while (ci < trace.canbus_speed.size() &&
+           trace.canbus_speed[ci].t <= imu.t) {
+      est.push_canbus(trace.canbus_speed[ci].t, trace.canbus_speed[ci].value);
+      ++ci;
+    }
+    est.push_imu(imu);
+    if (imu.t >= next_print) {
+      next_print += 10.0;
+      const auto e = est.estimate();
+      std::printf("%8.0f %10.0f %12.2f %10.2f %8.1f %6s\n", e.t,
+                  e.odometry_m, math::rad2deg(e.grade_rad),
+                  math::rad2deg(std::sqrt(e.grade_var)), e.speed_mps * 3.6,
+                  e.in_lane_change ? "yes" : "");
+    }
+  }
+
+  std::printf("\nmaneuvers confirmed during the drive: %zu (truth: %zu)\n",
+              est.lane_changes().size(), trip.lane_changes.size());
+  for (const auto& lc : est.lane_changes()) {
+    std::printf("  t=[%5.1f, %5.1f] s %s\n", lc.t_start, lc.t_end,
+                lc.type == core::LaneChangeType::kLeft ? "left" : "right");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Baseline: ANN road-grade estimation in the style of Ngwangwa et al. [8]
+// ("ANN" in the paper's evaluation).
+//
+// A small MLP maps measured (velocity, acceleration, altitude) to the road
+// gradient. Matching the paper's setup, it is trained on 4,320 labelled
+// samples; its accuracy is limited by the modest training set and by the
+// barometer-quality altitude input — reproducing the paper's finding that
+// ANN trails both OPS and the altitude EKF.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/mlp.hpp"
+#include "core/grade_ekf.hpp"  // GradeTrack
+#include "sensors/trace.hpp"
+
+namespace rge::baselines {
+
+/// One labelled training sample (measured features + ground-truth grade).
+struct AnnSample {
+  double velocity = 0.0;   ///< m/s
+  double accel = 0.0;      ///< m/s^2 (accelerometer forward axis)
+  double altitude = 0.0;   ///< m (barometer)
+  double grade = 0.0;      ///< rad (label)
+};
+
+struct AnnGradeConfig {
+  std::vector<std::size_t> hidden = {16, 16};
+  std::size_t epochs = 60;
+  double learning_rate = 3e-3;
+  std::size_t batch_size = 32;
+  /// The paper trains with 4,320 samples; callers should size their sample
+  /// sets accordingly.
+  std::size_t max_training_samples = 4320;
+  std::uint64_t seed = 11;
+  /// Output stream rate when running over a trace (Hz).
+  double emit_rate_hz = 10.0;
+};
+
+class AnnGradeEstimator {
+ public:
+  explicit AnnGradeEstimator(AnnGradeConfig cfg = {});
+
+  /// Train on labelled samples (z-score feature normalization is fitted
+  /// here). Samples beyond max_training_samples are ignored. Returns the
+  /// final training MSE in normalized-label space.
+  double train(const std::vector<AnnSample>& samples);
+
+  bool trained() const { return trained_; }
+
+  /// Predict the gradient (rad) for one feature triple.
+  double predict(double velocity, double accel, double altitude) const;
+
+  /// Run over a sensor trace: features are assembled from the speedometer,
+  /// forward accelerometer (smoothed), and barometer streams.
+  core::GradeTrack run(const sensors::SensorTrace& trace) const;
+
+ private:
+  AnnGradeConfig cfg_;
+  Mlp mlp_;
+  bool trained_ = false;
+  // Feature/label normalization fitted at train time.
+  double feat_mean_[3] = {0.0, 0.0, 0.0};
+  double feat_std_[3] = {1.0, 1.0, 1.0};
+  double label_mean_ = 0.0;
+  double label_std_ = 1.0;
+  double residual_var_ = 1e-2;  ///< training residual, reported as track var
+};
+
+/// Assemble labelled samples from a trace plus a ground-truth grade series
+/// keyed by time (t_truth sorted). Emits at `rate_hz`.
+std::vector<AnnSample> make_training_samples(
+    const sensors::SensorTrace& trace, std::span<const double> t_truth,
+    std::span<const double> grade_truth, double rate_hz = 2.0);
+
+}  // namespace rge::baselines

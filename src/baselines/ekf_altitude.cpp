@@ -1,0 +1,108 @@
+#include "baselines/ekf_altitude.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rge::baselines {
+
+using math::Mat;
+using math::Vec;
+
+core::GradeTrack run_altitude_ekf(const sensors::SensorTrace& trace,
+                                  const vehicle::VehicleParams& params,
+                                  const AltitudeEkfConfig& cfg) {
+  if (trace.imu.empty()) {
+    throw std::invalid_argument("run_altitude_ekf: empty trace");
+  }
+
+  const double z0 =
+      trace.barometer_alt.empty() ? 0.0 : trace.barometer_alt.front().value;
+  const double v0 =
+      trace.speedometer.empty() ? 0.0 : trace.speedometer.front().value;
+
+  math::ExtendedKalmanFilter ekf(
+      Vec{z0, v0, 0.0},
+      Mat{{cfg.initial_alt_var, 0.0, 0.0},
+          {0.0, cfg.initial_speed_var, 0.0},
+          {0.0, 0.0, cfg.initial_grade_var}});
+
+  // Measurement models (fixed shapes).
+  math::MeasurementModel baro_model;
+  baro_model.h = [](const Vec& x) { return Vec{x[0]}; };
+  baro_model.jacobian = [](const Vec&) { return Mat{{1.0, 0.0, 0.0}}; };
+  baro_model.r = Mat{{cfg.baro_variance}};
+
+  math::MeasurementModel vel_model;
+  vel_model.h = [](const Vec& x) { return Vec{x[1]}; };
+  vel_model.jacobian = [](const Vec&) { return Mat{{0.0, 1.0, 0.0}}; };
+  vel_model.r = Mat{{cfg.velocity_variance}};
+
+  core::GradeTrack track;
+  track.source = "baseline-ekf-altitude";
+
+  std::size_t baro_idx = 0;
+  std::size_t spd_idx = 0;
+  double odometry = 0.0;
+  const std::size_t decim = std::max<std::size_t>(1, cfg.record_decimation);
+
+  double prev_t = trace.imu.front().t;
+  for (std::size_t i = 0; i < trace.imu.size(); ++i) {
+    const auto& s = trace.imu[i];
+    const double dt = std::max(0.0, s.t - prev_t);
+    prev_t = s.t;
+
+    if (dt > 0.0) {
+      math::ProcessModel model;
+      const double a_hat = s.accel_forward;
+      const double g = params.gravity;
+      model.f = [dt, a_hat, g](const Vec& x, const Vec&) {
+        const double z = x[0];
+        const double v = x[1];
+        const double theta = x[2];
+        return Vec{z + v * std::sin(theta) * dt,
+                   std::max(0.0, v + (a_hat - g * std::sin(theta)) * dt),
+                   theta};
+      };
+      model.jacobian = [dt, g](const Vec& x, const Vec&) {
+        const double v = x[1];
+        const double theta = x[2];
+        Mat f_jac = Mat::identity(3);
+        f_jac(0, 1) = std::sin(theta) * dt;
+        f_jac(0, 2) = v * std::cos(theta) * dt;
+        f_jac(1, 2) = -g * std::cos(theta) * dt;
+        return f_jac;
+      };
+      const double qz = cfg.altitude_process_sigma *
+                        cfg.altitude_process_sigma * dt;
+      const double qv = cfg.accel_sigma * cfg.accel_sigma * dt * dt;
+      model.q = Mat{{qz, 0.0, 0.0},
+                    {0.0, qv, 0.0},
+                    {0.0, 0.0, cfg.grade_process_psd * dt}};
+      ekf.predict(model, Vec{});
+      odometry += ekf.state()[1] * dt;
+    }
+
+    while (baro_idx < trace.barometer_alt.size() &&
+           trace.barometer_alt[baro_idx].t <= s.t) {
+      ekf.update(baro_model, Vec{trace.barometer_alt[baro_idx].value});
+      ++baro_idx;
+    }
+    while (spd_idx < trace.speedometer.size() &&
+           trace.speedometer[spd_idx].t <= s.t) {
+      ekf.update(vel_model, Vec{trace.speedometer[spd_idx].value});
+      ++spd_idx;
+    }
+
+    if (i % decim == 0) {
+      track.t.push_back(s.t);
+      track.grade.push_back(ekf.state()[2]);
+      track.grade_var.push_back(ekf.covariance()(2, 2));
+      track.speed.push_back(ekf.state()[1]);
+      track.s.push_back(odometry);
+    }
+  }
+  return track;
+}
+
+}  // namespace rge::baselines

@@ -1,0 +1,190 @@
+#include "baselines/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rge::baselines {
+
+Mlp::Mlp(MlpConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  if (cfg_.layers.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output layers");
+  }
+  for (std::size_t l = 0; l + 1 < cfg_.layers.size(); ++l) {
+    Layer layer;
+    layer.in = cfg_.layers[l];
+    layer.out = cfg_.layers[l + 1];
+    if (layer.in == 0 || layer.out == 0) {
+      throw std::invalid_argument("Mlp: zero-width layer");
+    }
+    layer.w.resize(layer.in * layer.out);
+    layer.b.assign(layer.out, 0.0);
+    // Xavier/Glorot initialization.
+    const double scale =
+        std::sqrt(2.0 / static_cast<double>(layer.in + layer.out));
+    for (double& w : layer.w) w = rng_.gaussian(0.0, scale);
+    layer.mw.assign(layer.w.size(), 0.0);
+    layer.vw.assign(layer.w.size(), 0.0);
+    layer.mb.assign(layer.out, 0.0);
+    layer.vb.assign(layer.out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void Mlp::forward(std::span<const double> x,
+                  std::vector<std::vector<double>>& activations) const {
+  activations.clear();
+  activations.emplace_back(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const auto& in = activations.back();
+    std::vector<double> out(layer.out, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double acc = layer.b[o];
+      const double* wrow = &layer.w[o * layer.in];
+      for (std::size_t i = 0; i < layer.in; ++i) acc += wrow[i] * in[i];
+      // tanh on hidden layers, identity on the output layer.
+      out[o] = l + 1 < layers_.size() ? std::tanh(acc) : acc;
+    }
+    activations.push_back(std::move(out));
+  }
+}
+
+std::vector<double> Mlp::predict(std::span<const double> x) const {
+  if (x.size() != input_dim()) {
+    throw std::invalid_argument("Mlp::predict: wrong input size");
+  }
+  std::vector<std::vector<double>> acts;
+  forward(x, acts);
+  return acts.back();
+}
+
+double Mlp::train_epoch(std::span<const double> inputs,
+                        std::span<const double> targets, std::size_t rows) {
+  const std::size_t din = input_dim();
+  const std::size_t dout = output_dim();
+  if (inputs.size() != rows * din || targets.size() != rows * dout) {
+    throw std::invalid_argument("Mlp::train_epoch: size mismatch");
+  }
+  if (rows == 0) return 0.0;
+
+  std::vector<std::size_t> order(rows);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng_.engine());
+
+  // Gradient accumulators per layer.
+  struct Grad {
+    std::vector<double> w;
+    std::vector<double> b;
+  };
+  std::vector<Grad> grads(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    grads[l].w.assign(layers_[l].w.size(), 0.0);
+    grads[l].b.assign(layers_[l].b.size(), 0.0);
+  }
+
+  double epoch_sse = 0.0;
+  std::vector<std::vector<double>> acts;
+  std::size_t batch_fill = 0;
+
+  auto apply_adam = [&](std::size_t batch_n) {
+    ++adam_step_;
+    const double b1 = cfg_.adam_beta1;
+    const double b2 = cfg_.adam_beta2;
+    const double corr1 = 1.0 - std::pow(b1, static_cast<double>(adam_step_));
+    const double corr2 = 1.0 - std::pow(b2, static_cast<double>(adam_step_));
+    const double scale = 1.0 / static_cast<double>(batch_n);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      Layer& layer = layers_[l];
+      for (std::size_t i = 0; i < layer.w.size(); ++i) {
+        const double g = grads[l].w[i] * scale;
+        layer.mw[i] = b1 * layer.mw[i] + (1.0 - b1) * g;
+        layer.vw[i] = b2 * layer.vw[i] + (1.0 - b2) * g * g;
+        layer.w[i] -= cfg_.learning_rate * (layer.mw[i] / corr1) /
+                      (std::sqrt(layer.vw[i] / corr2) + cfg_.adam_eps);
+        grads[l].w[i] = 0.0;
+      }
+      for (std::size_t i = 0; i < layer.b.size(); ++i) {
+        const double g = grads[l].b[i] * scale;
+        layer.mb[i] = b1 * layer.mb[i] + (1.0 - b1) * g;
+        layer.vb[i] = b2 * layer.vb[i] + (1.0 - b2) * g * g;
+        layer.b[i] -= cfg_.learning_rate * (layer.mb[i] / corr1) /
+                      (std::sqrt(layer.vb[i] / corr2) + cfg_.adam_eps);
+        grads[l].b[i] = 0.0;
+      }
+    }
+  };
+
+  for (std::size_t idx = 0; idx < rows; ++idx) {
+    const std::size_t row = order[idx];
+    forward(inputs.subspan(row * din, din), acts);
+
+    // Output delta: d(MSE)/d(out) = 2*(out - target) / dout.
+    std::vector<double> delta(dout);
+    for (std::size_t o = 0; o < dout; ++o) {
+      const double err = acts.back()[o] - targets[row * dout + o];
+      delta[o] = 2.0 * err / static_cast<double>(dout);
+      epoch_sse += err * err;
+    }
+
+    // Backprop through layers.
+    for (std::size_t li = layers_.size(); li-- > 0;) {
+      Layer& layer = layers_[li];
+      const auto& in_act = acts[li];
+      const auto& out_act = acts[li + 1];
+      std::vector<double> next_delta(layer.in, 0.0);
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        // tanh' = 1 - y^2 on hidden layers; identity on output.
+        const double dact =
+            li + 1 < layers_.size() ? 1.0 - out_act[o] * out_act[o] : 1.0;
+        const double d = delta[o] * dact;
+        grads[li].b[o] += d;
+        double* gw = &grads[li].w[o * layer.in];
+        const double* wrow = &layer.w[o * layer.in];
+        for (std::size_t i = 0; i < layer.in; ++i) {
+          gw[i] += d * in_act[i];
+          next_delta[i] += d * wrow[i];
+        }
+      }
+      delta = std::move(next_delta);
+    }
+
+    if (++batch_fill == cfg_.batch_size || idx + 1 == rows) {
+      apply_adam(batch_fill);
+      batch_fill = 0;
+    }
+  }
+  return epoch_sse / static_cast<double>(rows * dout);
+}
+
+double Mlp::fit(std::span<const double> inputs, std::span<const double> targets,
+                std::size_t rows, std::size_t epochs) {
+  double mse = 0.0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    mse = train_epoch(inputs, targets, rows);
+  }
+  return mse;
+}
+
+double Mlp::evaluate(std::span<const double> inputs,
+                     std::span<const double> targets,
+                     std::size_t rows) const {
+  const std::size_t din = input_dim();
+  const std::size_t dout = output_dim();
+  if (inputs.size() != rows * din || targets.size() != rows * dout) {
+    throw std::invalid_argument("Mlp::evaluate: size mismatch");
+  }
+  double sse = 0.0;
+  std::vector<std::vector<double>> acts;
+  for (std::size_t row = 0; row < rows; ++row) {
+    forward(inputs.subspan(row * din, din), acts);
+    for (std::size_t o = 0; o < dout; ++o) {
+      const double err = acts.back()[o] - targets[row * dout + o];
+      sse += err * err;
+    }
+  }
+  return rows == 0 ? 0.0 : sse / static_cast<double>(rows * dout);
+}
+
+}  // namespace rge::baselines

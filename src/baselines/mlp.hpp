@@ -1,0 +1,69 @@
+// Minimal from-scratch multilayer perceptron with tanh hidden units, linear
+// output, mean-squared-error loss, and Adam optimisation. Used by the ANN
+// road-grade baseline [8]; also reusable for other small regression tasks.
+// Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/rng.hpp"
+
+namespace rge::baselines {
+
+struct MlpConfig {
+  std::vector<std::size_t> layers;  ///< e.g. {3, 16, 16, 1}
+  double learning_rate = 1e-3;
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.999;
+  double adam_eps = 1e-8;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 42;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(MlpConfig cfg);
+
+  std::size_t input_dim() const { return cfg_.layers.front(); }
+  std::size_t output_dim() const { return cfg_.layers.back(); }
+
+  /// Forward pass for one input row.
+  std::vector<double> predict(std::span<const double> x) const;
+
+  /// One epoch of minibatch Adam over (inputs, targets); rows are shuffled
+  /// deterministically. Returns the epoch's mean squared error.
+  /// @param inputs  flattened row-major, rows x input_dim
+  /// @param targets flattened row-major, rows x output_dim
+  double train_epoch(std::span<const double> inputs,
+                     std::span<const double> targets, std::size_t rows);
+
+  /// Convenience: run `epochs` epochs, returning the final epoch MSE.
+  double fit(std::span<const double> inputs, std::span<const double> targets,
+             std::size_t rows, std::size_t epochs);
+
+  /// Mean squared error over a dataset without updating weights.
+  double evaluate(std::span<const double> inputs,
+                  std::span<const double> targets, std::size_t rows) const;
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::vector<double> w;  ///< out x in, row-major
+    std::vector<double> b;  ///< out
+    // Adam moments.
+    std::vector<double> mw, vw, mb, vb;
+  };
+
+  void forward(std::span<const double> x,
+               std::vector<std::vector<double>>& activations) const;
+
+  MlpConfig cfg_;
+  std::vector<Layer> layers_;
+  math::Rng rng_;
+  std::uint64_t adam_step_ = 0;
+};
+
+}  // namespace rge::baselines

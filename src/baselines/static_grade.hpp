@@ -1,0 +1,34 @@
+// Baseline: static algebraic inversion of the force balance (the paper's
+// Eq. 3 evaluated sample-by-sample, no filtering).
+//
+// With smartphone data the driving-torque term of Eq. 3 is reconstructed
+// from the measured velocity's derivative, so the algebra collapses to the
+// gravity-leak decomposition
+//     theta = asin( (f_hat - dv_hat/dt) / g )
+// per sample: the accelerometer's forward specific force minus the
+// measured acceleration, attributed entirely to gravity. This is the
+// estimator one gets *before* adding the paper's EKF machinery; it is
+// unbiased but amplifies every noise source, which is exactly the point
+// Section III-C1 makes to motivate the EKF. Included as a reference rung
+// between "nothing" and the full system.
+#pragma once
+
+#include "core/grade_ekf.hpp"  // GradeTrack
+#include "sensors/trace.hpp"
+#include "vehicle/params.hpp"
+
+namespace rge::baselines {
+
+struct StaticGradeConfig {
+  /// Output rate (Hz); velocity is differentiated over this interval.
+  double emit_rate_hz = 2.0;
+  /// Half-window of the accelerometer average per emitted sample (s).
+  double accel_window_s = 0.25;
+};
+
+/// Run the static inversion over a trace; velocity from the speedometer.
+core::GradeTrack run_static_grade(const sensors::SensorTrace& trace,
+                                  const vehicle::VehicleParams& params,
+                                  const StaticGradeConfig& cfg = {});
+
+}  // namespace rge::baselines

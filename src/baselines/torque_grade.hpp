@@ -1,0 +1,38 @@
+// Baseline: torque-based grade estimation — the "premium car" method of
+// the paper's related work ([5]-[8]: Holm, Jansson, Sahlholm).
+//
+// With the gearbox management system broadcasting engine torque and active
+// gear, Eq. 3 can be evaluated directly:
+//   theta = asin( M/(r m g) - k v^2/(m g) - a/g ) - beta,
+// with M the wheel torque reconstructed from engine torque through the
+// gear/final-drive ratios. The paper's argument is not that this method is
+// inaccurate but that the signals are unavailable on ordinary cars; this
+// implementation lets the benches show the smartphone system matching a
+// method that needs premium hardware.
+#pragma once
+
+#include "core/grade_ekf.hpp"  // GradeTrack
+#include "sensors/trace.hpp"
+#include "vehicle/params.hpp"
+#include "vehicle/powertrain.hpp"
+
+namespace rge::baselines {
+
+struct TorqueGradeConfig {
+  /// Output rate (Hz); CAN speed is differentiated over this interval.
+  double emit_rate_hz = 5.0;
+  /// Moving-average half-window applied to the raw per-sample estimates
+  /// (samples at emit_rate_hz).
+  std::size_t smooth_half_window = 4;
+  /// Powertrain the torque/gear signals are interpreted through (must
+  /// match the broadcasting vehicle's).
+  vehicle::PowertrainParams powertrain;
+};
+
+/// Run the torque method over a trace with premium CAN streams.
+/// @throws std::invalid_argument if the trace lacks engine torque/gear.
+core::GradeTrack run_torque_grade(const sensors::SensorTrace& trace,
+                                  const vehicle::VehicleParams& params,
+                                  const TorqueGradeConfig& cfg = {});
+
+}  // namespace rge::baselines

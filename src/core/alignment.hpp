@@ -1,0 +1,65 @@
+// Smartphone coordinate alignment (paper Section III-A).
+//
+// The gyroscope measures the vehicle driving-direction change rate
+// w_vehicle; the road direction change rate w_road is recovered from GPS
+// geography (heading of consecutive fixes). The vehicle steering rate is
+//     w_steer = w_vehicle - w_road.
+// Two practical defects are handled here:
+//   * phone relative-movement transients (spikes when the phone shifts in
+//     its mount) are detected and excised, following the approach the paper
+//     cites [14];
+//   * gyro drift bias is removed with a slow baseline estimate (steering is
+//     zero-mean over minutes, so a long-horizon average isolates the bias).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sensors/trace.hpp"
+
+namespace rge::core {
+
+struct AlignmentConfig {
+  /// Exponential smoothing time constant for the GPS-derived road heading
+  /// rate (seconds). Larger = smoother w_road but more lag on curvy roads.
+  double road_rate_tau_s = 2.5;
+  /// Gyro samples with |value| above this are treated as phone
+  /// relative-movement transients and interpolated over (rad/s).
+  double spike_threshold = 0.45;
+  /// Samples with |d(gyro)/dt| above this are also treated as spikes
+  /// (rad/s^2).
+  double spike_slew_threshold = 6.0;
+  /// Extra samples excised on each side of a detected spike.
+  std::size_t spike_guard_samples = 10;
+  /// Time constant of the slow gyro-bias baseline estimate (seconds).
+  double bias_tau_s = 90.0;
+  /// Disable bias removal (ablation switch).
+  bool remove_bias = true;
+  /// Disable spike removal (ablation switch).
+  bool remove_spikes = true;
+  /// During GPS outages, substitute a slow gyro average for the road rate
+  /// (steady road curvature passes through the long EMA; fast lane-change
+  /// bumps do not). Without this, curves driven during an outage would
+  /// appear as sustained steering. (ablation switch)
+  bool outage_gyro_fallback = true;
+  double outage_gyro_tau_s = 6.0;
+};
+
+/// Time-aligned per-IMU-sample outputs of the alignment stage.
+struct AlignedStates {
+  std::vector<double> t;           ///< IMU timestamps
+  std::vector<double> yaw_rate;    ///< cleaned gyro (w_vehicle), rad/s
+  std::vector<double> road_rate;   ///< estimated w_road, rad/s
+  std::vector<double> steer_rate;  ///< w_steer = w_vehicle - w_road, rad/s
+  std::vector<double> accel_forward;  ///< cleaned forward specific force
+  std::vector<bool> gps_available;    ///< GPS validity at each sample
+
+  std::size_t size() const { return t.size(); }
+};
+
+/// Run the alignment stage over a sensor trace.
+/// @throws std::invalid_argument if the trace has no IMU samples.
+AlignedStates align_states(const sensors::SensorTrace& trace,
+                           const AlignmentConfig& config = {});
+
+}  // namespace rge::core

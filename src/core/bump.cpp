@@ -1,0 +1,91 @@
+#include "core/bump.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rge::core {
+
+std::vector<Bump> extract_bumps(std::span<const double> t,
+                                std::span<const double> w,
+                                const BumpThresholds& thr) {
+  if (t.size() != w.size()) {
+    throw std::invalid_argument("extract_bumps: size mismatch");
+  }
+  std::vector<Bump> bumps;
+  const std::size_t n = t.size();
+  std::size_t i = 0;
+  while (i < n) {
+    // Skip the dead zone around zero.
+    if (std::abs(w[i]) <= thr.zero_band) {
+      ++i;
+      continue;
+    }
+    const int sign = w[i] > 0.0 ? 1 : -1;
+    const std::size_t start = i;
+    std::size_t peak = i;
+    double peak_mag = std::abs(w[i]);
+    while (i < n && (w[i] > thr.zero_band ? 1 : (w[i] < -thr.zero_band ? -1 : 0)) == sign) {
+      const double mag = std::abs(w[i]);
+      if (mag > peak_mag) {
+        peak_mag = mag;
+        peak = i;
+      }
+      ++i;
+    }
+    const std::size_t end = i - 1;
+
+    Bump b;
+    b.start_idx = start;
+    b.peak_idx = peak;
+    b.end_idx = end;
+    b.t_start = t[start];
+    b.t_peak = t[peak];
+    b.t_end = t[end];
+    b.delta = peak_mag;
+    b.sign = sign;
+    // Time spent with |w| >= level_fraction * delta.
+    const double level = thr.level_fraction * peak_mag;
+    double above = 0.0;
+    for (std::size_t j = start; j <= end; ++j) {
+      if (std::abs(w[j]) >= level) {
+        const double dt_left = j > start ? 0.5 * (t[j] - t[j - 1]) : 0.0;
+        const double dt_right = j < end ? 0.5 * (t[j + 1] - t[j]) : 0.0;
+        above += dt_left + dt_right;
+      }
+    }
+    b.duration_above = above;
+    bumps.push_back(b);
+  }
+  return bumps;
+}
+
+bool qualifies(const Bump& bump, const BumpThresholds& thr) {
+  return bump.delta >= thr.delta_min && bump.duration_above >= thr.t_min;
+}
+
+ManeuverFeatures measure_maneuver(std::span<const double> t,
+                                  std::span<const double> w,
+                                  const BumpThresholds& thr) {
+  ManeuverFeatures f;
+  const auto bumps = extract_bumps(t, w, thr);
+  // Pick the dominant positive and negative excursions.
+  const Bump* best_pos = nullptr;
+  const Bump* best_neg = nullptr;
+  for (const auto& b : bumps) {
+    if (b.sign > 0 && (!best_pos || b.delta > best_pos->delta)) best_pos = &b;
+    if (b.sign < 0 && (!best_neg || b.delta > best_neg->delta)) best_neg = &b;
+  }
+  if (best_pos) {
+    f.delta_pos = best_pos->delta;
+    f.t_pos = best_pos->duration_above;
+  }
+  if (best_neg) {
+    f.delta_neg = best_neg->delta;
+    f.t_neg = best_neg->duration_above;
+  }
+  f.complete = best_pos != nullptr && best_neg != nullptr;
+  return f;
+}
+
+}  // namespace rge::core

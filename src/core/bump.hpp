@@ -1,0 +1,69 @@
+// Steering-rate bump extraction (paper Section III-B1).
+//
+// A "bump" is one signed excursion of the smoothed steering-rate profile.
+// Its features are delta (the maximum absolute magnitude) and T (the time
+// the magnitude stays above 0.7*delta). A bump qualifies as a lane-change
+// candidate when delta >= delta_min and T >= T_min, where the minima are
+// calibrated from steering experiments (Table I).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rge::core {
+
+struct Bump {
+  std::size_t start_idx = 0;  ///< first sample of the excursion
+  std::size_t peak_idx = 0;
+  std::size_t end_idx = 0;    ///< last sample (inclusive)
+  double t_start = 0.0;
+  double t_peak = 0.0;
+  double t_end = 0.0;
+  double delta = 0.0;         ///< max |steering rate| within the bump
+  double duration_above = 0.0;///< time with |w| >= 0.7*delta
+  int sign = 0;               ///< +1 positive excursion, -1 negative
+};
+
+struct BumpThresholds {
+  /// Minimum peak magnitude and above-0.7*peak duration for a qualified
+  /// bump. The paper's Table I minima are delta = 0.1167 rad/s and
+  /// T = 1.383 s for its drivers; our defaults are calibrated the same way
+  /// (minima over simulated steering experiments, scaled by 0.95) for the
+  /// maneuver family this repository generates — see bench_table1.
+  double delta_min = 0.10;
+  double t_min = 0.55;
+  /// Fraction of the bump peak defining the duration band (paper: 0.7,
+  /// adjustable for rough roads / worn tires).
+  double level_fraction = 0.7;
+  /// Excursions are delimited where |w| falls below this floor; keeps tiny
+  /// sensor jitter from splitting a bump in two (rad/s).
+  double zero_band = 0.02;
+};
+
+/// Segment a (time, steering-rate) profile into signed excursions and
+/// compute each one's features. Returns every excursion, qualified or not;
+/// use `qualifies` to filter. Sizes must match.
+std::vector<Bump> extract_bumps(std::span<const double> t,
+                                std::span<const double> w,
+                                const BumpThresholds& thr = {});
+
+/// The paper's two-condition bump test.
+bool qualifies(const Bump& bump, const BumpThresholds& thr);
+
+/// Features of a full lane-change maneuver profile, as reported in Table I:
+/// the positive and negative bump magnitudes/durations. Returns the
+/// qualified-or-not bumps in chronological order.
+struct ManeuverFeatures {
+  double delta_pos = 0.0;
+  double delta_neg = 0.0;
+  double t_pos = 0.0;
+  double t_neg = 0.0;
+  bool complete = false;  ///< true if one positive and one negative found
+};
+
+ManeuverFeatures measure_maneuver(std::span<const double> t,
+                                  std::span<const double> w,
+                                  const BumpThresholds& thr = {});
+
+}  // namespace rge::core

@@ -1,0 +1,43 @@
+// Evaluation helpers: compare gradient tracks against the simulator's
+// ground truth, producing the error statistics the paper reports (absolute
+// error series, MRE, CDFs).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/grade_ekf.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::core {
+
+/// Ground-truth grade interpolated from a trip's states at query times.
+std::vector<double> truth_grade_at_times(const vehicle::Trip& trip,
+                                         std::span<const double> t);
+
+/// Ground-truth grade at query arc lengths (uses the trip's s->grade map).
+std::vector<double> truth_grade_at_distances(const vehicle::Trip& trip,
+                                             std::span<const double> s);
+
+/// Integrate a gradient track into a relative elevation profile:
+/// z[i] = sum sin(theta) * ds over the track's odometry. This is the
+/// road-elevation map a gradient survey yields without any barometer —
+/// centimetre-grade relative elevation from the velocity/IMU fusion.
+std::vector<double> elevation_from_track(const GradeTrack& track);
+
+struct TrackErrorStats {
+  double mae_rad = 0.0;
+  double rmse_rad = 0.0;
+  double median_abs_deg = 0.0;
+  double mre = 0.0;  ///< mean(|err|)/mean(|truth|), see DESIGN.md
+  std::vector<double> abs_errors_deg;  ///< per-sample |error| in degrees
+  std::vector<double> positions_m;     ///< truth arc length per sample
+};
+
+/// Evaluate a time-domain track against trip truth. The first
+/// `skip_initial_s` seconds are excluded (filter convergence transient).
+TrackErrorStats evaluate_track(const GradeTrack& track,
+                               const vehicle::Trip& trip,
+                               double skip_initial_s = 15.0);
+
+}  // namespace rge::core

@@ -1,0 +1,356 @@
+#include "core/grade_ekf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+namespace rge::core {
+
+using math::Mat;
+using math::Vec;
+
+namespace {
+
+constexpr double kMaxGradeRad = 0.35;  // ~20 degrees, physical sanity clamp
+
+Mat initial_cov(const GradeEkfConfig& cfg) {
+  return Mat{{cfg.initial_speed_var, 0.0}, {0.0, cfg.initial_grade_var}};
+}
+
+}  // namespace
+
+GradeEkf::GradeEkf(const vehicle::VehicleParams& params,
+                   const GradeEkfConfig& cfg, double initial_speed,
+                   double initial_grade)
+    : params_(params),
+      cfg_(cfg),
+      ekf_(Vec{initial_speed, initial_grade}, initial_cov(cfg)) {}
+
+void GradeEkf::predict(double specific_force, double dt) {
+  if (dt <= 0.0) return;
+  const double g = params_.gravity;
+  // rho * A_f * C_d / m  (Eq. 4 coefficient; drag_k = rho*A_f*C_d/2)
+  const double c = 2.0 * params_.drag_k() / params_.mass_kg;
+  const bool drift = cfg_.use_paper_drift_term;
+
+  math::ProcessModel model;
+  model.f = [=](const Vec& x, const Vec& u) {
+    const double v = x[0];
+    const double theta = x[1];
+    const double f_hat = u[0];
+    double v_next = v + (f_hat - g * std::sin(theta)) * dt;
+    v_next = std::max(0.0, v_next);
+    double theta_next = theta;
+    if (drift) {
+      theta_next += c * v * f_hat * dt / (g * std::cos(theta));
+    }
+    theta_next = std::clamp(theta_next, -kMaxGradeRad, kMaxGradeRad);
+    return Vec{v_next, theta_next};
+  };
+  model.jacobian = [=](const Vec& x, const Vec& u) {
+    const double v = x[0];
+    const double theta = x[1];
+    const double f_hat = u[0];
+    const double cth = std::cos(theta);
+    Mat f_jac = Mat::identity(2);
+    f_jac(0, 1) = -g * cth * dt;
+    if (drift) {
+      f_jac(1, 0) = c * f_hat * dt / (g * cth);
+      f_jac(1, 1) = 1.0 + c * v * f_hat * dt * std::sin(theta) /
+                              (g * cth * cth);
+    }
+    return f_jac;
+  };
+  const double qv = cfg_.accel_sigma * cfg_.accel_sigma * dt * dt;
+  model.q = Mat{{qv, 0.0}, {0.0, cfg_.grade_process_psd * dt}};
+
+  ekf_.predict(model, Vec{specific_force});
+}
+
+bool GradeEkf::update_velocity(double v_meas, double variance) {
+  math::MeasurementModel model;
+  model.h = [](const Vec& x) { return Vec{x[0]}; };
+  model.jacobian = [](const Vec&) { return Mat{{1.0, 0.0}}; };
+  model.r = Mat{{variance}};
+  const auto res = ekf_.update(model, Vec{v_meas}, cfg_.gate_nis);
+  return res.accepted;
+}
+
+GradeTrack run_grade_ekf(const std::string& source_name,
+                         std::span<const double> t,
+                         std::span<const double> accel_forward,
+                         const std::vector<VelocityMeasurement>& measurements,
+                         const vehicle::VehicleParams& params,
+                         const GradeEkfConfig& cfg) {
+  if (t.size() != accel_forward.size()) {
+    throw std::invalid_argument("run_grade_ekf: size mismatch");
+  }
+  GradeTrack track;
+  track.source = source_name;
+  if (t.empty()) return track;
+
+  // Initialize the velocity from the first measurement when available.
+  const double v0 = measurements.empty() ? 0.0 : measurements.front().v;
+  GradeEkf ekf(params, cfg, v0, 0.0);
+
+  std::size_t m_idx = 0;
+  double odometry = 0.0;
+  const std::size_t decim = std::max<std::size_t>(1, cfg.record_decimation);
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double dt = i > 0 ? t[i] - t[i - 1] : 0.0;
+    if (dt > 0.0) {
+      ekf.predict(accel_forward[i], dt);
+      odometry += ekf.speed() * dt;
+    }
+    while (m_idx < measurements.size() && measurements[m_idx].t <= t[i]) {
+      ekf.update_velocity(measurements[m_idx].v, measurements[m_idx].variance);
+      ++m_idx;
+    }
+    if (i % decim == 0) {
+      track.t.push_back(t[i]);
+      track.grade.push_back(ekf.grade());
+      track.grade_var.push_back(ekf.grade_variance());
+      track.speed.push_back(ekf.speed());
+      track.s.push_back(odometry);
+    }
+  }
+  return track;
+}
+
+
+
+GradeTrack run_grade_rts(const std::string& source_name,
+                         std::span<const double> t,
+                         std::span<const double> accel_forward,
+                         const std::vector<VelocityMeasurement>& measurements,
+                         const vehicle::VehicleParams& params,
+                         const GradeEkfConfig& cfg, double rts_rate_hz) {
+  if (t.size() != accel_forward.size()) {
+    throw std::invalid_argument("run_grade_rts: size mismatch");
+  }
+  if (rts_rate_hz <= 0.0) {
+    throw std::invalid_argument("run_grade_rts: bad rate");
+  }
+  GradeTrack track;
+  track.source = source_name;
+  if (t.empty()) return track;
+
+  // ---- Block-average the specific force onto the smoothing grid. ----
+  const double dt = 1.0 / rts_rate_hz;
+  std::vector<double> grid_t;
+  std::vector<double> grid_f;
+  {
+    double next = t.front() + dt;
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      acc += accel_forward[i];
+      ++count;
+      if (t[i] >= next || i + 1 == t.size()) {
+        grid_t.push_back(t[i]);
+        grid_f.push_back(acc / static_cast<double>(count));
+        acc = 0.0;
+        count = 0;
+        next = t[i] + dt;
+      }
+    }
+  }
+  const std::size_t n = grid_t.size();
+  if (n < 2) return track;
+
+  // ---- Forward EKF pass, recording what the backward sweep needs. ----
+  const double g = params.gravity;
+  const double c = 2.0 * params.drag_k() / params.mass_kg;
+  const bool drift = cfg.use_paper_drift_term;
+
+  math::MeasurementModel vel_model;
+  vel_model.h = [](const Vec& x) { return Vec{x[0]}; };
+  vel_model.jacobian = [](const Vec&) { return Mat{{1.0, 0.0}}; };
+
+  const double v0 = measurements.empty() ? 0.0 : measurements.front().v;
+  math::ExtendedKalmanFilter ekf(
+      Vec{v0, 0.0},
+      Mat{{cfg.initial_speed_var, 0.0}, {0.0, cfg.initial_grade_var}});
+
+  std::vector<Vec> x_filt(n, Vec(2));
+  std::vector<Mat> p_filt(n, Mat(2, 2));
+  std::vector<Vec> x_pred(n, Vec(2));   // prediction *into* step k
+  std::vector<Mat> p_pred(n, Mat(2, 2));
+  std::vector<Mat> f_jacs(n, Mat(2, 2));  // Jacobian used for k-1 -> k
+
+  std::size_t m_idx = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k > 0) {
+      const double step = grid_t[k] - grid_t[k - 1];
+      const double f_hat = grid_f[k];
+      math::ProcessModel model;
+      model.f = [=](const Vec& x, const Vec&) {
+        const double v = x[0];
+        const double theta = x[1];
+        double v_next = std::max(0.0, v + (f_hat - g * std::sin(theta)) * step);
+        double theta_next = theta;
+        if (drift) theta_next += c * v * f_hat * step / (g * std::cos(theta));
+        theta_next = std::clamp(theta_next, -kMaxGradeRad, kMaxGradeRad);
+        return Vec{v_next, theta_next};
+      };
+      model.jacobian = [=](const Vec& x, const Vec&) {
+        const double v = x[0];
+        const double theta = x[1];
+        const double cth = std::cos(theta);
+        Mat j = Mat::identity(2);
+        j(0, 1) = -g * cth * step;
+        if (drift) {
+          j(1, 0) = c * f_hat * step / (g * cth);
+          j(1, 1) = 1.0 + c * v * f_hat * step * std::sin(theta) /
+                              (g * cth * cth);
+        }
+        return j;
+      };
+      const double qv = cfg.accel_sigma * cfg.accel_sigma * step * step;
+      model.q = Mat{{qv, 0.0}, {0.0, cfg.grade_process_psd * step}};
+      f_jacs[k] = model.jacobian(ekf.state(), Vec{});
+      ekf.predict(model, Vec{});
+    } else {
+      f_jacs[k] = Mat::identity(2);
+    }
+    x_pred[k] = ekf.state();
+    p_pred[k] = ekf.covariance();
+    while (m_idx < measurements.size() && measurements[m_idx].t <= grid_t[k]) {
+      vel_model.r = Mat{{measurements[m_idx].variance}};
+      ekf.update(vel_model, Vec{measurements[m_idx].v}, cfg.gate_nis);
+      ++m_idx;
+    }
+    x_filt[k] = ekf.state();
+    p_filt[k] = ekf.covariance();
+  }
+
+  // ---- Backward RTS sweep. ----
+  std::vector<Vec> x_smooth(n, Vec(2));
+  std::vector<Mat> p_smooth(n, Mat(2, 2));
+  x_smooth[n - 1] = x_filt[n - 1];
+  p_smooth[n - 1] = p_filt[n - 1];
+  for (std::size_t k = n - 1; k-- > 0;) {
+    // Gain C_k = P_f[k] F_{k+1}^T P_pred[k+1]^{-1}.
+    Mat gain;
+    try {
+      gain = p_filt[k] * f_jacs[k + 1].transpose() * p_pred[k + 1].inverse();
+    } catch (const math::SingularMatrixError&) {
+      x_smooth[k] = x_filt[k];
+      p_smooth[k] = p_filt[k];
+      continue;
+    }
+    x_smooth[k] = x_filt[k] + gain * (x_smooth[k + 1] - x_pred[k + 1]);
+    Mat p = p_filt[k] +
+            gain * (p_smooth[k + 1] - p_pred[k + 1]) * gain.transpose();
+    p.symmetrize();
+    // Guard against numerical loss of positive-definiteness.
+    if (p(0, 0) <= 0.0 || p(1, 1) <= 0.0) p = p_filt[k];
+    p_smooth[k] = p;
+  }
+
+  // ---- Emit. ----
+  double odometry = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k > 0) {
+      odometry += std::max(0.0, x_smooth[k][0]) * (grid_t[k] - grid_t[k - 1]);
+    }
+    track.t.push_back(grid_t[k]);
+    track.grade.push_back(std::clamp(x_smooth[k][1], -kMaxGradeRad,
+                                     kMaxGradeRad));
+    track.grade_var.push_back(std::max(1e-10, p_smooth[k](1, 1)));
+    track.speed.push_back(std::max(0.0, x_smooth[k][0]));
+    track.s.push_back(odometry);
+  }
+  return track;
+}
+
+GradeTrack run_grade_ekf_with_baro(
+    const std::string& source_name, std::span<const double> t,
+    std::span<const double> accel_forward,
+    const std::vector<VelocityMeasurement>& measurements,
+    const std::vector<sensors::ScalarSample>& barometer,
+    const vehicle::VehicleParams& params, const GradeEkfConfig& cfg,
+    double baro_variance) {
+  if (t.size() != accel_forward.size()) {
+    throw std::invalid_argument("run_grade_ekf_with_baro: size mismatch");
+  }
+  GradeTrack track;
+  track.source = source_name;
+  if (t.empty()) return track;
+
+  const double g = params.gravity;
+  const double v0 = measurements.empty() ? 0.0 : measurements.front().v;
+  const double z0 = barometer.empty() ? 0.0 : barometer.front().value;
+
+  math::ExtendedKalmanFilter ekf(
+      Vec{z0, v0, 0.0},
+      Mat{{25.0, 0.0, 0.0},
+          {0.0, cfg.initial_speed_var, 0.0},
+          {0.0, 0.0, cfg.initial_grade_var}});
+
+  math::MeasurementModel vel_model;
+  vel_model.h = [](const Vec& x) { return Vec{x[1]}; };
+  vel_model.jacobian = [](const Vec&) { return Mat{{0.0, 1.0, 0.0}}; };
+
+  math::MeasurementModel baro_model;
+  baro_model.h = [](const Vec& x) { return Vec{x[0]}; };
+  baro_model.jacobian = [](const Vec&) { return Mat{{1.0, 0.0, 0.0}}; };
+  baro_model.r = Mat{{baro_variance}};
+
+  std::size_t m_idx = 0;
+  std::size_t b_idx = 0;
+  double odometry = 0.0;
+  const std::size_t decim = std::max<std::size_t>(1, cfg.record_decimation);
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double dt = i > 0 ? t[i] - t[i - 1] : 0.0;
+    if (dt > 0.0) {
+      math::ProcessModel model;
+      const double f_hat = accel_forward[i];
+      model.f = [dt, f_hat, g](const Vec& x, const Vec&) {
+        const double z = x[0];
+        const double v = x[1];
+        const double theta = x[2];
+        return Vec{z + v * std::sin(theta) * dt,
+                   std::max(0.0, v + (f_hat - g * std::sin(theta)) * dt),
+                   std::clamp(theta, -kMaxGradeRad, kMaxGradeRad)};
+      };
+      model.jacobian = [dt, g](const Vec& x, const Vec&) {
+        const double v = x[1];
+        const double theta = x[2];
+        Mat f_jac = Mat::identity(3);
+        f_jac(0, 1) = std::sin(theta) * dt;
+        f_jac(0, 2) = v * std::cos(theta) * dt;
+        f_jac(1, 2) = -g * std::cos(theta) * dt;
+        return f_jac;
+      };
+      const double qv = cfg.accel_sigma * cfg.accel_sigma * dt * dt;
+      model.q = Mat{{1e-3 * dt, 0.0, 0.0},
+                    {0.0, qv, 0.0},
+                    {0.0, 0.0, cfg.grade_process_psd * dt}};
+      ekf.predict(model, Vec{});
+      odometry += ekf.state()[1] * dt;
+    }
+    while (m_idx < measurements.size() && measurements[m_idx].t <= t[i]) {
+      vel_model.r = Mat{{measurements[m_idx].variance}};
+      ekf.update(vel_model, Vec{measurements[m_idx].v}, cfg.gate_nis);
+      ++m_idx;
+    }
+    while (b_idx < barometer.size() && barometer[b_idx].t <= t[i]) {
+      ekf.update(baro_model, Vec{barometer[b_idx].value});
+      ++b_idx;
+    }
+    if (i % decim == 0) {
+      track.t.push_back(t[i]);
+      track.grade.push_back(ekf.state()[2]);
+      track.grade_var.push_back(ekf.covariance()(2, 2));
+      track.speed.push_back(ekf.state()[1]);
+      track.s.push_back(odometry);
+    }
+  }
+  return track;
+}
+
+}  // namespace rge::core

@@ -1,0 +1,123 @@
+// Road gradient EKF (paper Section III-C).
+//
+// State x = [v, theta]: longitudinal velocity and road gradient. The phone's
+// longitudinal accelerometer measures specific force f = dv/dt + g*sin(theta)
+// (gravity leaks into the forward axis on an incline), so the process model
+//   v(t+1)     = v(t) + (f_hat - g sin(theta)) * dt
+//   theta(t+1) = theta(t) + rho*A_f*C_d * v * f_hat * dt / (m g cos(theta))
+// couples the two states; velocity measurements (GPS / speedometer /
+// CAN-bus / integrated IMU) then make theta observable through the Kalman
+// gain, exactly the deviation-feedback loop of Section III-C2. The theta
+// drift term is the paper's Eq. 4/5; it can be disabled for ablation.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "math/kalman.hpp"
+#include "sensors/trace.hpp"
+#include "vehicle/params.hpp"
+
+namespace rge::core {
+
+struct GradeEkfConfig {
+  /// Accelerometer noise feeding the v-channel process noise (m/s^2).
+  double accel_sigma = 0.06;
+  /// Gradient random-walk intensity (rad^2 per second); encodes how fast
+  /// real road grades change under the wheels.
+  double grade_process_psd = 1e-4;
+  /// Initial state uncertainty.
+  double initial_speed_var = 4.0;
+  double initial_grade_var = 0.01;
+  /// Innovation gate (NIS, 1 dof); 0 disables gating.
+  double gate_nis = 25.0;
+  /// Include the paper's Eq. 4 deterministic drift term in the theta
+  /// propagation (ablation switch).
+  bool use_paper_drift_term = true;
+  /// Record every k-th IMU-rate sample into the output track.
+  std::size_t record_decimation = 5;
+};
+
+/// One timestamped velocity measurement from a particular source.
+struct VelocityMeasurement {
+  double t = 0.0;
+  double v = 0.0;       ///< m/s (already lane-change adjusted, Eq. 2)
+  double variance = 0.1;///< R, (m/s)^2
+};
+
+/// A gradient estimation track: theta(t) with its EKF variance, plus the
+/// filter's own velocity estimate and integrated odometry.
+struct GradeTrack {
+  std::string source;
+  std::vector<double> t;
+  std::vector<double> grade;      ///< rad
+  std::vector<double> grade_var;  ///< EKF P_theta_theta
+  std::vector<double> speed;      ///< filter velocity estimate (m/s)
+  std::vector<double> s;          ///< odometry integral of speed (m)
+
+  std::size_t size() const { return t.size(); }
+};
+
+/// Incremental interface (useful for streaming / examples).
+class GradeEkf {
+ public:
+  GradeEkf(const vehicle::VehicleParams& params, const GradeEkfConfig& cfg,
+           double initial_speed, double initial_grade = 0.0);
+
+  /// Propagate by dt seconds using the measured forward specific force.
+  void predict(double specific_force, double dt);
+  /// Fuse one velocity measurement; returns false if gated out.
+  bool update_velocity(double v_meas, double variance);
+
+  double speed() const { return ekf_.state()[0]; }
+  double grade() const { return ekf_.state()[1]; }
+  double grade_variance() const { return ekf_.covariance()(1, 1); }
+  double speed_variance() const { return ekf_.covariance()(0, 0); }
+
+ private:
+  vehicle::VehicleParams params_;
+  GradeEkfConfig cfg_;
+  math::ExtendedKalmanFilter ekf_;
+};
+
+/// Batch runner: walk an IMU-rate accelerometer series, interleaving the
+/// velocity measurements by timestamp, and record the gradient track.
+/// `t` and `accel_forward` share the IMU timeline; `measurements` must be
+/// time-sorted.
+GradeTrack run_grade_ekf(const std::string& source_name,
+                         std::span<const double> t,
+                         std::span<const double> accel_forward,
+                         const std::vector<VelocityMeasurement>& measurements,
+                         const vehicle::VehicleParams& params,
+                         const GradeEkfConfig& cfg = {});
+
+/// Offline fixed-interval smoother (Rauch-Tung-Striebel) over the same
+/// model: a forward EKF pass at a reduced rate followed by a backward
+/// sweep, so each estimate uses the *whole* drive instead of only the
+/// past. Halves the grade-transition lag that dominates the causal
+/// filter's mean error — an offline-processing extension beyond the
+/// paper (its system is causal). `rts_rate_hz` sets the smoothing grid;
+/// the IMU input is block-averaged onto it.
+GradeTrack run_grade_rts(const std::string& source_name,
+                         std::span<const double> t,
+                         std::span<const double> accel_forward,
+                         const std::vector<VelocityMeasurement>& measurements,
+                         const vehicle::VehicleParams& params,
+                         const GradeEkfConfig& cfg = {},
+                         double rts_rate_hz = 10.0);
+
+/// Barometer-augmented variant: a 3-state [z, v, theta] filter that
+/// additionally fuses barometer altitude, z' = z + v sin(theta) dt.
+/// The paper rejects the barometer for its metre-level noise (Section
+/// III-C1, [19]); this runner exists to *quantify* that design decision —
+/// see bench_ablations. `barometer` must be time-sorted.
+GradeTrack run_grade_ekf_with_baro(
+    const std::string& source_name, std::span<const double> t,
+    std::span<const double> accel_forward,
+    const std::vector<VelocityMeasurement>& measurements,
+    const std::vector<sensors::ScalarSample>& barometer,
+    const vehicle::VehicleParams& params, const GradeEkfConfig& cfg = {},
+    double baro_variance = 9.0);
+
+}  // namespace rge::core

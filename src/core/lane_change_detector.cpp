@@ -1,0 +1,158 @@
+#include "core/lane_change_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rge::core {
+
+namespace {
+
+void check_sizes(std::span<const double> t, std::span<const double> w,
+                 std::span<const double> v) {
+  if (t.size() != w.size() || t.size() != v.size()) {
+    throw std::invalid_argument("lane change detector: size mismatch");
+  }
+}
+
+}  // namespace
+
+double horizontal_displacement(std::span<const double> t,
+                               std::span<const double> w_steer,
+                               std::span<const double> speed, std::size_t i0,
+                               std::size_t i1) {
+  check_sizes(t, w_steer, speed);
+  if (i0 > i1 || i1 >= t.size()) {
+    throw std::invalid_argument("horizontal_displacement: bad range");
+  }
+  double alpha = 0.0;
+  double w = 0.0;
+  for (std::size_t i = i0; i <= i1; ++i) {
+    const double omega =
+        i > i0 ? t[i] - t[i - 1]
+               : (i + 1 <= i1 ? t[i + 1] - t[i] : 0.0);
+    alpha += w_steer[i] * omega;
+    w += speed[i] * omega * std::sin(alpha);
+  }
+  return w;
+}
+
+std::vector<DetectedLaneChange> detect_lane_changes(
+    std::span<const double> t, std::span<const double> w_steer,
+    std::span<const double> speed, const LaneChangeDetectorConfig& cfg) {
+  check_sizes(t, w_steer, speed);
+
+  std::vector<DetectedLaneChange> out;
+  const auto bumps = extract_bumps(t, w_steer, cfg.bump);
+
+  // Algorithm 1 state machine: remember the last qualified bump; when the
+  // next qualified bump has the opposite sign and passes the displacement
+  // gate, emit a lane change.
+  const Bump* pending = nullptr;
+  for (const auto& bump : bumps) {
+    if (!qualifies(bump, cfg.bump)) continue;
+    if (pending == nullptr) {
+      pending = &bump;  // STATE <- one-bump
+      continue;
+    }
+    if (bump.sign == pending->sign) {
+      // Same sign: the earlier bump expires, this one becomes pending.
+      pending = &bump;
+      continue;
+    }
+    if (bump.t_start - pending->t_end > cfg.max_bump_gap_s) {
+      // Too far apart to be one maneuver.
+      pending = &bump;
+      continue;
+    }
+    const double w = horizontal_displacement(t, w_steer, speed,
+                                             pending->start_idx,
+                                             bump.end_idx);
+    if (std::abs(w) <= 3.0 * cfg.lane_width_m) {
+      DetectedLaneChange lc;
+      lc.t_start = pending->t_start;
+      lc.t_end = bump.t_end;
+      lc.type = pending->sign > 0 ? LaneChangeType::kLeft
+                                  : LaneChangeType::kRight;
+      lc.displacement_m = w;
+      lc.peak_rate = std::max(pending->delta, bump.delta);
+      out.push_back(lc);
+      pending = nullptr;  // STATE <- no-bump
+    } else {
+      // S-curve geometry: discard the pair, keep the newer bump pending in
+      // case it opens a real maneuver.
+      pending = &bump;
+    }
+  }
+  return out;
+}
+
+std::vector<double> adjust_longitudinal_velocity(
+    std::span<const double> t, std::span<const double> w_steer,
+    std::span<const double> speed,
+    const std::vector<DetectedLaneChange>& changes) {
+  check_sizes(t, w_steer, speed);
+  std::vector<double> adjusted(speed.begin(), speed.end());
+
+  for (const auto& lc : changes) {
+    // Locate the sample window.
+    const auto begin_it = std::lower_bound(t.begin(), t.end(), lc.t_start);
+    const auto end_it = std::upper_bound(t.begin(), t.end(), lc.t_end);
+    const auto i0 = static_cast<std::size_t>(begin_it - t.begin());
+    const auto i1 = static_cast<std::size_t>(end_it - t.begin());
+    double alpha = 0.0;
+    for (std::size_t i = i0; i < i1 && i < adjusted.size(); ++i) {
+      const double omega = i > i0 ? t[i] - t[i - 1] : 0.0;
+      alpha += w_steer[i] * omega;
+      adjusted[i] = speed[i] * std::cos(alpha);
+    }
+  }
+  return adjusted;
+}
+
+std::vector<double> steering_angle_series(
+    std::span<const double> t, std::span<const double> w_steer,
+    const std::vector<DetectedLaneChange>& changes) {
+  if (t.size() != w_steer.size()) {
+    throw std::invalid_argument("steering_angle_series: size mismatch");
+  }
+  std::vector<double> alpha(t.size(), 0.0);
+  for (const auto& lc : changes) {
+    const auto begin_it = std::lower_bound(t.begin(), t.end(), lc.t_start);
+    const auto end_it = std::upper_bound(t.begin(), t.end(), lc.t_end);
+    const auto i0 = static_cast<std::size_t>(begin_it - t.begin());
+    const auto i1 = static_cast<std::size_t>(end_it - t.begin());
+    double acc = 0.0;
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double omega = i > i0 ? t[i] - t[i - 1] : 0.0;
+      acc += w_steer[i] * omega;
+      alpha[i] = acc;
+    }
+  }
+  return alpha;
+}
+
+std::vector<double> adjust_specific_force(std::span<const double> f,
+                                          std::span<const double> alpha,
+                                          std::span<const double> w_steer,
+                                          std::span<const double> speed,
+                                          double assumed_crown,
+                                          double gravity) {
+  if (f.size() != alpha.size() || f.size() != w_steer.size() ||
+      f.size() != speed.size()) {
+    throw std::invalid_argument("adjust_specific_force: size mismatch");
+  }
+  std::vector<double> out(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (alpha[i] == 0.0) {
+      out[i] = f[i];
+    } else {
+      const double sa = std::sin(alpha[i]);
+      out[i] = f[i] * std::cos(alpha[i]) - speed[i] * w_steer[i] * sa -
+               gravity * assumed_crown * sa;
+    }
+  }
+  return out;
+}
+
+}  // namespace rge::core

@@ -1,0 +1,84 @@
+// Lane change detection (paper Section III-B2/B3, Algorithm 1).
+//
+// The detector consumes the smoothed steering-rate profile, finds qualified
+// bumps (delta/T test), and pairs neighbouring opposite-sign bumps. A pair
+// whose horizontal displacement (Eq. 1)
+//   W = sum_i v_i * Omega * sin(sum_{j<=i} w_j * Omega)
+// stays within 3 * W_lane is declared a lane change (larger displacements
+// are S-curve road geometry, Fig. 5); the first bump's sign gives the type
+// (positive first = left change). Detected windows then drive the Eq. 2
+// longitudinal-velocity adjustment v_L = v * cos(alpha).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/bump.hpp"
+
+namespace rge::core {
+
+enum class LaneChangeType { kLeft, kRight };
+
+struct DetectedLaneChange {
+  double t_start = 0.0;   ///< first bump start
+  double t_end = 0.0;     ///< second bump end
+  LaneChangeType type = LaneChangeType::kLeft;
+  double displacement_m = 0.0;  ///< Eq. 1 horizontal displacement
+  double peak_rate = 0.0;       ///< max |w| across the pair
+};
+
+struct LaneChangeDetectorConfig {
+  BumpThresholds bump;
+  /// Average lane width (m); the displacement gate is 3x this [15].
+  double lane_width_m = 3.65;
+  /// Maximum time gap between the end of the first bump and the start of
+  /// its opposite-sign neighbour (s). Bumps further apart are independent
+  /// steering events, not one lane change.
+  double max_bump_gap_s = 4.0;
+};
+
+/// Run Algorithm 1 over a smoothed steering-rate profile.
+/// @param t        sample timestamps (sorted)
+/// @param w_steer  smoothed steering rate per sample (rad/s)
+/// @param speed    vehicle speed per sample (m/s), same timeline
+std::vector<DetectedLaneChange> detect_lane_changes(
+    std::span<const double> t, std::span<const double> w_steer,
+    std::span<const double> speed, const LaneChangeDetectorConfig& cfg = {});
+
+/// Eq. 1: horizontal displacement over [i0, i1] (inclusive sample range).
+double horizontal_displacement(std::span<const double> t,
+                               std::span<const double> w_steer,
+                               std::span<const double> speed, std::size_t i0,
+                               std::size_t i1);
+
+/// Eq. 2: longitudinal-velocity adjustment. Returns a copy of `speed` where,
+/// inside each detected lane-change window, v is replaced by v * cos(alpha)
+/// with alpha the steering angle integrated from the window start.
+std::vector<double> adjust_longitudinal_velocity(
+    std::span<const double> t, std::span<const double> w_steer,
+    std::span<const double> speed,
+    const std::vector<DetectedLaneChange>& changes);
+
+/// Steering angle alpha(t) integrated from w_steer inside each detected
+/// lane-change window (zero elsewhere). Shared by the Eq. 2 velocity
+/// adjustment and the specific-force projection below.
+std::vector<double> steering_angle_series(
+    std::span<const double> t, std::span<const double> w_steer,
+    const std::vector<DetectedLaneChange>& changes);
+
+/// Lane-change effect elimination on the forward specific force: inside a
+/// maneuver the vehicle frame is rotated by alpha from the road frame, so
+/// the measured force is projected into the longitudinal frame,
+///   f_long = f * cos(alpha) - v * w_steer * sin(alpha)
+///            - g * crown * sin(alpha),
+/// removing both the rotation kinematics (the v*w term is d(v cos a)/dt's
+/// cross term) and the road crown's gravity leak. Outside maneuvers
+/// (alpha == 0) the force passes through unchanged.
+std::vector<double> adjust_specific_force(std::span<const double> f,
+                                          std::span<const double> alpha,
+                                          std::span<const double> w_steer,
+                                          std::span<const double> speed,
+                                          double assumed_crown,
+                                          double gravity = 9.80665);
+
+}  // namespace rge::core

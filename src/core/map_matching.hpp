@@ -1,0 +1,57 @@
+// GPS-to-road map matching.
+//
+// The paper's cloud fusion assumes gradient tracks from different vehicles
+// can be keyed by position along the road; in a deployment that key comes
+// from map matching the phone's GPS fixes onto the road centerline. This
+// module projects fixes onto a Road's geometry with a monotonicity
+// constraint (vehicles do not teleport backwards), and re-keys gradient
+// tracks from filter odometry to matched road distance so multi-vehicle
+// distance-domain fusion shares a datum.
+#pragma once
+
+#include <vector>
+
+#include "core/grade_ekf.hpp"
+#include "road/road.hpp"
+#include "sensors/trace.hpp"
+
+namespace rge::core {
+
+struct MapMatchConfig {
+  /// Spacing of the precomputed projection grid along the road (m).
+  double grid_step_m = 5.0;
+  /// Search window around the previous match for the next fix (m);
+  /// bounds how far a vehicle can travel between fixes.
+  double window_m = 80.0;
+  /// Fixes farther than this from the centerline are rejected (m).
+  double max_lateral_m = 40.0;
+};
+
+struct MatchedFix {
+  double t = 0.0;
+  double s_m = 0.0;        ///< arc length along the road
+  double lateral_m = 0.0;  ///< distance from the centerline
+  bool valid = false;
+};
+
+/// Match a single geodetic point against the whole road (no monotonicity).
+MatchedFix match_point(const road::Road& road, const math::GeoPoint& point,
+                       const MapMatchConfig& cfg = {});
+
+/// Match a GPS track in order, enforcing forward progress. Invalid fixes
+/// and outliers produce invalid entries (never interpolated silently).
+std::vector<MatchedFix> match_track(const road::Road& road,
+                                    const std::vector<sensors::GpsFix>& fixes,
+                                    const MapMatchConfig& cfg = {});
+
+/// Replace a gradient track's odometry `s` by map-matched road distance:
+/// the matched (t, s) pairs are interpolated at the track's timestamps.
+/// Track samples outside the matched time range keep odometry-extrapolated
+/// values anchored at the nearest matched point.
+/// @throws std::invalid_argument if fewer than 2 fixes match.
+GradeTrack rekey_track_by_road(const GradeTrack& track,
+                               const road::Road& road,
+                               const std::vector<sensors::GpsFix>& fixes,
+                               const MapMatchConfig& cfg = {});
+
+}  // namespace rge::core

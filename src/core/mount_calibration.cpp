@@ -1,0 +1,81 @@
+#include "core/mount_calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rge::core {
+
+namespace {
+
+/// Speedometer speed at time t (zero-order hold outside the series).
+double speed_at(const std::vector<sensors::ScalarSample>& xs, double t) {
+  if (xs.empty()) return 0.0;
+  if (t <= xs.front().t) return xs.front().value;
+  if (t >= xs.back().t) return xs.back().value;
+  const auto it = std::upper_bound(
+      xs.begin(), xs.end(), t,
+      [](double q, const sensors::ScalarSample& s) { return q < s.t; });
+  return it == xs.begin() ? xs.front().value : (it - 1)->value;
+}
+
+}  // namespace
+
+MountCalibration calibrate_mount(const sensors::SensorTrace& trace,
+                                 const MountCalibrationConfig& cfg) {
+  MountCalibration out;
+
+  // Ordinary least squares of lateral on forward force over straight-line
+  // high-|f| samples: l = intercept + slope * f. The residual centripetal
+  // term v * gyro (nonzero even below the gyro gate) correlates with the
+  // forward force through driver behaviour, so it is subtracted using the
+  // measured speed before regressing.
+  double sum_f = 0.0;
+  double sum_l = 0.0;
+  double sum_ff = 0.0;
+  double sum_fl = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : trace.imu) {
+    if (std::abs(s.gyro_z) > cfg.max_gyro) continue;
+    if (std::abs(s.accel_forward) < cfg.min_abs_forward) continue;
+    const double lat =
+        s.accel_lateral - speed_at(trace.speedometer, s.t) * s.gyro_z;
+    sum_f += s.accel_forward;
+    sum_l += lat;
+    sum_ff += s.accel_forward * s.accel_forward;
+    sum_fl += s.accel_forward * lat;
+    ++n;
+  }
+  out.samples_used = n;
+  if (n < cfg.min_samples) return out;
+
+  const double nn = static_cast<double>(n);
+  const double denom = sum_ff - sum_f * sum_f / nn;
+  if (denom <= 1e-9) return out;
+  const double slope = (sum_fl - sum_f * sum_l / nn) / denom;
+  const double intercept = (sum_l - slope * sum_f) / nn;
+
+  // slope = -sin(eps)/cos(eps)... to first order slope = -tan(eps); use
+  // atan for robustness at larger angles.
+  out.yaw_rad = -std::atan(slope);
+  // intercept = g * crown / cos(eps)  ->  crown = intercept cos(eps) / g.
+  out.crown_estimate = intercept * std::cos(out.yaw_rad) / 9.80665;
+  out.reliable = true;
+  return out;
+}
+
+sensors::SensorTrace derotate_imu(sensors::SensorTrace trace,
+                                  double yaw_rad) {
+  const double c = std::cos(yaw_rad);
+  const double s = std::sin(yaw_rad);
+  for (auto& imu : trace.imu) {
+    // The mount applied R(yaw); undo with R(-yaw).
+    const double f = imu.accel_forward;
+    const double l = imu.accel_lateral;
+    imu.accel_forward = f * c - l * s;
+    imu.accel_lateral = f * s + l * c;
+  }
+  return trace;
+}
+
+}  // namespace rge::core

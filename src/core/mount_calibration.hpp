@@ -1,0 +1,46 @@
+// Automatic phone-mount calibration.
+//
+// Section III-A assumes the phone's Y_B axis is aligned with the vehicle's
+// longitudinal axis. In practice mounts are crooked by a few degrees. This
+// module estimates the yaw misalignment from ordinary driving data: while
+// the vehicle is NOT turning, the true lateral acceleration is only the
+// road crown's gravity component, so the measured lateral axis reads
+//     l = c * cos(eps) - f_true * sin(eps),
+// a line in the measured forward force f with slope -sin(eps) (small eps)
+// and intercept c*cos(eps) where c = g * crown. Ordinary least squares on
+// (f, l) samples collected during straight-line accelerations therefore
+// recovers BOTH the mount yaw and the road crown. The recovered yaw then
+// de-rotates the IMU before the pipeline runs.
+#pragma once
+
+#include <cstddef>
+
+#include "sensors/trace.hpp"
+
+namespace rge::core {
+
+struct MountCalibrationConfig {
+  /// Samples with |gyro| above this are turning; excluded (rad/s).
+  double max_gyro = 0.02;
+  /// Only samples with |forward force| above this carry slope information
+  /// (m/s^2) — pure cruising pins the intercept but not the slope.
+  double min_abs_forward = 0.8;
+  /// Minimum regression points for a reliable estimate.
+  std::size_t min_samples = 200;
+};
+
+struct MountCalibration {
+  double yaw_rad = 0.0;          ///< estimated mount yaw (CCW positive)
+  double crown_estimate = 0.0;   ///< estimated road crown ratio
+  std::size_t samples_used = 0;
+  bool reliable = false;
+};
+
+/// Estimate the mount yaw (and crown) from a trace.
+MountCalibration calibrate_mount(const sensors::SensorTrace& trace,
+                                 const MountCalibrationConfig& cfg = {});
+
+/// Rotate every IMU sample by -yaw, undoing the mount misalignment.
+sensors::SensorTrace derotate_imu(sensors::SensorTrace trace, double yaw_rad);
+
+}  // namespace rge::core

@@ -1,0 +1,210 @@
+#include "core/online_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/angles.hpp"
+#include "math/interp.hpp"
+
+namespace rge::core {
+
+OnlineGradientEstimator::OnlineGradientEstimator(
+    const vehicle::VehicleParams& params, const OnlineEstimatorConfig& config)
+    : params_(params), cfg_(config) {}
+
+void OnlineGradientEstimator::push_gps(const sensors::GpsFix& fix) {
+  if (!fix.valid) {
+    have_prev_fix_ = false;
+    return;
+  }
+  if (have_prev_fix_ && fix.t - prev_fix_t_ <= 3.0 && fix.t > prev_fix_t_) {
+    target_rate_ =
+        math::angle_diff(fix.heading_rad, prev_fix_heading_) /
+        (fix.t - prev_fix_t_);
+    last_rate_update_t_ = fix.t;
+  }
+  prev_fix_heading_ = fix.heading_rad;
+  prev_fix_t_ = fix.t;
+  have_prev_fix_ = true;
+
+  if (!gps_.ekf) {
+    gps_.variance = 0.09;
+    gps_.ekf.emplace(params_, cfg_.ekf, fix.speed_mps, 0.0);
+  } else {
+    gps_.ekf->update_velocity(fix.speed_mps, gps_.variance);
+  }
+  latest_speed_meas_ = fix.speed_mps;
+}
+
+void OnlineGradientEstimator::push_speedometer(double t, double speed_mps) {
+  (void)t;
+  if (!speedometer_.ekf) {
+    speedometer_.variance = 0.16;
+    speedometer_.ekf.emplace(params_, cfg_.ekf, speed_mps, 0.0);
+  } else {
+    speedometer_.ekf->update_velocity(speed_mps, speedometer_.variance);
+  }
+  latest_speed_meas_ = speed_mps;
+}
+
+void OnlineGradientEstimator::push_canbus(double t, double speed_mps) {
+  (void)t;
+  if (!canbus_.ekf) {
+    canbus_.variance = 0.01;
+    canbus_.ekf.emplace(params_, cfg_.ekf, speed_mps, 0.0);
+  } else {
+    canbus_.ekf->update_velocity(speed_mps, canbus_.variance);
+  }
+  latest_speed_meas_ = speed_mps;
+}
+
+double OnlineGradientEstimator::current_alpha(double t) const {
+  return alpha_active_ && t <= alpha_until_ ? alpha_ : 0.0;
+}
+
+void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
+  const double dt = have_imu_ ? std::max(0.0, sample.t - last_imu_t_) : 0.0;
+  last_imu_t_ = sample.t;
+  have_imu_ = true;
+
+  // ---- causal alignment -------------------------------------------
+  double gyro = sample.gyro_z;
+  if (cfg_.alignment.remove_spikes) {
+    gyro = std::clamp(gyro, -cfg_.alignment.spike_threshold,
+                      cfg_.alignment.spike_threshold);
+  }
+  const bool fresh = sample.t - last_rate_update_t_ < 3.0;
+  const double target = fresh ? target_rate_ : 0.0;
+  if (dt > 0.0) {
+    const double a = 1.0 - std::exp(-dt / cfg_.alignment.road_rate_tau_s);
+    road_rate_ += a * (target - road_rate_);
+  }
+  const double raw_steer = gyro - road_rate_ - gyro_bias_;
+  if (cfg_.alignment.remove_bias && dt > 0.0 &&
+      std::abs(raw_steer) < 0.08) {
+    const double a = 1.0 - std::exp(-dt / cfg_.alignment.bias_tau_s);
+    gyro_bias_ += a * (gyro - road_rate_ - gyro_bias_);
+  }
+  const double steer = gyro - road_rate_ - gyro_bias_;
+
+  // ---- lane-change correction state --------------------------------
+  if (alpha_active_) {
+    if (sample.t > alpha_until_) {
+      alpha_active_ = false;
+      alpha_ = 0.0;
+    } else {
+      alpha_ += steer * dt;
+    }
+  }
+
+  // ---- adjusted specific force -> EKF predict ----------------------
+  double f = sample.accel_forward;
+  const double alpha = current_alpha(sample.t);
+  if (alpha != 0.0) {
+    const double sa = std::sin(alpha);
+    f = f * std::cos(alpha) - latest_speed_meas_ * steer * sa -
+        params_.gravity * cfg_.assumed_road_crown * sa;
+  }
+  if (dt > 0.0) {
+    for (SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
+      if (src->ekf) src->ekf->predict(f, dt);
+    }
+    odometry_ += estimate().speed_mps * dt;
+  }
+
+  // ---- detection buffer at the detector rate -----------------------
+  if (sample.t >= next_det_t_) {
+    next_det_t_ = sample.t + 1.0 / cfg_.detector_rate_hz;
+    det_t_.push_back(sample.t);
+    det_w_.push_back(steer);
+    det_v_.push_back(latest_speed_meas_);
+    while (!det_t_.empty() &&
+           sample.t - det_t_.front() > cfg_.detector_buffer_s) {
+      det_t_.pop_front();
+      det_w_.pop_front();
+      det_v_.pop_front();
+    }
+    process_detection_buffer(sample.t);
+  }
+}
+
+void OnlineGradientEstimator::process_detection_buffer(double now) {
+  const std::size_t n = det_t_.size();
+  if (n < 8) return;
+
+  // Copy + smooth (centered moving average; the end of the buffer is
+  // effectively causal with half-window latency).
+  std::vector<double> t(det_t_.begin(), det_t_.end());
+  std::vector<double> w(det_w_.begin(), det_w_.end());
+  std::vector<double> v(det_v_.begin(), det_v_.end());
+  const auto half = static_cast<std::size_t>(
+      std::max(1.0, cfg_.smoothing_half_window_s * cfg_.detector_rate_hz));
+  const std::vector<double> smoothed = math::moving_average(w, half);
+
+  // Confirmed maneuvers: the standard Algorithm 1 over the buffer.
+  const auto detected = detect_lane_changes(t, smoothed, v, cfg_.detector);
+  for (const auto& lc : detected) {
+    // The buffer is re-scanned every detector tick, so the same maneuver
+    // is re-detected with slightly jittering bounds; only a maneuver that
+    // *starts* after the last confirmed one ended is genuinely new.
+    if (lc.t_start <= confirmed_until_) continue;
+    lane_changes_.push_back(lc);
+    confirmed_until_ = lc.t_end;
+  }
+
+  // Speculative correction: if a qualified bump is pending (possible first
+  // half of a maneuver), integrate alpha from its start so the EKF inputs
+  // are corrected while the maneuver is still unfolding.
+  const auto bumps = extract_bumps(t, smoothed, cfg_.detector.bump);
+  const Bump* pending = nullptr;
+  for (const auto& b : bumps) {
+    if (!qualifies(b, cfg_.detector.bump)) continue;
+    if (b.t_start <= confirmed_until_) continue;
+    pending = &b;
+  }
+  if (pending != nullptr &&
+      now - pending->t_end <= cfg_.detector.max_bump_gap_s) {
+    if (!alpha_active_) {
+      // Recompute alpha over [bump start, now] from the raw buffer.
+      double acc = 0.0;
+      for (std::size_t i = pending->start_idx + 1; i < n; ++i) {
+        acc += det_w_[i] * (det_t_[i] - det_t_[i - 1]);
+      }
+      alpha_ = acc;
+      alpha_active_ = true;
+    }
+    alpha_until_ = now + cfg_.detector.max_bump_gap_s;
+  }
+}
+
+OnlineEstimate OnlineGradientEstimator::estimate() const {
+  OnlineEstimate out;
+  out.t = last_imu_t_;
+  out.odometry_m = odometry_;
+  out.in_lane_change = alpha_active_;
+  out.lane_changes_detected = lane_changes_.size();
+
+  std::vector<double> grades;
+  std::vector<double> variances;
+  std::vector<double> speeds;
+  for (const SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
+    if (!src->ekf) continue;
+    grades.push_back(src->ekf->grade());
+    variances.push_back(src->ekf->grade_variance());
+    speeds.push_back(src->ekf->speed());
+  }
+  if (grades.empty()) return out;
+  const auto [g, p] = convex_combine(grades, variances, cfg_.fusion.min_variance);
+  out.grade_rad = g;
+  out.grade_var = p;
+  // Speed: same weights would be wrong (different variances); use the
+  // speed of the lowest-grade-variance filter.
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < variances.size(); ++k) {
+    if (variances[k] < variances[best]) best = k;
+  }
+  out.speed_mps = speeds[best];
+  return out;
+}
+
+}  // namespace rge::core

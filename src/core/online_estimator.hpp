@@ -1,0 +1,124 @@
+// Online (streaming) gradient estimator — the deployment-shaped API.
+//
+// The batch pipeline (`estimate_gradient`) wants the whole trace up front;
+// a phone app instead pushes samples as they arrive and reads the current
+// gradient a fixed latency later. This class runs the same stages in
+// causal form:
+//   * alignment: EMA road-rate + slow gyro-bias estimate (already causal);
+//   * smoothing: centered moving average over the detection buffer, which
+//     makes the detector's view lag by half the window (the latency);
+//   * lane-change detection: Algorithm 1 state machine over the buffered
+//     profile, re-scanned incrementally;
+//   * gradient EKFs + fusion: strictly causal, one per velocity source.
+//
+// Estimates published while a lane change is still being detected cannot
+// be retro-adjusted (Eq. 2 needs the whole maneuver), so the online
+// estimator applies the specific-force/velocity projection from the moment
+// a maneuver is *confirmed*; the tail of the correction is what the batch
+// pipeline gains over this class.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/alignment.hpp"
+#include "core/grade_ekf.hpp"
+#include "core/lane_change_detector.hpp"
+#include "core/track_fusion.hpp"
+#include "sensors/trace.hpp"
+#include "vehicle/params.hpp"
+
+namespace rge::core {
+
+struct OnlineEstimatorConfig {
+  AlignmentConfig alignment;      ///< reused: tau values, thresholds
+  LaneChangeDetectorConfig detector;
+  GradeEkfConfig ekf;
+  FusionConfig fusion;
+  /// Half-width of the causal smoothing window (s); also the publishing
+  /// latency of the steering profile fed to the detector.
+  double smoothing_half_window_s = 0.4;
+  /// Detection buffer length (s); bounds memory and re-scan cost.
+  double detector_buffer_s = 30.0;
+  double detector_rate_hz = 10.0;
+  /// Assumed road crown for the lane-change force projection.
+  double assumed_road_crown = 0.02;
+};
+
+/// Current output of the streaming estimator.
+struct OnlineEstimate {
+  double t = 0.0;          ///< timestamp of the latest IMU sample
+  double grade_rad = 0.0;  ///< fused gradient
+  double grade_var = 0.0;
+  double speed_mps = 0.0;
+  double odometry_m = 0.0;
+  bool in_lane_change = false;
+  std::size_t lane_changes_detected = 0;
+};
+
+class OnlineGradientEstimator {
+ public:
+  OnlineGradientEstimator(const vehicle::VehicleParams& params,
+                          const OnlineEstimatorConfig& config = {});
+
+  /// Push sensor samples in timestamp order (per stream).
+  void push_imu(const sensors::ImuSample& sample);
+  void push_gps(const sensors::GpsFix& fix);
+  void push_speedometer(double t, double speed_mps);
+  void push_canbus(double t, double speed_mps);
+
+  /// Latest fused estimate. Valid once at least one IMU sample and one
+  /// velocity measurement have been pushed.
+  OnlineEstimate estimate() const;
+
+  /// Maneuvers confirmed so far.
+  const std::vector<DetectedLaneChange>& lane_changes() const {
+    return lane_changes_;
+  }
+
+ private:
+  struct SourceFilter {
+    std::optional<GradeEkf> ekf;
+    double variance = 0.1;
+  };
+
+  void process_detection_buffer(double now);
+  double current_alpha(double t) const;
+
+  vehicle::VehicleParams params_;
+  OnlineEstimatorConfig cfg_;
+
+  // Alignment state (causal).
+  double last_imu_t_ = 0.0;
+  bool have_imu_ = false;
+  double road_rate_ = 0.0;
+  double gyro_bias_ = 0.0;
+  double target_rate_ = 0.0;
+  double last_rate_update_t_ = -1e9;
+  bool have_prev_fix_ = false;
+  double prev_fix_heading_ = 0.0;
+  double prev_fix_t_ = -1e9;
+
+  // Detection buffer at detector rate: raw steering rate + speed.
+  std::deque<double> det_t_;
+  std::deque<double> det_w_;
+  std::deque<double> det_v_;
+  double next_det_t_ = 0.0;
+  double latest_speed_meas_ = 0.0;
+  std::vector<DetectedLaneChange> lane_changes_;
+  double confirmed_until_ = -1e9;  ///< maneuvers before this are final
+
+  // Active lane-change correction state.
+  double alpha_ = 0.0;
+  bool alpha_active_ = false;
+  double alpha_until_ = -1e9;
+
+  // EKFs per source.
+  SourceFilter gps_;
+  SourceFilter speedometer_;
+  SourceFilter canbus_;
+  double odometry_ = 0.0;
+};
+
+}  // namespace rge::core

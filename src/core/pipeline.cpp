@@ -1,0 +1,202 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rge::core {
+
+namespace {
+
+/// Piecewise-linear sample of (ts, vs) at time q, clamped.
+double sample_series(const std::vector<double>& ts,
+                     const std::vector<double>& vs, double q) {
+  if (ts.empty()) return 0.0;
+  if (q <= ts.front()) return vs.front();
+  if (q >= ts.back()) return vs.back();
+  const auto it = std::upper_bound(ts.begin(), ts.end(), q);
+  const std::size_t hi = static_cast<std::size_t>(it - ts.begin());
+  const std::size_t lo = hi - 1;
+  const double denom = ts[hi] - ts[lo];
+  const double f = denom > 0.0 ? (q - ts[lo]) / denom : 0.0;
+  return vs[lo] * (1.0 - f) + vs[hi] * f;
+}
+
+}  // namespace
+
+PipelineResult estimate_gradient(const sensors::SensorTrace& trace,
+                                 const vehicle::VehicleParams& params,
+                                 const PipelineConfig& config) {
+  if (trace.imu.empty()) {
+    throw std::invalid_argument("estimate_gradient: empty trace");
+  }
+  if (!config.use_gps && !config.use_speedometer && !config.use_canbus &&
+      !config.use_imu) {
+    throw std::invalid_argument(
+        "estimate_gradient: all velocity sources disabled");
+  }
+
+  PipelineResult result;
+
+  // ---- 0. Mount auto-calibration -------------------------------------
+  const sensors::SensorTrace* active = &trace;
+  sensors::SensorTrace corrected;
+  if (config.auto_calibrate_mount) {
+    result.mount = calibrate_mount(trace, config.mount);
+    if (result.mount.reliable &&
+        std::abs(result.mount.yaw_rad) > 0.005) {
+      corrected = derotate_imu(trace, result.mount.yaw_rad);
+      active = &corrected;
+    }
+  }
+
+  // ---- 1. Alignment --------------------------------------------------
+  result.aligned = align_states(*active, config.alignment);
+  const auto& aligned = result.aligned;
+
+  // ---- 2. Decimate + smooth the steering profile ---------------------
+  const double imu_rate = active->imu_rate_hz > 0 ? active->imu_rate_hz : 50.0;
+  const auto decim = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::round(imu_rate / std::max(1.0, config.detector_rate_hz))));
+  for (std::size_t i = 0; i < aligned.size(); i += decim) {
+    result.det_t.push_back(aligned.t[i]);
+    result.det_steer_raw.push_back(aligned.steer_rate[i]);
+  }
+  result.det_steer_smoothed = result.det_steer_raw;
+  const std::size_t dn = result.det_t.size();
+
+  if (config.smoothing_window_s > 0.0 && dn >= 4) {
+    const double duration =
+        result.det_t.back() - result.det_t.front();
+    if (duration > config.smoothing_window_s) {
+      math::LoessConfig lo;
+      lo.span = std::clamp(config.smoothing_window_s / duration,
+                           4.0 / static_cast<double>(dn), 1.0);
+      lo.degree = config.smoothing_degree;
+      const math::LoessSmoother smoother(lo);
+      result.det_steer_smoothed =
+          smoother.fit(result.det_t, result.det_steer_smoothed);
+    }
+  }
+
+  // ---- Detection-rate speed series (best available source) -----------
+  std::vector<double> src_t;
+  std::vector<double> src_v;
+  if (!active->canbus_speed.empty()) {
+    for (const auto& s : active->canbus_speed) {
+      src_t.push_back(s.t);
+      src_v.push_back(s.value);
+    }
+  } else if (!active->speedometer.empty()) {
+    for (const auto& s : active->speedometer) {
+      src_t.push_back(s.t);
+      src_v.push_back(s.value);
+    }
+  } else {
+    for (const auto& f : active->gps) {
+      if (!f.valid) continue;
+      src_t.push_back(f.t);
+      src_v.push_back(f.speed_mps);
+    }
+  }
+  result.det_speed.reserve(dn);
+  for (std::size_t i = 0; i < dn; ++i) {
+    result.det_speed.push_back(
+        sample_series(src_t, src_v, result.det_t[i]));
+  }
+
+  // ---- 3. Lane change detection --------------------------------------
+  result.lane_changes =
+      detect_lane_changes(result.det_t, result.det_steer_smoothed,
+                          result.det_speed, config.detector);
+
+  // ---- 4. Lane-change effect elimination -------------------------------
+  // Steering angle on the detection timeline, interpolated to the IMU
+  // timeline, drives both the Eq. 2 velocity adjustment and the forward
+  // specific-force projection.
+  std::vector<double> accel_for_ekf(aligned.accel_forward);
+  if (config.enable_lane_change_adjustment && !result.lane_changes.empty()) {
+    const std::vector<double> alpha_det = steering_angle_series(
+        result.det_t, result.det_steer_raw, result.lane_changes);
+    std::vector<double> alpha_imu(aligned.size(), 0.0);
+    std::vector<double> w_imu(aligned.size(), 0.0);
+    std::vector<double> v_imu(aligned.size(), 0.0);
+    for (std::size_t i = 0; i < aligned.size(); ++i) {
+      alpha_imu[i] = sample_series(result.det_t, alpha_det, aligned.t[i]);
+      w_imu[i] =
+          sample_series(result.det_t, result.det_steer_smoothed, aligned.t[i]);
+      v_imu[i] = sample_series(result.det_t, result.det_speed, aligned.t[i]);
+    }
+    accel_for_ekf = adjust_specific_force(aligned.accel_forward, alpha_imu,
+                                          w_imu, v_imu,
+                                          config.assumed_road_crown,
+                                          params.gravity);
+  }
+
+  // ---- 5. Velocity sources -> per-source EKF tracks -----------------
+  auto run_source = [&](const char* name,
+                        std::vector<VelocityMeasurement> meas) {
+    if (meas.empty()) return;
+    if (config.enable_lane_change_adjustment) {
+      meas = apply_lane_change_adjustment(std::move(meas), result.det_t,
+                                          result.det_steer_raw,
+                                          result.lane_changes);
+    }
+    if (config.use_rts_smoother) {
+      result.tracks.push_back(run_grade_rts(name, aligned.t, accel_for_ekf,
+                                            meas, params, config.ekf,
+                                            config.rts_rate_hz));
+    } else {
+      result.tracks.push_back(run_grade_ekf(name, aligned.t, accel_for_ekf,
+                                            meas, params, config.ekf));
+    }
+  };
+
+  if (config.use_gps) {
+    run_source("gps", velocity_from_gps(*active, config.sources));
+  }
+  if (config.use_speedometer) {
+    run_source("speedometer",
+               velocity_from_speedometer(*active, config.sources));
+  }
+  if (config.use_canbus) {
+    run_source("canbus", velocity_from_canbus(*active, config.sources));
+  }
+  if (config.use_imu) {
+    run_source("imu", velocity_from_imu(*active, config.sources));
+  }
+
+  if (result.tracks.empty()) {
+    throw std::invalid_argument(
+        "estimate_gradient: no velocity measurements in trace");
+  }
+
+  // ---- 6. Track fusion ------------------------------------------------
+  if (config.enable_fusion && result.tracks.size() > 1) {
+    result.fused = fuse_tracks_time(result.tracks, 0, config.fusion);
+  } else {
+    // Without fusion the paper's system degenerates to its best single
+    // track; pick the lowest mean variance.
+    std::size_t best = 0;
+    double best_var = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < result.tracks.size(); ++k) {
+      double acc = 0.0;
+      for (double p : result.tracks[k].grade_var) acc += p;
+      const double mean_var =
+          result.tracks[k].grade_var.empty()
+              ? std::numeric_limits<double>::infinity()
+              : acc / static_cast<double>(result.tracks[k].grade_var.size());
+      if (mean_var < best_var) {
+        best_var = mean_var;
+        best = k;
+      }
+    }
+    result.fused = result.tracks[best];
+    result.fused.source = "best-single-track(" + result.tracks[best].source + ")";
+  }
+
+  return result;
+}
+
+}  // namespace rge::core

@@ -1,0 +1,127 @@
+#include "core/track_fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "math/interp.hpp"
+
+namespace rge::core {
+
+std::pair<double, double> convex_combine(std::span<const double> thetas,
+                                         std::span<const double> variances,
+                                         double min_variance) {
+  if (thetas.size() != variances.size() || thetas.empty()) {
+    throw std::invalid_argument("convex_combine: bad inputs");
+  }
+  double weight_sum = 0.0;
+  double weighted = 0.0;
+  for (std::size_t k = 0; k < thetas.size(); ++k) {
+    const double p = std::max(min_variance, variances[k]);
+    weight_sum += 1.0 / p;
+    weighted += thetas[k] / p;
+  }
+  return {weighted / weight_sum, 1.0 / weight_sum};
+}
+
+namespace {
+
+/// Interpolate a track's grade and variance at time (or distance) q using
+/// the given key array; clamped at the ends.
+std::pair<double, double> sample_track(const GradeTrack& track,
+                                       const std::vector<double>& keys,
+                                       double q) {
+  if (keys.empty()) {
+    throw std::invalid_argument("sample_track: empty track");
+  }
+  if (q <= keys.front()) return {track.grade.front(), track.grade_var.front()};
+  if (q >= keys.back()) return {track.grade.back(), track.grade_var.back()};
+  const auto it = std::upper_bound(keys.begin(), keys.end(), q);
+  const std::size_t hi = static_cast<std::size_t>(it - keys.begin());
+  const std::size_t lo = hi - 1;
+  const double denom = keys[hi] - keys[lo];
+  const double t = denom > 0.0 ? (q - keys[lo]) / denom : 0.0;
+  return {track.grade[lo] * (1.0 - t) + track.grade[hi] * t,
+          track.grade_var[lo] * (1.0 - t) + track.grade_var[hi] * t};
+}
+
+}  // namespace
+
+GradeTrack fuse_tracks_time(const std::vector<GradeTrack>& tracks,
+                            std::size_t reference, const FusionConfig& cfg) {
+  if (tracks.empty()) {
+    throw std::invalid_argument("fuse_tracks_time: no tracks");
+  }
+  if (reference >= tracks.size()) {
+    throw std::invalid_argument("fuse_tracks_time: bad reference index");
+  }
+  const GradeTrack& ref = tracks[reference];
+
+  GradeTrack fused;
+  fused.source = "fused";
+  fused.t = ref.t;
+  fused.s = ref.s;
+  fused.speed = ref.speed;
+  fused.grade.reserve(ref.size());
+  fused.grade_var.reserve(ref.size());
+
+  std::vector<double> thetas(tracks.size());
+  std::vector<double> variances(tracks.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double ti = ref.t[i];
+    for (std::size_t k = 0; k < tracks.size(); ++k) {
+      const auto [g, p] = sample_track(tracks[k], tracks[k].t, ti);
+      thetas[k] = g;
+      variances[k] = p;
+    }
+    const auto [gbar, pbar] =
+        convex_combine(thetas, variances, cfg.min_variance);
+    fused.grade.push_back(gbar);
+    fused.grade_var.push_back(pbar);
+  }
+  return fused;
+}
+
+GradeTrack fuse_tracks_distance(const std::vector<GradeTrack>& tracks,
+                                const FusionConfig& cfg) {
+  if (tracks.empty()) {
+    throw std::invalid_argument("fuse_tracks_distance: no tracks");
+  }
+  // Overlapping odometry range.
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  for (const auto& tr : tracks) {
+    if (tr.s.empty()) {
+      throw std::invalid_argument("fuse_tracks_distance: track without s");
+    }
+    lo = std::max(lo, tr.s.front());
+    hi = std::min(hi, tr.s.back());
+  }
+  if (!(hi > lo)) {
+    throw std::invalid_argument(
+        "fuse_tracks_distance: tracks do not overlap in distance");
+  }
+
+  GradeTrack fused;
+  fused.source = "fused-distance";
+  std::vector<double> thetas(tracks.size());
+  std::vector<double> variances(tracks.size());
+  for (double s = lo; s <= hi; s += cfg.distance_step_m) {
+    for (std::size_t k = 0; k < tracks.size(); ++k) {
+      const auto [g, p] = sample_track(tracks[k], tracks[k].s, s);
+      thetas[k] = g;
+      variances[k] = p;
+    }
+    const auto [gbar, pbar] =
+        convex_combine(thetas, variances, cfg.min_variance);
+    fused.s.push_back(s);
+    fused.grade.push_back(gbar);
+    fused.grade_var.push_back(pbar);
+    fused.t.push_back(s);  // distance-domain tracks are keyed by s
+    fused.speed.push_back(0.0);
+  }
+  return fused;
+}
+
+}  // namespace rge::core

@@ -1,0 +1,46 @@
+// Track fusion (paper Section III-C3, Eq. 6): the basic convex combination
+// of N gradient tracks weighted by their inverse EKF error covariances,
+//   theta_bar = U * sum_k P_k^{-1} theta_k,   U = (sum_k P_k^{-1})^{-1}.
+// Tracks are assumed cross-covariance free (independent sensors), which is
+// why the paper selects the basic convex combination [23].
+//
+// Two fusion domains are provided:
+//  * time domain  — tracks from one vehicle share a clock; fused per sample
+//    on a reference timeline;
+//  * distance domain — tracks from different vehicles/trips share only the
+//    road; fused on a common arc-length grid (the "cloud" fusion the paper
+//    sketches for crowd-sourced gradient maps).
+#pragma once
+
+#include <vector>
+
+#include "core/grade_ekf.hpp"
+
+namespace rge::core {
+
+struct FusionConfig {
+  /// Variance floor to keep near-zero covariances from dominating (rad^2).
+  double min_variance = 1e-8;
+  /// Resampling step for distance-domain fusion (m).
+  double distance_step_m = 5.0;
+};
+
+/// Fuse tracks on the timeline of `tracks[reference]`. Each other track is
+/// linearly interpolated onto that timeline. Requires >= 1 track; a single
+/// track is returned unchanged (with source renamed "fused").
+GradeTrack fuse_tracks_time(const std::vector<GradeTrack>& tracks,
+                            std::size_t reference = 0,
+                            const FusionConfig& cfg = {});
+
+/// Fuse tracks on a common arc-length grid spanning the overlap of all
+/// tracks' odometry ranges. Useful for multi-vehicle cloud fusion.
+GradeTrack fuse_tracks_distance(const std::vector<GradeTrack>& tracks,
+                                const FusionConfig& cfg = {});
+
+/// Scalar Eq. 6 helper: inverse-variance weighted mean. Returns
+/// {theta_bar, fused_variance}. Sizes must match and be nonzero.
+std::pair<double, double> convex_combine(std::span<const double> thetas,
+                                         std::span<const double> variances,
+                                         double min_variance = 1e-8);
+
+}  // namespace rge::core

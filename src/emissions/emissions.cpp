@@ -1,0 +1,88 @@
+#include "emissions/emissions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/rng.hpp"
+
+namespace rge::emissions {
+
+double emission_mass_g(double fuel_gallons, double grams_per_gallon) {
+  if (fuel_gallons < 0.0) {
+    throw std::invalid_argument("emission_mass: negative fuel");
+  }
+  return fuel_gallons * grams_per_gallon;
+}
+
+RoadFuelSummary summarize_road_fuel(const road::Road& road, double speed_mps,
+                                    const VspParams& p) {
+  const double step = 5.0;
+  std::vector<double> grades;
+  for (double s = 0.0; s < road.length_m(); s += step) {
+    grades.push_back(road.grade_at(s));
+  }
+  return summarize_road_fuel_with_grades(road, speed_mps, grades, step, p);
+}
+
+RoadFuelSummary summarize_road_fuel_with_grades(
+    const road::Road& road, double speed_mps,
+    const std::vector<double>& grade_by_step, double step_m,
+    const VspParams& p) {
+  if (speed_mps <= 0.0) {
+    throw std::invalid_argument("summarize_road_fuel: speed must be > 0");
+  }
+  if (grade_by_step.empty() || step_m <= 0.0) {
+    throw std::invalid_argument("summarize_road_fuel: empty grade series");
+  }
+
+  RoadFuelSummary out;
+  out.length_km = road.length_m() / 1000.0;
+  double rate_acc = 0.0;
+  double grade_acc = 0.0;
+  const double flat_rate = fuel_rate_gal_per_h(speed_mps, 0.0, 0.0, p);
+  for (double g : grade_by_step) {
+    rate_acc += fuel_rate_gal_per_h(speed_mps, 0.0, g, p);
+    grade_acc += g;
+  }
+  const double n = static_cast<double>(grade_by_step.size());
+  out.mean_grade_rad = grade_acc / n;
+  out.fuel_rate_gal_per_h = rate_acc / n;
+  out.fuel_rate_flat_gal_per_h = flat_rate;
+
+  const double hours = road.length_m() / speed_mps / 3600.0;
+  out.fuel_per_vehicle_gal = out.fuel_rate_gal_per_h * hours;
+  out.fuel_per_vehicle_flat_gal = flat_rate * hours;
+  return out;
+}
+
+double TrafficModel::aadt(road::RoadClass cls, std::size_t index) const {
+  math::Rng rng = math::Rng(seed).fork(index * 2654435761ULL + 17);
+  switch (cls) {
+    case road::RoadClass::kArterial:
+      return rng.uniform(arterial_lo, arterial_hi);
+    case road::RoadClass::kCollector:
+      return rng.uniform(collector_lo, collector_hi);
+    case road::RoadClass::kResidential:
+    default:
+      return rng.uniform(residential_lo, residential_hi);
+  }
+}
+
+double TrafficModel::vehicles_per_hour(road::RoadClass cls,
+                                       std::size_t index) const {
+  return aadt(cls, index) * hourly_fraction;
+}
+
+double emission_density_g_per_km_h(const RoadFuelSummary& fuel,
+                                   double vehicles_per_hour,
+                                   double grams_per_gallon) {
+  if (fuel.length_km <= 0.0) {
+    throw std::invalid_argument("emission_density: zero-length road");
+  }
+  const double gal_per_km_h =
+      fuel.fuel_per_vehicle_gal * vehicles_per_hour / fuel.length_km;
+  return gal_per_km_h * grams_per_gallon;
+}
+
+}  // namespace rge::emissions

@@ -1,0 +1,69 @@
+// Air pollution emission estimation (paper Section III-E): emissions are
+// proportional to fuel consumption, m_emission = F * V_fuel, with
+// F = 8,908 g CO2 per gallon and F = 0.084 g PM2.5 per gallon.
+// Fig. 10(b) combines per-vehicle fuel with Annual Average Daily Traffic
+// volumes to map emission density (ton/km/hour) over the road network.
+#pragma once
+
+#include <vector>
+
+#include "emissions/vsp.hpp"
+#include "road/network.hpp"
+
+namespace rge::emissions {
+
+/// Emission factors in grams per gallon of gasoline.
+inline constexpr double kCo2GramsPerGallon = 8908.0;
+inline constexpr double kPm25GramsPerGallon = 0.084;
+
+/// Emission mass (grams) from fuel volume (gallons).
+double emission_mass_g(double fuel_gallons, double grams_per_gallon);
+
+/// Per-road fuel/emission summary at a given average driving speed.
+struct RoadFuelSummary {
+  double length_km = 0.0;
+  double mean_grade_rad = 0.0;
+  /// Average fuel rate along the road (gal/h) considering gradients.
+  double fuel_rate_gal_per_h = 0.0;
+  /// Same with gradient forced to zero (the "without gradient" comparison).
+  double fuel_rate_flat_gal_per_h = 0.0;
+  /// Fuel per vehicle traversing the road (gallons).
+  double fuel_per_vehicle_gal = 0.0;
+  double fuel_per_vehicle_flat_gal = 0.0;
+};
+
+/// Integrate the VSP model along a road at constant speed; grade sampled
+/// from a provided profile function (e.g. estimated or true).
+RoadFuelSummary summarize_road_fuel(const road::Road& road, double speed_mps,
+                                    const VspParams& p = {});
+
+/// As above, but with an externally supplied grade series sampled every
+/// `step_m` (e.g. the pipeline's estimate rather than ground truth).
+RoadFuelSummary summarize_road_fuel_with_grades(
+    const road::Road& road, double speed_mps,
+    const std::vector<double>& grade_by_step, double step_m,
+    const VspParams& p = {});
+
+/// Hourly traffic volume for a road class, derived from a synthetic AADT
+/// (Annual Average Daily Traffic) draw; deterministic per seed and index.
+struct TrafficModel {
+  std::uint64_t seed = 99;
+  /// AADT ranges per class {arterial, collector, residential}.
+  double arterial_lo = 15000, arterial_hi = 35000;
+  double collector_lo = 5000, collector_hi = 15000;
+  double residential_lo = 500, residential_hi = 5000;
+  /// Fraction of daily traffic in the average hour.
+  double hourly_fraction = 1.0 / 24.0;
+
+  /// AADT for road `index` of class `cls` (stable across calls).
+  double aadt(road::RoadClass cls, std::size_t index) const;
+  double vehicles_per_hour(road::RoadClass cls, std::size_t index) const;
+};
+
+/// Emission density for one road: grams emitted per km of road per hour,
+/// given per-vehicle fuel use and hourly volume.
+double emission_density_g_per_km_h(const RoadFuelSummary& fuel,
+                                   double vehicles_per_hour,
+                                   double grams_per_gallon);
+
+}  // namespace rge::emissions

@@ -1,0 +1,41 @@
+#include "emissions/vsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rge::emissions {
+
+double fuel_rate_gal_per_h(double speed_mps, double accel_mps2,
+                           double grade_rad, const VspParams& p) {
+  if (speed_mps < 0.0) {
+    throw std::invalid_argument("fuel_rate: negative speed");
+  }
+  const double v = speed_mps;
+  const double m = p.mass_t;
+  const double power_kw = p.a * p.aero_scale * v * v * v +
+                          p.b * m * v * std::sin(grade_rad) + p.c * m * v +
+                          m * accel_mps2 * v + p.d * m * accel_mps2;
+  return std::max(p.idle_floor_gal_per_h, p.gge * power_kw);
+}
+
+double fuel_used_gal(double speed_mps, double accel_mps2, double grade_rad,
+                     double dt_s, const VspParams& p) {
+  if (dt_s < 0.0) {
+    throw std::invalid_argument("fuel_used: negative dt");
+  }
+  return fuel_rate_gal_per_h(speed_mps, accel_mps2, grade_rad, p) * dt_s /
+         3600.0;
+}
+
+double fuel_per_km_gal(double speed_mps, double grade_rad,
+                       const VspParams& p) {
+  if (speed_mps <= 0.0) {
+    throw std::invalid_argument("fuel_per_km: speed must be > 0");
+  }
+  const double rate = fuel_rate_gal_per_h(speed_mps, 0.0, grade_rad, p);
+  const double km_per_h = speed_mps * 3.6;
+  return rate / km_per_h;
+}
+
+}  // namespace rge::emissions

@@ -1,0 +1,44 @@
+// Angle helpers shared across the geometry / sensing stack.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace rge::math {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
+constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wrap an angle to [-pi, pi).
+inline double wrap_pi(double rad) {
+  double a = std::fmod(rad + kPi, kTwoPi);
+  if (a < 0) a += kTwoPi;
+  return a - kPi;
+}
+
+/// Wrap an angle to [0, 2*pi).
+inline double wrap_two_pi(double rad) {
+  double a = std::fmod(rad, kTwoPi);
+  if (a < 0) a += kTwoPi;
+  return a;
+}
+
+/// Shortest signed difference a - b, wrapped to (-pi, pi].
+inline double angle_diff(double a, double b) { return wrap_pi(a - b); }
+
+/// Convert a gradient expressed as a slope ratio (rise/run) to an incline
+/// angle in radians.
+inline double slope_to_angle(double slope) { return std::atan(slope); }
+
+/// Convert an incline angle in radians to a slope ratio (rise/run).
+inline double angle_to_slope(double angle) { return std::tan(angle); }
+
+/// Gradient in percent (100 * rise/run) from an incline angle in radians.
+inline double angle_to_percent_grade(double angle) {
+  return 100.0 * std::tan(angle);
+}
+
+}  // namespace rge::math

@@ -1,0 +1,86 @@
+#include "math/geodesy.hpp"
+
+#include <cmath>
+
+#include "math/angles.hpp"
+
+namespace rge::math {
+
+LocalTangentPlane::LocalTangentPlane(const GeoPoint& origin)
+    : origin_(origin),
+      meters_per_deg_lat_(deg2rad(1.0) * kEarthRadiusM),
+      meters_per_deg_lon_(deg2rad(1.0) * kEarthRadiusM *
+                          std::cos(deg2rad(origin.latitude_deg))) {}
+
+Enu LocalTangentPlane::to_enu(const GeoPoint& p) const {
+  return Enu{
+      (p.longitude_deg - origin_.longitude_deg) * meters_per_deg_lon_,
+      (p.latitude_deg - origin_.latitude_deg) * meters_per_deg_lat_,
+      p.altitude_m - origin_.altitude_m,
+  };
+}
+
+GeoPoint LocalTangentPlane::to_geodetic(const Enu& e) const {
+  return GeoPoint{
+      origin_.latitude_deg + e.north_m / meters_per_deg_lat_,
+      origin_.longitude_deg + e.east_m / meters_per_deg_lon_,
+      origin_.altitude_m + e.up_m,
+  };
+}
+
+double haversine_distance_m(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg2rad(a.latitude_deg);
+  const double lat2 = deg2rad(b.latitude_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.longitude_deg - a.longitude_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusM * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+double distance_3d_m(const GeoPoint& a, const GeoPoint& b) {
+  const double d = haversine_distance_m(a, b);
+  const double dz = b.altitude_m - a.altitude_m;
+  return std::sqrt(d * d + dz * dz);
+}
+
+double initial_bearing_rad(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg2rad(a.latitude_deg);
+  const double lat2 = deg2rad(b.latitude_deg);
+  const double dlon = deg2rad(b.longitude_deg - a.longitude_deg);
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  return wrap_two_pi(std::atan2(y, x));
+}
+
+double heading_from_east_rad(const GeoPoint& a, const GeoPoint& b) {
+  // Bearing is clockwise from North; heading-from-East is counter-clockwise
+  // from East: heading = pi/2 - bearing.
+  return wrap_pi(kPi / 2.0 - initial_bearing_rad(a, b));
+}
+
+GeoPoint destination(const GeoPoint& a, double bearing_rad,
+                     double distance_m) {
+  const double ang = distance_m / kEarthRadiusM;
+  const double lat1 = deg2rad(a.latitude_deg);
+  const double lon1 = deg2rad(a.longitude_deg);
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(ang) +
+                                std::cos(lat1) * std::sin(ang) *
+                                    std::cos(bearing_rad));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(bearing_rad) * std::sin(ang) * std::cos(lat1),
+                        std::cos(ang) - std::sin(lat1) * std::sin(lat2));
+  return GeoPoint{rad2deg(lat2), rad2deg(wrap_pi(lon2)), a.altitude_m};
+}
+
+double polyline_length_m(const std::vector<GeoPoint>& pts) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    total += distance_3d_m(pts[i - 1], pts[i]);
+  }
+  return total;
+}
+
+}  // namespace rge::math

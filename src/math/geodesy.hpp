@@ -1,0 +1,71 @@
+// Geodetic <-> local tangent-plane conversions, bearings and distances.
+//
+// The paper computes the road direction change rate w_road from GPS
+// latitude/longitude and the reference gradient from latitude / longitude /
+// altitude triples (Section III-D). City-scale extents (< 100 km) permit the
+// spherical-earth local tangent plane approximation used here; the error is
+// well below GPS noise at this scale.
+#pragma once
+
+#include <vector>
+
+namespace rge::math {
+
+/// WGS-84-style geodetic coordinate (degrees, metres).
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+  double altitude_m = 0.0;
+
+  bool operator==(const GeoPoint&) const = default;
+};
+
+/// East-North-Up local coordinates in metres.
+struct Enu {
+  double east_m = 0.0;
+  double north_m = 0.0;
+  double up_m = 0.0;
+
+  bool operator==(const Enu&) const = default;
+};
+
+/// Mean earth radius used for the spherical approximation (metres).
+inline constexpr double kEarthRadiusM = 6371008.8;
+
+/// Local tangent plane anchored at an origin geodetic point.
+class LocalTangentPlane {
+ public:
+  explicit LocalTangentPlane(const GeoPoint& origin);
+
+  const GeoPoint& origin() const { return origin_; }
+
+  Enu to_enu(const GeoPoint& p) const;
+  GeoPoint to_geodetic(const Enu& e) const;
+
+ private:
+  GeoPoint origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+/// Great-circle (haversine) distance in metres, ignoring altitude.
+double haversine_distance_m(const GeoPoint& a, const GeoPoint& b);
+
+/// 3-D distance: haversine horizontal + altitude difference.
+double distance_3d_m(const GeoPoint& a, const GeoPoint& b);
+
+/// Initial bearing from a to b, radians clockwise from North in [0, 2*pi).
+double initial_bearing_rad(const GeoPoint& a, const GeoPoint& b);
+
+/// Heading measured counter-clockwise from East (the paper's convention for
+/// road/vehicle direction), radians in (-pi, pi].
+double heading_from_east_rad(const GeoPoint& a, const GeoPoint& b);
+
+/// Destination point starting at `a`, moving `distance_m` along `bearing`
+/// (radians clockwise from North). Altitude is copied from `a`.
+GeoPoint destination(const GeoPoint& a, double bearing_rad, double distance_m);
+
+/// Total polyline length (3-D) in metres.
+double polyline_length_m(const std::vector<GeoPoint>& pts);
+
+}  // namespace rge::math

@@ -1,0 +1,55 @@
+// 1-D interpolation and series resampling helpers.
+//
+// Profiles throughout the system (elevation vs distance, velocity vs time,
+// gradient vs distance) are represented as strictly increasing knot series;
+// LinearInterpolator provides clamped linear interpolation over them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rge::math {
+
+/// Piecewise-linear interpolation over sorted knots, clamped at the ends.
+class LinearInterpolator {
+ public:
+  LinearInterpolator() = default;
+  /// @throws std::invalid_argument if sizes differ, fewer than 1 knot, or
+  /// xs is not strictly increasing.
+  LinearInterpolator(std::vector<double> xs, std::vector<double> ys);
+
+  double operator()(double x) const;
+
+  std::size_t size() const { return xs_.size(); }
+  double x_min() const { return xs_.front(); }
+  double x_max() const { return xs_.back(); }
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+  /// Sample the interpolant at `n` evenly spaced points over [x_min, x_max].
+  std::vector<double> sample(std::size_t n) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Evenly spaced grid from lo to hi inclusive with n points (n >= 2), or the
+/// single point lo when n == 1.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Cumulative trapezoidal integral of y over x; out[0] == 0.
+std::vector<double> cumulative_trapezoid(std::span<const double> x,
+                                         std::span<const double> y);
+
+/// Centered finite-difference derivative dy/dx (one-sided at the ends).
+std::vector<double> finite_difference(std::span<const double> x,
+                                      std::span<const double> y);
+
+/// Simple centered moving-average smoother with a window of 2*half+1
+/// samples, truncated at the series ends.
+std::vector<double> moving_average(std::span<const double> y,
+                                   std::size_t half);
+
+}  // namespace rge::math

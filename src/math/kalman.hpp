@@ -1,0 +1,65 @@
+// Generic Extended Kalman Filter over dynamic-size state.
+//
+// The EKF is the noise-elimination workhorse of the paper (Section III-C2):
+// it predicts the vehicle state with the process model and corrects it with
+// the deviation between measured and predicted values through the Kalman
+// gain. This implementation uses the numerically stable Joseph-form
+// covariance update and symmetrizes P after every step.
+#pragma once
+
+#include <functional>
+
+#include "math/matrix.hpp"
+
+namespace rge::math {
+
+/// Nonlinear process model x' = f(x, u) with Jacobian F = df/dx and process
+/// noise covariance Q. The control u carries exogenous measured inputs
+/// (e.g. the accelerometer sample in the gradient filter).
+struct ProcessModel {
+  std::function<Vec(const Vec& x, const Vec& u)> f;
+  std::function<Mat(const Vec& x, const Vec& u)> jacobian;
+  Mat q;  ///< process noise covariance (n x n)
+};
+
+/// Nonlinear measurement model z = h(x) with Jacobian H = dh/dx and
+/// measurement noise covariance R.
+struct MeasurementModel {
+  std::function<Vec(const Vec& x)> h;
+  std::function<Mat(const Vec& x)> jacobian;
+  Mat r;  ///< measurement noise covariance (m x m)
+};
+
+/// Result of an update step, useful for gating and diagnostics.
+struct UpdateResult {
+  Vec innovation;            ///< z - h(x_pred)
+  Mat innovation_cov;        ///< S = H P H^T + R
+  double nis = 0.0;          ///< normalized innovation squared, y^T S^-1 y
+  bool accepted = true;      ///< false when rejected by the gate
+};
+
+class ExtendedKalmanFilter {
+ public:
+  ExtendedKalmanFilter(Vec initial_state, Mat initial_cov);
+
+  const Vec& state() const { return x_; }
+  const Mat& covariance() const { return p_; }
+  std::size_t dim() const { return x_.size(); }
+
+  void set_state(Vec x, Mat p);
+
+  /// Propagate the state through the process model.
+  void predict(const ProcessModel& model, const Vec& u);
+
+  /// Correct with a measurement. If `gate_nis > 0`, measurements whose
+  /// normalized innovation squared exceeds the gate are rejected (the state
+  /// is left at the prediction) — this is how GPS glitches are survived.
+  UpdateResult update(const MeasurementModel& model, const Vec& z,
+                      double gate_nis = 0.0);
+
+ private:
+  Vec x_;
+  Mat p_;
+};
+
+}  // namespace rge::math

@@ -1,0 +1,46 @@
+// LOESS / LOWESS local regression (Cleveland-style), the smoother the paper
+// cites ([16] Loader, "Local regression and likelihood") to clean steering
+// rate profiles before bump detection (Fig. 4).
+//
+// For each query point the smoother fits a weighted low-degree polynomial to
+// the `span` nearest neighbours using tricube weights, optionally with
+// robustifying iterations that downweight outliers (bisquare).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rge::math {
+
+struct LoessConfig {
+  /// Fraction of points used in each local fit, in (0, 1].
+  double span = 0.3;
+  /// Local polynomial degree: 1 (linear) or 2 (quadratic).
+  int degree = 1;
+  /// Number of robustifying reweight iterations (0 = plain least squares).
+  int robust_iterations = 0;
+};
+
+class LoessSmoother {
+ public:
+  explicit LoessSmoother(LoessConfig cfg);
+
+  /// Smooth y(x) and return fitted values at every x. x must be sorted
+  /// ascending (ties allowed); sizes must match, >= 2 points required.
+  std::vector<double> fit(std::span<const double> x,
+                          std::span<const double> y) const;
+
+  /// Convenience for uniformly sampled series: x = 0,1,2,...
+  std::vector<double> fit_uniform(std::span<const double> y) const;
+
+  const LoessConfig& config() const { return cfg_; }
+
+ private:
+  double fit_at(std::span<const double> x, std::span<const double> y,
+                std::span<const double> robustness, std::size_t i) const;
+
+  LoessConfig cfg_;
+};
+
+}  // namespace rge::math

@@ -1,0 +1,159 @@
+// Dense dynamic-size matrix and vector algebra.
+//
+// The estimation stack (EKF, track fusion, LOESS) only needs small dense
+// matrices (typically 2x2 .. 6x6), so this module favours clarity and
+// numerical robustness over blocking/vectorization tricks. All operations
+// validate dimensions and throw std::invalid_argument on mismatch; singular
+// systems throw rge::math::SingularMatrixError.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rge::math {
+
+/// Thrown when an inversion/factorization meets a (numerically) singular
+/// or non-positive-definite matrix.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  explicit SingularMatrixError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Dense column vector of doubles.
+class Vec {
+ public:
+  Vec() = default;
+  explicit Vec(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+  Vec(std::initializer_list<double> init) : data_(init) {}
+
+  static Vec zeros(std::size_t n) { return Vec(n, 0.0); }
+  static Vec ones(std::size_t n) { return Vec(n, 1.0); }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+  /// Bounds-checked access.
+  double& at(std::size_t i) { return data_.at(i); }
+  double at(std::size_t i) const { return data_.at(i); }
+
+  const std::vector<double>& raw() const { return data_; }
+
+  Vec& operator+=(const Vec& o);
+  Vec& operator-=(const Vec& o);
+  Vec& operator*=(double s);
+  Vec& operator/=(double s);
+
+  friend Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend Vec operator*(Vec a, double s) { return a *= s; }
+  friend Vec operator*(double s, Vec a) { return a *= s; }
+  friend Vec operator/(Vec a, double s) { return a /= s; }
+  friend Vec operator-(Vec a) { return a *= -1.0; }
+
+  double dot(const Vec& o) const;
+  /// Euclidean norm.
+  double norm() const;
+  /// Largest absolute component; 0 for the empty vector.
+  double inf_norm() const;
+
+  bool operator==(const Vec& o) const = default;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Dense row-major matrix of doubles.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Row-by-row construction: Mat m{{1,2},{3,4}};
+  Mat(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Mat zeros(std::size_t rows, std::size_t cols) {
+    return Mat(rows, cols, 0.0);
+  }
+  static Mat identity(std::size_t n);
+  /// Square matrix with `d` on the diagonal.
+  static Mat diag(const Vec& d);
+  /// Column matrix view of a vector (n x 1).
+  static Mat column(const Vec& v);
+  /// Row matrix view of a vector (1 x n).
+  static Mat row(const Vec& v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  bool square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  /// Bounds-checked access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  Mat& operator+=(const Mat& o);
+  Mat& operator-=(const Mat& o);
+  Mat& operator*=(double s);
+  Mat& operator/=(double s);
+
+  friend Mat operator+(Mat a, const Mat& b) { return a += b; }
+  friend Mat operator-(Mat a, const Mat& b) { return a -= b; }
+  friend Mat operator*(Mat a, double s) { return a *= s; }
+  friend Mat operator*(double s, Mat a) { return a *= s; }
+  friend Mat operator/(Mat a, double s) { return a /= s; }
+  friend Mat operator-(Mat a) { return a *= -1.0; }
+
+  Mat operator*(const Mat& o) const;
+  Vec operator*(const Vec& v) const;
+
+  Mat transpose() const;
+  double trace() const;
+  /// Frobenius norm.
+  double norm() const;
+
+  /// Gauss-Jordan inverse with partial pivoting. Throws SingularMatrixError.
+  Mat inverse() const;
+  /// Determinant via LU with partial pivoting; 0-size matrix has det 1.
+  double determinant() const;
+  /// Lower Cholesky factor L with A = L*L^T. Throws SingularMatrixError if
+  /// the matrix is not (numerically) symmetric positive definite.
+  Mat cholesky() const;
+  /// Solve A*x = b via LU with partial pivoting. Throws SingularMatrixError.
+  Vec solve(const Vec& b) const;
+  /// Solve A*X = B column-by-column.
+  Mat solve(const Mat& b) const;
+
+  /// True if max |a_ij - b_ij| <= tol (same shape required).
+  bool approx_equal(const Mat& o, double tol = 1e-12) const;
+  /// Symmetrize in place: A <- (A + A^T)/2. Requires square.
+  void symmetrize();
+
+  bool operator==(const Mat& o) const = default;
+
+ private:
+  void check_same_shape(const Mat& o, const char* op) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Outer product a * b^T.
+Mat outer(const Vec& a, const Vec& b);
+
+/// Quadratic form x^T * A * x (A square, dims must match).
+double quadratic_form(const Mat& a, const Vec& x);
+
+}  // namespace rge::math

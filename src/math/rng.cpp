@@ -1,0 +1,36 @@
+#include "math/rng.hpp"
+
+#include <cmath>
+#include <functional>
+
+namespace rge::math {
+
+Rng Rng::fork(std::string_view tag) const {
+  return fork(std::hash<std::string_view>{}(tag));
+}
+
+double DriftProcess::step(double dt, Rng& rng) {
+  if (dt <= 0.0) return value_;
+  if (tau_ <= 0.0) {
+    // Pure random walk: variance grows linearly with time.
+    value_ += sigma_ * std::sqrt(dt) * rng.gaussian();
+  } else {
+    // Exact discretization of the Ornstein-Uhlenbeck process.
+    const double phi = std::exp(-dt / tau_);
+    const double inc_sigma = sigma_ * std::sqrt(1.0 - phi * phi);
+    value_ = phi * value_ + inc_sigma * rng.gaussian();
+  }
+  return value_;
+}
+
+double SensorNoise::corrupt(double true_value, double dt) {
+  const double bias = drift_.step(dt, rng_);
+  double out = true_value + cfg_.constant_bias + bias;
+  if (cfg_.white_sigma > 0.0) out += cfg_.white_sigma * rng_.gaussian();
+  if (cfg_.quantization > 0.0) {
+    out = std::round(out / cfg_.quantization) * cfg_.quantization;
+  }
+  return out;
+}
+
+}  // namespace rge::math

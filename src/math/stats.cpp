@@ -1,0 +1,188 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rge::math {
+
+namespace {
+
+void check_same_size(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("stats: series size mismatch");
+  }
+}
+
+}  // namespace
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 1) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("percentile: p outside [0,1]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 0.5); }
+
+double mae(std::span<const double> est, std::span<const double> truth) {
+  check_same_size(est, truth);
+  if (est.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    acc += std::abs(est[i] - truth[i]);
+  }
+  return acc / static_cast<double>(est.size());
+}
+
+double rmse(std::span<const double> est, std::span<const double> truth) {
+  check_same_size(est, truth);
+  if (est.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    const double e = est[i] - truth[i];
+    acc += e * e;
+  }
+  return std::sqrt(acc / static_cast<double>(est.size()));
+}
+
+double max_abs_error(std::span<const double> est,
+                     std::span<const double> truth) {
+  check_same_size(est, truth);
+  double m = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    m = std::max(m, std::abs(est[i] - truth[i]));
+  }
+  return m;
+}
+
+double bias(std::span<const double> est, std::span<const double> truth) {
+  check_same_size(est, truth);
+  if (est.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i) acc += est[i] - truth[i];
+  return acc / static_cast<double>(est.size());
+}
+
+double mre(std::span<const double> est, std::span<const double> truth) {
+  check_same_size(est, truth);
+  if (est.empty()) return 0.0;
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    num += std::abs(est[i] - truth[i]);
+    den += std::abs(truth[i]);
+  }
+  if (den == 0.0) {
+    return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return num / den;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::prob_below(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::value_at(double p) const {
+  if (sorted_.empty()) {
+    throw std::logic_error("EmpiricalCdf::value_at on empty CDF");
+  }
+  return percentile(sorted_, p);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t n) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || n == 0) return out;
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        n == 1 ? lo
+               : lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(n - 1);
+    out.emplace_back(x, prob_below(x));
+  }
+  return out;
+}
+
+Histogram make_histogram(std::span<const double> xs, std::size_t bins) {
+  Histogram h;
+  if (xs.empty() || bins == 0) return h;
+  h.lo = min_value(xs);
+  h.hi = max_value(xs);
+  h.counts.assign(bins, 0);
+  h.total = xs.size();
+  const double width = (h.hi - h.lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    std::size_t b =
+        width <= 0.0
+            ? 0
+            : static_cast<std::size_t>((x - h.lo) / width);
+    if (b >= bins) b = bins - 1;
+    ++h.counts[b];
+  }
+  return h;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace rge::math

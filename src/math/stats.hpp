@@ -1,0 +1,95 @@
+// Descriptive statistics, empirical CDFs, and the error metrics used by the
+// paper's evaluation (MAE, RMSE, MRE).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rge::math {
+
+double mean(std::span<const double> xs);
+/// Population variance (divides by n). Returns 0 for n < 1.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+double median(std::span<const double> xs);
+/// Linear-interpolated percentile; p in [0,1]. Throws on empty input.
+double percentile(std::span<const double> xs, double p);
+
+/// Mean absolute error between two equally sized series.
+double mae(std::span<const double> est, std::span<const double> truth);
+/// Root mean squared error between two equally sized series.
+double rmse(std::span<const double> est, std::span<const double> truth);
+/// Largest absolute error.
+double max_abs_error(std::span<const double> est,
+                     std::span<const double> truth);
+/// Mean signed error (estimate minus truth).
+double bias(std::span<const double> est, std::span<const double> truth);
+/// Mean Relative Error as used in our evaluation: mean(|est-truth|) divided
+/// by mean(|truth|). This normalized form is stable where the truth crosses
+/// zero (pointwise relative error would blow up). Returns +inf if the truth
+/// is identically zero but errors are not.
+double mre(std::span<const double> est, std::span<const double> truth);
+
+/// Empirical cumulative distribution function over a sample.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  /// P(X <= x) under the empirical distribution.
+  double prob_below(double x) const;
+  /// Quantile: smallest sample value v with P(X <= v) >= p, with linear
+  /// interpolation between order statistics. p in [0,1].
+  double value_at(double p) const;
+  double median() const { return value_at(0.5); }
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  /// Evaluate the CDF at `n` evenly spaced points spanning the sample range;
+  /// returns (x, F(x)) pairs, convenient for printing figure series.
+  std::vector<std::pair<double, double>> curve(std::size_t n) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Equal-width histogram.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+  std::size_t total = 0;
+
+  double bin_width() const {
+    return counts.empty() ? 0.0 : (hi - lo) / static_cast<double>(counts.size());
+  }
+};
+
+Histogram make_histogram(std::span<const double> xs, std::size_t bins);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance.
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rge::math

@@ -1,0 +1,171 @@
+#include "planning/route_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "math/angles.hpp"
+#include "math/rng.hpp"
+
+namespace rge::planning {
+
+RouteGraph::RouteGraph(std::size_t node_count) : adjacency_(node_count) {}
+
+std::size_t RouteGraph::add_edge(Edge edge) {
+  if (edge.from >= node_count() || edge.to >= node_count()) {
+    throw std::invalid_argument("RouteGraph::add_edge: bad endpoints");
+  }
+  if (edge.length_m <= 0.0 || edge.grades.empty() ||
+      edge.grade_step_m <= 0.0) {
+    throw std::invalid_argument("RouteGraph::add_edge: bad edge payload");
+  }
+  const std::size_t idx = edges_.size();
+  adjacency_[edge.from].push_back(idx);
+  edges_.push_back(std::move(edge));
+  return idx;
+}
+
+void RouteGraph::add_bidirectional(const Edge& forward) {
+  add_edge(forward);
+  Edge back = forward;
+  std::swap(back.from, back.to);
+  std::reverse(back.grades.begin(), back.grades.end());
+  for (double& g : back.grades) g = -g;
+  add_edge(std::move(back));
+}
+
+RouteGraph::Route RouteGraph::shortest_path(std::size_t from, std::size_t to,
+                                            const CostFn& cost) const {
+  if (from >= node_count() || to >= node_count()) {
+    throw std::invalid_argument("RouteGraph::shortest_path: bad endpoints");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(node_count(), kInf);
+  std::vector<std::size_t> via_edge(node_count(),
+                                    std::numeric_limits<std::size_t>::max());
+
+  using Item = std::pair<double, std::size_t>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[from] = 0.0;
+  queue.emplace(0.0, from);
+
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    if (d > dist[node]) continue;
+    if (node == to) break;
+    for (const std::size_t ei : adjacency_[node]) {
+      const Edge& e = edges_[ei];
+      const double c = cost(e);
+      if (c < 0.0) {
+        throw std::logic_error("RouteGraph: negative edge cost");
+      }
+      if (d + c < dist[e.to]) {
+        dist[e.to] = d + c;
+        via_edge[e.to] = ei;
+        queue.emplace(dist[e.to], e.to);
+      }
+    }
+  }
+
+  Route route;
+  if (dist[to] == kInf) return route;
+  route.found = true;
+  route.cost = dist[to];
+  // Backtrack.
+  std::size_t node = to;
+  while (node != from) {
+    const std::size_t ei = via_edge[node];
+    route.edges.push_back(ei);
+    route.nodes.push_back(node);
+    route.length_m += edges_[ei].length_m;
+    node = edges_[ei].from;
+  }
+  route.nodes.push_back(from);
+  std::reverse(route.nodes.begin(), route.nodes.end());
+  std::reverse(route.edges.begin(), route.edges.end());
+  return route;
+}
+
+double edge_cost_distance(const Edge& e) { return e.length_m; }
+
+double edge_cost_time(const Edge& e, double speed_mps) {
+  if (speed_mps <= 0.0) {
+    throw std::invalid_argument("edge_cost_time: speed must be > 0");
+  }
+  return e.length_m / speed_mps;
+}
+
+double edge_cost_fuel(const Edge& e, double speed_mps,
+                      const emissions::VspParams& vsp) {
+  if (speed_mps <= 0.0) {
+    throw std::invalid_argument("edge_cost_fuel: speed must be > 0");
+  }
+  double fuel = 0.0;
+  const double step = e.length_m / static_cast<double>(e.grades.size());
+  for (double g : e.grades) {
+    fuel += emissions::fuel_used_gal(speed_mps, 0.0, g, step / speed_mps,
+                                     vsp);
+  }
+  return fuel;
+}
+
+RouteGraph make_grid_city(std::size_t rows, std::size_t cols, double block_m,
+                          std::uint64_t seed) {
+  if (rows < 2 || cols < 2 || block_m <= 0.0) {
+    throw std::invalid_argument("make_grid_city: bad dimensions");
+  }
+  RouteGraph g(rows * cols);
+  math::Rng rng = math::Rng(seed).fork("grid-city");
+
+  auto node_id = [cols](std::size_t r, std::size_t c) {
+    return r * cols + c;
+  };
+  // Terrain: a conservative elevation field over the intersections (no
+  // free energy from looping). A Gaussian hill sits on the (0, 0) corner
+  // with steep flanks (~2-4 degree street grades); the opposite corner is
+  // flat. Per-node jitter adds local relief.
+  auto hilliness = [&](std::size_t r, std::size_t c) {
+    const double fr = static_cast<double>(r) / (rows - 1);
+    const double fc = static_cast<double>(c) / (cols - 1);
+    return std::exp(-(fr * fr + fc * fc) / 0.25);
+  };
+  std::vector<double> elevation(rows * cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double h = hilliness(r, c);
+      elevation[node_id(r, c)] = 70.0 * h + rng.uniform(-4.0, 4.0) * h;
+    }
+  }
+
+  const double step = 25.0;
+  const auto samples = static_cast<std::size_t>(
+      std::max(1.0, std::round(block_m / step)));
+
+  int edge_idx = 0;
+  auto add_street = [&](std::size_t r1, std::size_t c1, std::size_t r2,
+                        std::size_t c2) {
+    const double dz = elevation[node_id(r2, c2)] - elevation[node_id(r1, c1)];
+    const double grade = std::asin(std::clamp(dz / block_m, -0.12, 0.12));
+    Edge e;
+    e.from = node_id(r1, c1);
+    e.to = node_id(r2, c2);
+    e.length_m = block_m;
+    e.grade_step_m = block_m / static_cast<double>(samples);
+    e.grades.assign(samples, grade);
+    e.name = "street-" + std::to_string(edge_idx++);
+    g.add_bidirectional(e);
+  };
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) add_street(r, c, r, c + 1);
+      if (r + 1 < rows) add_street(r, c, r + 1, c);
+    }
+  }
+  return g;
+}
+
+}  // namespace rge::planning

@@ -1,0 +1,85 @@
+// Road-network routing graph for gradient-aware route planning — the
+// second application the paper's introduction motivates ("driving route
+// planning ... especially for the roads with large road gradient").
+//
+// Nodes are intersections; directed edges carry a length and a gradient
+// profile (from the estimation pipeline or ground truth). Edge costs are
+// pluggable: distance, travel time, or VSP fuel with gradients. Shortest
+// paths via Dijkstra.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "emissions/vsp.hpp"
+
+namespace rge::planning {
+
+struct Edge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double length_m = 0.0;
+  /// Gradient (rad) sampled every `grade_step_m` along the edge, in the
+  /// from->to direction. Reverse edges must carry negated samples.
+  std::vector<double> grades;
+  double grade_step_m = 25.0;
+  std::string name;
+};
+
+class RouteGraph {
+ public:
+  /// @param node_count number of intersections
+  explicit RouteGraph(std::size_t node_count);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Add a directed edge; returns its index.
+  /// @throws std::invalid_argument on bad endpoints or empty profiles.
+  std::size_t add_edge(Edge edge);
+  /// Add both directions with mirrored (negated, reversed) gradients.
+  void add_bidirectional(const Edge& forward);
+
+  const Edge& edge(std::size_t idx) const { return edges_.at(idx); }
+  const std::vector<std::size_t>& out_edges(std::size_t node) const {
+    return adjacency_.at(node);
+  }
+
+  /// Edge cost function: maps an edge to a nonnegative cost.
+  using CostFn = std::function<double(const Edge&)>;
+
+  struct Route {
+    std::vector<std::size_t> nodes;
+    std::vector<std::size_t> edges;
+    double cost = 0.0;
+    double length_m = 0.0;
+    bool found = false;
+  };
+
+  /// Dijkstra shortest path under the given cost.
+  /// @throws std::invalid_argument on out-of-range endpoints.
+  Route shortest_path(std::size_t from, std::size_t to,
+                      const CostFn& cost) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+/// Cost functions.
+double edge_cost_distance(const Edge& e);
+/// Travel time at a constant cruise speed (s).
+double edge_cost_time(const Edge& e, double speed_mps);
+/// VSP fuel (gallons) at a constant cruise speed using the edge's grades.
+double edge_cost_fuel(const Edge& e, double speed_mps,
+                      const emissions::VspParams& vsp = {});
+
+/// Synthetic grid city: rows x cols intersections, ~block_m apart, every
+/// street segment an edge pair with a seeded random gradient profile
+/// (hilly in one corner, flat in the other). Deterministic per seed.
+RouteGraph make_grid_city(std::size_t rows, std::size_t cols,
+                          double block_m, std::uint64_t seed);
+
+}  // namespace rge::planning

@@ -1,0 +1,186 @@
+#include "planning/velocity_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rge::planning {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate(const std::vector<double>& grades,
+              const VelocityOptimizerConfig& cfg) {
+  if (grades.empty()) {
+    throw std::invalid_argument("optimize_velocity: empty gradient profile");
+  }
+  if (cfg.distance_step_m <= 0.0) {
+    throw std::invalid_argument("optimize_velocity: step must be > 0");
+  }
+  if (cfg.speed_bins < 2 || cfg.speed_min_mps <= 0.0 ||
+      cfg.speed_max_mps <= cfg.speed_min_mps) {
+    throw std::invalid_argument("optimize_velocity: bad speed grid");
+  }
+  if (cfg.max_accel <= 0.0 || cfg.max_decel >= 0.0) {
+    throw std::invalid_argument("optimize_velocity: bad accel bounds");
+  }
+}
+
+/// Cost of traversing one step from v1 to v2 on the given grade; returns
+/// {cost, fuel, dt} or infinite cost if the transition violates the
+/// acceleration bounds.
+struct ArcCost {
+  double cost = kInf;
+  double fuel = 0.0;
+  double dt = 0.0;
+};
+
+ArcCost arc_cost(double v1, double v2, double grade, double ds,
+                 const VelocityOptimizerConfig& cfg) {
+  const double accel = (v2 * v2 - v1 * v1) / (2.0 * ds);
+  if (accel > cfg.max_accel || accel < cfg.max_decel) return {};
+  const double v_avg = 0.5 * (v1 + v2);
+  ArcCost out;
+  out.dt = ds / v_avg;
+  out.fuel =
+      emissions::fuel_used_gal(v_avg, accel, grade, out.dt, cfg.vsp);
+  out.cost = out.fuel + cfg.time_weight_gal_per_h * out.dt / 3600.0;
+  return out;
+}
+
+}  // namespace
+
+VelocityPlan optimize_velocity(const std::vector<double>& grades,
+                               double initial_speed,
+                               const VelocityOptimizerConfig& cfg) {
+  validate(grades, cfg);
+
+  const std::size_t n_nodes = grades.size() + 1;
+  const std::size_t bins = cfg.speed_bins;
+  std::vector<double> grid(bins);
+  for (std::size_t k = 0; k < bins; ++k) {
+    grid[k] = cfg.speed_min_mps +
+              (cfg.speed_max_mps - cfg.speed_min_mps) *
+                  static_cast<double>(k) / static_cast<double>(bins - 1);
+  }
+
+  // cost[node * bins + k], parent bin index for backtracking.
+  std::vector<double> cost(n_nodes * bins, kInf);
+  std::vector<std::size_t> parent(n_nodes * bins, 0);
+  std::vector<double> arc_fuel(n_nodes * bins, 0.0);
+  std::vector<double> arc_dt(n_nodes * bins, 0.0);
+
+  // Entry state: the grid bin nearest the (clamped) initial speed.
+  const double v0 =
+      std::clamp(initial_speed, cfg.speed_min_mps, cfg.speed_max_mps);
+  std::size_t k0 = 0;
+  for (std::size_t k = 1; k < bins; ++k) {
+    if (std::abs(grid[k] - v0) < std::abs(grid[k0] - v0)) k0 = k;
+  }
+  cost[k0] = 0.0;
+
+  for (std::size_t i = 0; i + 1 < n_nodes; ++i) {
+    for (std::size_t k1 = 0; k1 < bins; ++k1) {
+      const double c1 = cost[i * bins + k1];
+      if (c1 == kInf) continue;
+      for (std::size_t k2 = 0; k2 < bins; ++k2) {
+        const ArcCost arc = arc_cost(grid[k1], grid[k2], grades[i],
+                                     cfg.distance_step_m, cfg);
+        if (arc.cost == kInf) continue;
+        const std::size_t idx = (i + 1) * bins + k2;
+        if (c1 + arc.cost < cost[idx]) {
+          cost[idx] = c1 + arc.cost;
+          parent[idx] = k1;
+          arc_fuel[idx] = arc.fuel;
+          arc_dt[idx] = arc.dt;
+        }
+      }
+    }
+  }
+
+  // Best terminal bin.
+  const std::size_t last = n_nodes - 1;
+  std::size_t k_best = 0;
+  for (std::size_t k = 1; k < bins; ++k) {
+    if (cost[last * bins + k] < cost[last * bins + k_best]) k_best = k;
+  }
+  if (cost[last * bins + k_best] == kInf) {
+    throw std::runtime_error(
+        "optimize_velocity: no feasible profile (accel bounds too tight "
+        "for the speed grid / step size)");
+  }
+
+  // Backtrack.
+  VelocityPlan plan;
+  plan.s.resize(n_nodes);
+  plan.speed.resize(n_nodes);
+  std::size_t k = k_best;
+  for (std::size_t node = n_nodes; node-- > 0;) {
+    plan.s[node] = static_cast<double>(node) * cfg.distance_step_m;
+    plan.speed[node] = grid[k];
+    if (node > 0) {
+      const std::size_t idx = node * bins + k;
+      plan.fuel_gal += arc_fuel[idx];
+      plan.duration_s += arc_dt[idx];
+      k = parent[idx];
+    }
+  }
+  return plan;
+}
+
+VelocityPlan optimize_velocity_with_time_budget(
+    const std::vector<double>& grades, double initial_speed,
+    double target_duration_s, const VelocityOptimizerConfig& cfg,
+    double tolerance_s) {
+  if (target_duration_s <= 0.0) {
+    throw std::invalid_argument(
+        "optimize_velocity_with_time_budget: bad target duration");
+  }
+  // Duration decreases monotonically with the time weight; bisect.
+  double lo = 0.0;
+  double hi = 200.0;
+  VelocityOptimizerConfig work = cfg;
+  VelocityPlan best;
+  double best_gap = kInf;
+  for (int iter = 0; iter < 40; ++iter) {
+    work.time_weight_gal_per_h = 0.5 * (lo + hi);
+    const VelocityPlan plan = optimize_velocity(grades, initial_speed, work);
+    const double gap = std::abs(plan.duration_s - target_duration_s);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = plan;
+    }
+    if (gap <= tolerance_s) break;
+    if (plan.duration_s > target_duration_s) {
+      lo = work.time_weight_gal_per_h;  // too slow: value time more
+    } else {
+      hi = work.time_weight_gal_per_h;
+    }
+  }
+  return best;
+}
+
+VelocityPlan constant_speed_plan(const std::vector<double>& grades,
+                                 double speed,
+                                 const VelocityOptimizerConfig& cfg) {
+  validate(grades, cfg);
+  if (speed <= 0.0) {
+    throw std::invalid_argument("constant_speed_plan: speed must be > 0");
+  }
+  VelocityPlan plan;
+  plan.s.resize(grades.size() + 1);
+  plan.speed.assign(grades.size() + 1, speed);
+  for (std::size_t i = 0; i <= grades.size(); ++i) {
+    plan.s[i] = static_cast<double>(i) * cfg.distance_step_m;
+  }
+  for (double g : grades) {
+    const double dt = cfg.distance_step_m / speed;
+    plan.fuel_gal += emissions::fuel_used_gal(speed, 0.0, g, dt, cfg.vsp);
+    plan.duration_s += dt;
+  }
+  return plan;
+}
+
+}  // namespace rge::planning

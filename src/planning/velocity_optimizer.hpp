@@ -1,0 +1,66 @@
+// Fuel-optimal velocity profile over a known gradient profile.
+//
+// The paper's introduction motivates gradient estimation with "vehicle
+// velocity optimization and driving route planning" (its refs [20], [35],
+// [36]). This module implements the velocity half: a dynamic program over
+// a distance/speed grid that minimizes VSP fuel plus a value-of-time term,
+// subject to speed limits and comfort acceleration bounds. Gradients come
+// from the estimation pipeline (or ground truth, for comparison).
+//
+// DP formulation: states are (distance node i, speed bin k); transitions
+// move one distance step ds with constant acceleration between grid
+// speeds; arc cost = fuel burned + time_weight * elapsed time. The optimal
+// profile is recovered by backtracking from the best terminal state.
+#pragma once
+
+#include <vector>
+
+#include "emissions/vsp.hpp"
+
+namespace rge::planning {
+
+struct VelocityOptimizerConfig {
+  double distance_step_m = 25.0;
+  double speed_min_mps = 3.0;
+  double speed_max_mps = 20.0;    ///< default urban cap (~72 km/h)
+  std::size_t speed_bins = 18;
+  double max_accel = 1.2;         ///< comfort bounds (m/s^2)
+  double max_decel = -1.8;
+  /// Value of time in gallons/hour: trading one hour of travel time is
+  /// worth this much fuel. 0 = pure fuel minimum (crawls at speed_min).
+  double time_weight_gal_per_h = 1.1;
+  emissions::VspParams vsp;
+};
+
+struct VelocityPlan {
+  std::vector<double> s;        ///< distance nodes (m)
+  std::vector<double> speed;    ///< planned speed at each node (m/s)
+  double fuel_gal = 0.0;        ///< fuel for the planned profile
+  double duration_s = 0.0;      ///< travel time for the planned profile
+};
+
+/// Optimize over a gradient profile sampled per distance step.
+/// @param grade_by_step gradient (rad) at each distance_step_m interval;
+///                      the route length is grade_by_step.size() * step.
+/// @param initial_speed entry speed (clamped into the grid).
+/// @throws std::invalid_argument on empty profiles or malformed configs.
+VelocityPlan optimize_velocity(const std::vector<double>& grade_by_step,
+                               double initial_speed,
+                               const VelocityOptimizerConfig& cfg = {});
+
+/// Fuel + duration of driving the same profile at one constant speed
+/// (the baseline the optimizer is compared against).
+VelocityPlan constant_speed_plan(const std::vector<double>& grade_by_step,
+                                 double speed,
+                                 const VelocityOptimizerConfig& cfg = {});
+
+/// Isochronous optimization: bisect the time weight until the optimized
+/// plan's duration is within `tolerance_s` of `target_duration_s` (or the
+/// closest achievable), then return that plan. This makes "fuel saved vs
+/// constant cruise" comparisons fair: same trip time, less fuel.
+VelocityPlan optimize_velocity_with_time_budget(
+    const std::vector<double>& grade_by_step, double initial_speed,
+    double target_duration_s, const VelocityOptimizerConfig& cfg = {},
+    double tolerance_s = 2.0);
+
+}  // namespace rge::planning

@@ -1,0 +1,228 @@
+#include "road/geometry_io.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "math/angles.hpp"
+#include "math/interp.hpp"
+
+namespace rge::road {
+
+Road road_from_geometry(const std::vector<math::GeoPoint>& points,
+                        const std::vector<int>& lanes,
+                        const GeometryImportOptions& opts) {
+  if (points.size() < 2) {
+    throw std::invalid_argument("road_from_geometry: needs >= 2 points");
+  }
+  if (!lanes.empty() && lanes.size() != points.size()) {
+    throw std::invalid_argument(
+        "road_from_geometry: lanes/points size mismatch");
+  }
+  if (opts.sample_spacing_m <= 0.0) {
+    throw std::invalid_argument("road_from_geometry: bad spacing");
+  }
+
+  // Project into the first point's tangent plane and accumulate 3-D arc
+  // length.
+  const math::LocalTangentPlane ltp(points.front());
+  std::vector<double> pe;
+  std::vector<double> pn;
+  std::vector<double> pu;
+  std::vector<double> ps;
+  pe.reserve(points.size());
+  for (const auto& p : points) {
+    const auto enu = ltp.to_enu(p);
+    if (!ps.empty()) {
+      const double d = std::sqrt(
+          (enu.east_m - pe.back()) * (enu.east_m - pe.back()) +
+          (enu.north_m - pn.back()) * (enu.north_m - pn.back()) +
+          (enu.up_m - pu.back()) * (enu.up_m - pu.back()));
+      if (d < 0.5) {
+        throw std::invalid_argument(
+            "road_from_geometry: consecutive points closer than 0.5 m");
+      }
+      ps.push_back(ps.back() + d);
+    } else {
+      ps.push_back(0.0);
+    }
+    pe.push_back(enu.east_m);
+    pn.push_back(enu.north_m);
+    pu.push_back(enu.up_m);
+  }
+
+  // Resample onto a uniform arc-length grid.
+  const math::LinearInterpolator ie(ps, pe);
+  const math::LinearInterpolator in_(ps, pn);
+  const math::LinearInterpolator iu(ps, pu);
+  const double total = ps.back();
+  const auto n_samples = static_cast<std::size_t>(
+                             std::floor(total / opts.sample_spacing_m)) +
+                         1;
+  if (n_samples < 2) {
+    throw std::invalid_argument(
+        "road_from_geometry: road shorter than one sample spacing");
+  }
+
+  std::vector<double> s(n_samples);
+  std::vector<double> east(n_samples);
+  std::vector<double> north(n_samples);
+  std::vector<double> elevation(n_samples);
+  std::vector<int> lane_at(n_samples, opts.default_lanes);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    s[i] = static_cast<double>(i) * opts.sample_spacing_m;
+    east[i] = ie(s[i]);
+    north[i] = in_(s[i]);
+    elevation[i] = iu(s[i]);
+    if (!lanes.empty()) {
+      // Nearest input point's lane count.
+      const auto it = std::lower_bound(ps.begin(), ps.end(), s[i]);
+      const auto idx = static_cast<std::size_t>(
+          it == ps.begin() ? 0 : (it - ps.begin()) - 1);
+      lane_at[i] = lanes[std::min(idx, lanes.size() - 1)];
+    }
+  }
+
+  // Headings (unwrapped) and grades by finite differences.
+  std::vector<double> heading(n_samples, 0.0);
+  std::vector<double> grade(n_samples, 0.0);
+  double prev_heading = 0.0;
+  for (std::size_t i = 0; i + 1 < n_samples; ++i) {
+    const double de = east[i + 1] - east[i];
+    const double dn = north[i + 1] - north[i];
+    const double du = elevation[i + 1] - elevation[i];
+    const double wrapped = std::atan2(dn, de);
+    const double unwrapped =
+        i == 0 ? wrapped
+               : prev_heading + math::angle_diff(wrapped, prev_heading);
+    heading[i] = unwrapped;
+    prev_heading = unwrapped;
+    const double ds = s[i + 1] - s[i];
+    grade[i] = std::asin(std::clamp(du / ds, -1.0, 1.0));
+  }
+  heading[n_samples - 1] = heading[n_samples - 2];
+  grade[n_samples - 1] = grade[n_samples - 2];
+  if (opts.grade_smooth_half > 0) {
+    grade = math::moving_average(grade, opts.grade_smooth_half);
+  }
+
+  // One section per contiguous lane-count run.
+  std::vector<SectionInfo> sections;
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= n_samples; ++i) {
+    if (i == n_samples || lane_at[i] != lane_at[run_start]) {
+      SectionInfo sec;
+      sec.start_s_m = s[run_start];
+      sec.end_s_m = i == n_samples ? s[n_samples - 1] : s[i];
+      double acc = 0.0;
+      for (std::size_t j = run_start; j < i; ++j) acc += grade[j];
+      sec.mean_grade_rad = acc / static_cast<double>(i - run_start);
+      sec.lanes = lane_at[run_start];
+      if (sec.end_s_m > sec.start_s_m) sections.push_back(sec);
+      run_start = i;
+    }
+  }
+
+  return Road(opts.name, std::move(s), std::move(east), std::move(north),
+              std::move(elevation), std::move(heading), std::move(grade),
+              std::move(lane_at), std::move(sections), points.front());
+}
+
+namespace {
+
+double parse_double(std::string_view sv, std::size_t line_no) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(sv.data(), sv.data() + sv.size(), value);
+  if (ec != std::errc{} || ptr != sv.data() + sv.size()) {
+    throw std::runtime_error("road CSV: bad number '" + std::string(sv) +
+                             "' at line " + std::to_string(line_no));
+  }
+  return value;
+}
+
+}  // namespace
+
+Road read_road_csv(std::istream& in, const GeometryImportOptions& opts) {
+  std::vector<math::GeoPoint> points;
+  std::vector<int> lanes;
+  bool any_lanes = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (line_no == 1 && line.find("latitude") != std::string::npos) {
+      continue;  // header
+    }
+    std::vector<std::string_view> fields;
+    std::string_view sv = line;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = sv.find(',', start);
+      if (comma == std::string_view::npos) {
+        fields.push_back(sv.substr(start));
+        break;
+      }
+      fields.push_back(sv.substr(start, comma - start));
+      start = comma + 1;
+    }
+    if (fields.size() != 3 && fields.size() != 4) {
+      throw std::runtime_error("road CSV: expected 3 or 4 fields at line " +
+                               std::to_string(line_no));
+    }
+    math::GeoPoint p;
+    p.latitude_deg = parse_double(fields[0], line_no);
+    p.longitude_deg = parse_double(fields[1], line_no);
+    p.altitude_m = parse_double(fields[2], line_no);
+    points.push_back(p);
+    if (fields.size() == 4) {
+      lanes.push_back(static_cast<int>(parse_double(fields[3], line_no)));
+      any_lanes = true;
+    } else {
+      lanes.push_back(opts.default_lanes);
+    }
+  }
+  if (!any_lanes) lanes.clear();
+  return road_from_geometry(points, lanes, opts);
+}
+
+Road read_road_csv_file(const std::string& path,
+                        const GeometryImportOptions& opts) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("road CSV: cannot open for read: " + path);
+  }
+  return read_road_csv(in, opts);
+}
+
+void write_road_csv(const Road& road, std::ostream& out, double spacing_m) {
+  if (spacing_m <= 0.0) {
+    throw std::invalid_argument("write_road_csv: bad spacing");
+  }
+  out << "latitude_deg,longitude_deg,altitude_m,lanes\n";
+  out << std::setprecision(17);
+  for (double s = 0.0; s <= road.length_m(); s += spacing_m) {
+    const auto p = road.geo_at(s);
+    out << p.latitude_deg << ',' << p.longitude_deg << ',' << p.altitude_m
+        << ',' << road.lanes_at(s) << '\n';
+  }
+}
+
+void write_road_csv_file(const Road& road, const std::string& path,
+                         double spacing_m) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("road CSV: cannot open for write: " + path);
+  }
+  write_road_csv(road, out, spacing_m);
+}
+
+}  // namespace rge::road

@@ -1,0 +1,56 @@
+// Road geometry import: build a Road from a surveyed geodetic polyline.
+//
+// Deployments do not generate roads — they have GPS traces or GIS
+// centerlines. This module converts a polyline of (latitude, longitude,
+// altitude[, lanes]) points into the library's Road representation: points
+// are projected into the first point's tangent plane, resampled to a
+// uniform arc-length grid, headings/grades derived by finite differences,
+// and the grade profile optionally smoothed (survey altitude noise
+// differentiates badly, the same effect Section III-D manages with its
+// segment length).
+//
+// CSV format, one point per line (header line optional, '#' comments ok):
+//   latitude_deg,longitude_deg,altitude_m[,lanes]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "math/geodesy.hpp"
+#include "road/road.hpp"
+
+namespace rge::road {
+
+struct GeometryImportOptions {
+  /// Resampling spacing of the produced Road (m).
+  double sample_spacing_m = 1.0;
+  /// Half-window (in samples) of the moving-average grade smoothing;
+  /// 0 disables.
+  std::size_t grade_smooth_half = 8;
+  /// Default lane count when the input has no lanes column.
+  int default_lanes = 1;
+  std::string name = "imported-road";
+};
+
+/// Build a Road from geodetic points (>= 2 points, consecutive points must
+/// be > 0.5 m apart after projection).
+/// @throws std::invalid_argument on degenerate inputs.
+Road road_from_geometry(const std::vector<math::GeoPoint>& points,
+                        const std::vector<int>& lanes = {},
+                        const GeometryImportOptions& opts = {});
+
+/// Parse the CSV format above and build the Road.
+/// @throws std::runtime_error on malformed input.
+Road read_road_csv(std::istream& in, const GeometryImportOptions& opts = {});
+Road read_road_csv_file(const std::string& path,
+                        const GeometryImportOptions& opts = {});
+
+/// Export a Road's centerline back to the same CSV (lat,lon,alt,lanes at
+/// the given spacing) — the round-trip partner of read_road_csv.
+void write_road_csv(const Road& road, std::ostream& out,
+                    double spacing_m = 10.0);
+void write_road_csv_file(const Road& road, const std::string& path,
+                         double spacing_m = 10.0);
+
+}  // namespace rge::road

@@ -1,0 +1,148 @@
+#include "road/network.hpp"
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "math/angles.hpp"
+#include "math/rng.hpp"
+
+namespace rge::road {
+
+using math::deg2rad;
+using math::Rng;
+
+double RoadNetwork::total_length_m() const {
+  double total = 0.0;
+  for (const auto& r : roads_) total += r.road.length_m();
+  return total;
+}
+
+Road make_table3_route(std::uint64_t seed) {
+  Rng rng = Rng(seed).fork("table3-route");
+
+  // Table III: seven sections, signs + - + - + - +, lanes 1 1 1 1 2 2 1.
+  constexpr std::array<int, 7> kSigns = {+1, -1, +1, -1, +1, -1, +1};
+  constexpr std::array<int, 7> kLanes = {1, 1, 1, 1, 2, 2, 1};
+  // Section lengths summing to 2160 m (paper: total 2.16 km).
+  constexpr std::array<double, 7> kLengths = {260.0, 300.0, 340.0, 320.0,
+                                              360.0, 330.0, 250.0};
+
+  RoadBuilder b("table3-red-route", 1.0);
+  b.set_anchor(math::GeoPoint{38.0336, -78.5080, 140.0});
+  b.set_initial_heading(deg2rad(20.0));
+
+  double prev_grade = 0.0;
+  for (std::size_t i = 0; i < kSigns.size(); ++i) {
+    const double magnitude = deg2rad(rng.uniform(1.5, 4.5));
+    const double grade = kSigns[i] * magnitude;
+    // Gentle meandering so the route is not a perfect straight line; kept
+    // well below lane-change steering levels.
+    const double wiggle = deg2rad(rng.uniform(-12.0, 12.0));
+    // Grade transitions happen over a short ramp; the bulk of the section
+    // holds a constant grade (vertical-curve-then-tangent road design).
+    const double ramp = std::min(110.0, kLengths[i] * 0.4);
+    b.add_section(SectionSpec{ramp, prev_grade, grade, wiggle * 0.2,
+                              kLanes[i]});
+    b.add_section(SectionSpec{kLengths[i] - ramp, grade, grade, wiggle * 0.8,
+                              kLanes[i]});
+    prev_grade = grade;
+  }
+  return b.build();
+}
+
+namespace {
+
+/// Draw a grade (radians) from a hilly-city mixture: 55% gentle (<2 deg),
+/// 33% moderate (2-4.2 deg), 12% steep (4.2-6.5 deg). Signs are symmetric.
+/// (Charlottesville sits in Piedmont hill country; the paper's Fig. 9(a)
+/// shows substantial high-gradient mileage.)
+double draw_grade(Rng& rng) {
+  const double u = rng.uniform(0.0, 1.0);
+  double mag_deg;
+  if (u < 0.52) {
+    mag_deg = rng.uniform(0.2, 2.0);
+  } else if (u < 0.87) {
+    mag_deg = rng.uniform(2.0, 4.4);
+  } else {
+    mag_deg = rng.uniform(4.4, 6.5);
+  }
+  return (rng.bernoulli(0.5) ? 1.0 : -1.0) * deg2rad(mag_deg);
+}
+
+RoadClass draw_class(Rng& rng) {
+  const double u = rng.uniform(0.0, 1.0);
+  if (u < 0.2) return RoadClass::kArterial;
+  if (u < 0.5) return RoadClass::kCollector;
+  return RoadClass::kResidential;
+}
+
+int lanes_for(RoadClass cls, Rng& rng) {
+  switch (cls) {
+    case RoadClass::kArterial:
+      return static_cast<int>(rng.uniform_int(2, 3));
+    case RoadClass::kCollector:
+      return static_cast<int>(rng.uniform_int(1, 2));
+    case RoadClass::kResidential:
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+RoadNetwork make_city_network(std::uint64_t seed, double total_length_km) {
+  Rng rng = Rng(seed).fork("city-network");
+  RoadNetwork net;
+
+  const double target_m = total_length_km * 1000.0;
+  double built_m = 0.0;
+  int road_idx = 0;
+
+  // Scatter anchors across a ~8x8 km city box around Charlottesville.
+  const math::GeoPoint center{38.0293, -78.4767, 180.0};
+
+  while (built_m < target_m) {
+    const RoadClass cls = draw_class(rng);
+    const int lanes = lanes_for(cls, rng);
+    const double road_len =
+        cls == RoadClass::kArterial ? rng.uniform(2000.0, 5000.0)
+        : cls == RoadClass::kCollector ? rng.uniform(1000.0, 3000.0)
+                                       : rng.uniform(400.0, 1500.0);
+
+    RoadBuilder b("road-" + std::to_string(road_idx), 1.0);
+    b.set_anchor(math::GeoPoint{
+        center.latitude_deg + rng.uniform(-0.036, 0.036),
+        center.longitude_deg + rng.uniform(-0.046, 0.046),
+        center.altitude_m + rng.uniform(-30.0, 30.0)});
+    b.set_initial_heading(rng.uniform(-math::kPi, math::kPi));
+
+    double laid = 0.0;
+    double prev_grade = draw_grade(rng) * 0.5;
+    while (laid < road_len) {
+      const double sec_len = std::min(road_len - laid + 1.0,
+                                      rng.uniform(120.0, 420.0));
+      const double grade = draw_grade(rng);
+      // Occasionally insert an S-curve (the Fig. 5 confusable geometry).
+      if (rng.bernoulli(0.08) && sec_len > 160.0) {
+        b.add_s_curve(sec_len, deg2rad(rng.uniform(8.0, 18.0)), grade, lanes);
+      } else {
+        const double turn = deg2rad(rng.uniform(-25.0, 25.0));
+        const double ramp = std::min(110.0, sec_len * 0.4);
+        b.add_section(SectionSpec{ramp, prev_grade, grade, turn * 0.2, lanes});
+        b.add_section(
+            SectionSpec{sec_len - ramp, grade, grade, turn * 0.8, lanes});
+      }
+      prev_grade = grade;
+      laid += sec_len;
+    }
+
+    Road r = b.build();
+    built_m += r.length_m();
+    net.add(NetworkRoad{std::move(r), cls});
+    ++road_idx;
+  }
+  return net;
+}
+
+}  // namespace rge::road

@@ -1,0 +1,54 @@
+// Synthetic road networks matching the paper's experimental setting:
+//  - the small-scale "red" route of Fig. 7(b) / Table III: 2.16 km, seven
+//    sections with alternating uphill/downhill grades and 1-2 lanes;
+//  - a large-scale network totalling 164.8 km (Fig. 7(a)) with a mixture of
+//    arterials and residential streets, S-curves, and a realistic gradient
+//    distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "road/road.hpp"
+
+namespace rge::road {
+
+/// Road class used for traffic-volume assignment (Fig. 10(b)).
+enum class RoadClass { kArterial, kCollector, kResidential };
+
+struct NetworkRoad {
+  Road road;
+  RoadClass road_class = RoadClass::kResidential;
+};
+
+/// A set of roads evaluated together.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+  explicit RoadNetwork(std::vector<NetworkRoad> roads)
+      : roads_(std::move(roads)) {}
+
+  const std::vector<NetworkRoad>& roads() const { return roads_; }
+  std::size_t size() const { return roads_.size(); }
+  double total_length_m() const;
+
+  void add(NetworkRoad r) { roads_.push_back(std::move(r)); }
+
+ private:
+  std::vector<NetworkRoad> roads_;
+};
+
+/// The paper's Table III route: 2.16 km, sections 0-1 .. 6-7 alternating
+/// uphill(+)/downhill(-) with lane counts {1,1,1,1,2,2,1}. Grade magnitudes
+/// are seeded random in a plausible 1.5-4.5 degree band; the sign/lane
+/// pattern exactly matches Table III.
+Road make_table3_route(std::uint64_t seed);
+
+/// Large-scale network whose total length is ~164.8 km, matching Fig. 7(a).
+/// Roads are generated with seeded random section structure: grades drawn
+/// from a mixture (mostly gentle, occasionally steep), curves and S-curves,
+/// and 1-3 lanes. Deterministic for a given seed.
+RoadNetwork make_city_network(std::uint64_t seed,
+                              double total_length_km = 164.8);
+
+}  // namespace rge::road

@@ -1,0 +1,101 @@
+#include "road/reference_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/angles.hpp"
+#include "math/rng.hpp"
+
+namespace rge::road {
+
+double ReferenceProfile::grade_at(double s) const {
+  if (segments.empty()) {
+    throw std::logic_error("ReferenceProfile::grade_at: empty profile");
+  }
+  if (s <= segments.front().start_s_m) return segments.front().grade_rad;
+  if (s >= segments.back().end_s_m) return segments.back().grade_rad;
+  // Binary search by segment start.
+  std::size_t lo = 0;
+  std::size_t hi = segments.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (segments[mid].start_s_m <= s) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return segments[lo].grade_rad;
+}
+
+std::vector<double> ReferenceProfile::midpoints_s() const {
+  std::vector<double> out;
+  out.reserve(segments.size());
+  for (const auto& seg : segments) {
+    out.push_back(0.5 * (seg.start_s_m + seg.end_s_m));
+  }
+  return out;
+}
+
+std::vector<double> ReferenceProfile::grades() const {
+  std::vector<double> out;
+  out.reserve(segments.size());
+  for (const auto& seg : segments) out.push_back(seg.grade_rad);
+  return out;
+}
+
+ReferenceProfile survey_reference_profile(const Road& road,
+                                          const SurveyOptions& opts) {
+  if (opts.segment_length_m <= 0.0) {
+    throw std::invalid_argument("survey: segment length must be > 0");
+  }
+  math::Rng rng = math::Rng(opts.seed).fork("reference-survey");
+
+  ReferenceProfile profile;
+  const double total = road.length_m();
+  const auto n_segments = static_cast<std::size_t>(
+      std::floor(total / opts.segment_length_m));
+  if (n_segments == 0) {
+    throw std::invalid_argument("survey: road shorter than one segment");
+  }
+  profile.segments.reserve(n_segments);
+
+  auto surveyed_point = [&](double s) {
+    math::GeoPoint p = road.geo_at(s);
+    p.latitude_deg += rng.gaussian(0.0, opts.position_sigma_deg);
+    p.longitude_deg += rng.gaussian(0.0, opts.position_sigma_deg);
+    p.altitude_m += rng.gaussian(0.0, opts.altimeter_sigma_m);
+    return p;
+  };
+
+  math::GeoPoint start = surveyed_point(0.0);
+  for (std::size_t i = 0; i < n_segments; ++i) {
+    const double s0 = static_cast<double>(i) * opts.segment_length_m;
+    const double s1 = std::min(total, s0 + opts.segment_length_m);
+    const math::GeoPoint end = surveyed_point(s1);
+
+    ReferenceSegment seg;
+    seg.start_s_m = s0;
+    seg.end_s_m = s1;
+    // Section III-D: direction relative to earth East from lat/lon deltas.
+    seg.direction_rad = math::heading_from_east_rad(start, end);
+    const double d = s1 - s0;
+    const double dz = end.altitude_m - start.altitude_m;
+    seg.grade_rad = std::asin(std::clamp(dz / d, -1.0, 1.0));
+    profile.segments.push_back(seg);
+
+    start = end;
+  }
+  return profile;
+}
+
+std::vector<double> exact_grades_at(const Road& road,
+                                    const ReferenceProfile& ref) {
+  std::vector<double> out;
+  out.reserve(ref.segments.size());
+  for (const double s : ref.midpoints_s()) out.push_back(road.grade_at(s));
+  return out;
+}
+
+}  // namespace rge::road

@@ -1,0 +1,55 @@
+// The paper's Section III-D reference (ground truth) road-gradient method:
+// drive an altimeter-equipped vehicle, divide the road into small equal
+// segments, and compute each segment's gradient as
+//     theta = asin((z_E - z_S) / d)
+// from the start/end altitudes and segment length, with the segment
+// direction inferred from latitude/longitude. Precision of the survey
+// instruments: altitude ~0.01 m, position ~1e-5 degrees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/geodesy.hpp"
+#include "road/road.hpp"
+
+namespace rge::road {
+
+/// One surveyed road segment of the reference profile.
+struct ReferenceSegment {
+  double start_s_m = 0.0;       ///< arc length of segment start
+  double end_s_m = 0.0;         ///< arc length of segment end
+  double direction_rad = 0.0;   ///< angle relative to earth East
+  double grade_rad = 0.0;       ///< asin(dz / d)
+};
+
+struct ReferenceProfile {
+  std::vector<ReferenceSegment> segments;
+
+  /// Gradient at arc length s (piecewise constant per segment).
+  double grade_at(double s) const;
+  /// Dense (s, grade) series at the segment midpoints.
+  std::vector<double> midpoints_s() const;
+  std::vector<double> grades() const;
+};
+
+struct SurveyOptions {
+  double segment_length_m = 1.0;   ///< the paper uses 1 m segments
+  double altimeter_sigma_m = 0.01; ///< survey altimeter accuracy [paper: ~1 cm]
+  double position_sigma_deg = 1e-5;///< lat/lon survey precision
+  std::uint64_t seed = 0;          ///< survey noise seed
+};
+
+/// Survey a road with the Section III-D procedure. The `road` supplies the
+/// exact geometry (playing the role of the physical road); the survey
+/// samples geodetic points every segment_length_m with instrument-grade
+/// noise and computes the reference profile exactly as the paper describes.
+ReferenceProfile survey_reference_profile(const Road& road,
+                                          const SurveyOptions& opts = {});
+
+/// The exact (noise-free, generator-known) gradient sampled at the same
+/// midpoints as `ref` — used in tests to validate the survey method itself.
+std::vector<double> exact_grades_at(const Road& road,
+                                    const ReferenceProfile& ref);
+
+}  // namespace rge::road

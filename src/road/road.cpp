@@ -1,0 +1,211 @@
+#include "road/road.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "math/angles.hpp"
+
+namespace rge::road {
+
+Road::Road(std::string name,
+           std::vector<double> s,
+           std::vector<double> east,
+           std::vector<double> north,
+           std::vector<double> elevation,
+           std::vector<double> heading,
+           std::vector<double> grade,
+           std::vector<int> lanes,
+           std::vector<SectionInfo> sections,
+           math::GeoPoint anchor)
+    : name_(std::move(name)),
+      s_(std::move(s)),
+      east_(std::move(east)),
+      north_(std::move(north)),
+      elevation_(std::move(elevation)),
+      heading_(std::move(heading)),
+      grade_(std::move(grade)),
+      lanes_(std::move(lanes)),
+      sections_(std::move(sections)),
+      anchor_(anchor) {
+  const std::size_t n = s_.size();
+  if (east_.size() != n || north_.size() != n || elevation_.size() != n ||
+      heading_.size() != n || grade_.size() != n || lanes_.size() != n) {
+    throw std::invalid_argument("Road: sample array size mismatch");
+  }
+  if (n < 2) {
+    throw std::invalid_argument("Road: needs at least 2 samples");
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (s_[i] <= s_[i - 1]) {
+      throw std::invalid_argument("Road: arc length must strictly increase");
+    }
+  }
+}
+
+std::size_t Road::index_below(double s) const {
+  if (s <= s_.front()) return 0;
+  if (s >= s_.back()) return s_.size() - 2;
+  const auto it = std::upper_bound(s_.begin(), s_.end(), s);
+  return static_cast<std::size_t>(it - s_.begin()) - 1;
+}
+
+double Road::interp(const std::vector<double>& ys, double s) const {
+  const std::size_t i = index_below(s);
+  const double t =
+      std::clamp((s - s_[i]) / (s_[i + 1] - s_[i]), 0.0, 1.0);
+  return ys[i] * (1.0 - t) + ys[i + 1] * t;
+}
+
+double Road::interp_angle(const std::vector<double>& ys, double s) const {
+  // Heading samples are stored unwrapped (continuous), so plain linear
+  // interpolation is correct; wrap only on output.
+  return math::wrap_pi(interp(ys, s));
+}
+
+double Road::grade_at(double s) const { return interp(grade_, s); }
+
+double Road::heading_at(double s) const { return interp_angle(heading_, s); }
+
+double Road::elevation_at(double s) const { return interp(elevation_, s); }
+
+math::Enu Road::position_at(double s) const {
+  return math::Enu{interp(east_, s), interp(north_, s), interp(elevation_, s)};
+}
+
+math::GeoPoint Road::geo_at(double s) const {
+  return math::LocalTangentPlane(anchor_).to_geodetic(position_at(s));
+}
+
+int Road::lanes_at(double s) const {
+  const std::size_t i = index_below(s);
+  return lanes_[i];
+}
+
+double Road::curvature_at(double s) const {
+  const std::size_t i = index_below(s);
+  return (heading_[i + 1] - heading_[i]) / (s_[i + 1] - s_[i]);
+}
+
+// ------------------------------------------------------------ builder ----
+
+RoadBuilder::RoadBuilder(std::string name, double sample_spacing_m)
+    : name_(std::move(name)), ds_(sample_spacing_m) {
+  if (ds_ <= 0.0) {
+    throw std::invalid_argument("RoadBuilder: sample spacing must be > 0");
+  }
+}
+
+RoadBuilder& RoadBuilder::set_anchor(const math::GeoPoint& anchor) {
+  anchor_ = anchor;
+  return *this;
+}
+
+RoadBuilder& RoadBuilder::set_initial_heading(double heading_rad) {
+  initial_heading_ = heading_rad;
+  return *this;
+}
+
+RoadBuilder& RoadBuilder::add_section(const SectionSpec& spec) {
+  if (spec.length_m <= 0.0) {
+    throw std::invalid_argument("RoadBuilder: section length must be > 0");
+  }
+  if (spec.lanes < 1) {
+    throw std::invalid_argument("RoadBuilder: lanes must be >= 1");
+  }
+  sections_.push_back(spec);
+  return *this;
+}
+
+RoadBuilder& RoadBuilder::add_straight(double length_m, double grade_rad,
+                                       int lanes) {
+  return add_section(SectionSpec{length_m, grade_rad, grade_rad, 0.0, lanes});
+}
+
+RoadBuilder& RoadBuilder::add_s_curve(double length_m, double amplitude_rad,
+                                      double grade_rad, int lanes) {
+  // Four quarter arcs: turn out, return, overshoot the other way, return.
+  const double quarter = length_m / 4.0;
+  add_section(SectionSpec{quarter, grade_rad, grade_rad, amplitude_rad, lanes});
+  add_section(
+      SectionSpec{quarter, grade_rad, grade_rad, -amplitude_rad, lanes});
+  add_section(
+      SectionSpec{quarter, grade_rad, grade_rad, -amplitude_rad, lanes});
+  add_section(SectionSpec{quarter, grade_rad, grade_rad, amplitude_rad, lanes});
+  return *this;
+}
+
+double RoadBuilder::total_length_m() const {
+  double total = 0.0;
+  for (const auto& sec : sections_) total += sec.length_m;
+  return total;
+}
+
+Road RoadBuilder::build() const {
+  if (sections_.empty()) {
+    throw std::logic_error("RoadBuilder::build: no sections added");
+  }
+
+  std::vector<double> s{0.0};
+  std::vector<double> east{0.0};
+  std::vector<double> north{0.0};
+  std::vector<double> elevation{0.0};
+  std::vector<double> heading{initial_heading_};
+  std::vector<double> grade;
+  std::vector<int> lanes;
+  std::vector<SectionInfo> infos;
+
+  double cur_s = 0.0;
+  double cur_e = 0.0;
+  double cur_n = 0.0;
+  double cur_z = 0.0;
+  double cur_h = initial_heading_;
+
+  // Grade at the very first sample comes from the first section start.
+  grade.push_back(sections_.front().grade_start_rad);
+  lanes.push_back(sections_.front().lanes);
+
+  for (const auto& sec : sections_) {
+    const double sec_start = cur_s;
+    const auto steps =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     std::ceil(sec.length_m / ds_)));
+    const double step = sec.length_m / static_cast<double>(steps);
+    const double dh = sec.heading_change_rad / static_cast<double>(steps);
+    double grade_acc = 0.0;
+    for (std::size_t i = 1; i <= steps; ++i) {
+      const double frac =
+          static_cast<double>(i) / static_cast<double>(steps);
+      const double g = sec.grade_start_rad +
+                       (sec.grade_end_rad - sec.grade_start_rad) * frac;
+      grade_acc += g;
+      // Integrate geometry along the mid-step heading for second-order
+      // accuracy.
+      const double h_mid = cur_h + dh / 2.0;
+      const double horizontal = step * std::cos(g);
+      cur_e += horizontal * std::cos(h_mid);
+      cur_n += horizontal * std::sin(h_mid);
+      cur_z += step * std::sin(g);
+      cur_h += dh;
+      cur_s += step;
+
+      s.push_back(cur_s);
+      east.push_back(cur_e);
+      north.push_back(cur_n);
+      elevation.push_back(cur_z);
+      heading.push_back(cur_h);
+      grade.push_back(g);
+      lanes.push_back(sec.lanes);
+    }
+    infos.push_back(SectionInfo{
+        sec_start, cur_s, grade_acc / static_cast<double>(steps), sec.lanes});
+  }
+
+  math::GeoPoint anchor = anchor_;
+  return Road(name_, std::move(s), std::move(east), std::move(north),
+              std::move(elevation), std::move(heading), std::move(grade),
+              std::move(lanes), std::move(infos), anchor);
+}
+
+}  // namespace rge::road

@@ -1,0 +1,128 @@
+// Road representation: centerline geometry sampled along arc length with
+// grade, heading, elevation and lane count, plus the section metadata the
+// paper's Table III describes (uphill/downhill, number of lanes).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "math/geodesy.hpp"
+
+namespace rge::road {
+
+/// Per-section metadata in the style of the paper's Table III.
+struct SectionInfo {
+  double start_s_m = 0.0;
+  double end_s_m = 0.0;
+  double mean_grade_rad = 0.0;
+  int lanes = 1;
+
+  double length_m() const { return end_s_m - start_s_m; }
+  bool uphill() const { return mean_grade_rad >= 0.0; }
+};
+
+/// A single road (polyline) with dense geometry samples.
+///
+/// All profile queries are by arc length `s` in metres from the road start,
+/// clamped to [0, length()]. The sample spacing is set by the builder
+/// (default 1 m, the paper's reference segment length).
+class Road {
+ public:
+  Road() = default;
+  Road(std::string name,
+       std::vector<double> s,
+       std::vector<double> east,
+       std::vector<double> north,
+       std::vector<double> elevation,
+       std::vector<double> heading,
+       std::vector<double> grade,
+       std::vector<int> lanes,
+       std::vector<SectionInfo> sections,
+       math::GeoPoint anchor);
+
+  const std::string& name() const { return name_; }
+  double length_m() const { return s_.empty() ? 0.0 : s_.back(); }
+  std::size_t sample_count() const { return s_.size(); }
+
+  /// Road gradient (incline angle, radians) at arc length s.
+  double grade_at(double s) const;
+  /// Heading counter-clockwise from East (radians, wrapped) at arc length s.
+  double heading_at(double s) const;
+  /// Elevation above the anchor datum (metres).
+  double elevation_at(double s) const;
+  /// East/North/Up offset from the anchor.
+  math::Enu position_at(double s) const;
+  /// Geodetic position (latitude/longitude/altitude).
+  math::GeoPoint geo_at(double s) const;
+  /// Number of lanes in the travel direction at arc length s.
+  int lanes_at(double s) const;
+  /// Signed curvature d(heading)/ds (1/m) at arc length s.
+  double curvature_at(double s) const;
+
+  const std::vector<double>& samples_s() const { return s_; }
+  const std::vector<double>& samples_grade() const { return grade_; }
+  const std::vector<double>& samples_elevation() const { return elevation_; }
+  const std::vector<double>& samples_heading() const { return heading_; }
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+  const math::GeoPoint& anchor() const { return anchor_; }
+
+ private:
+  std::size_t index_below(double s) const;
+  double interp(const std::vector<double>& ys, double s) const;
+  double interp_angle(const std::vector<double>& ys, double s) const;
+
+  std::string name_;
+  std::vector<double> s_;
+  std::vector<double> east_;
+  std::vector<double> north_;
+  std::vector<double> elevation_;
+  std::vector<double> heading_;  // radians CCW from East, continuous (unwrapped)
+  std::vector<double> grade_;    // radians
+  std::vector<int> lanes_;
+  std::vector<SectionInfo> sections_;
+  math::GeoPoint anchor_;
+};
+
+/// Specification of one build section fed to RoadBuilder.
+struct SectionSpec {
+  double length_m = 100.0;
+  /// Grade at the start and end of the section (linear ramp between them).
+  double grade_start_rad = 0.0;
+  double grade_end_rad = 0.0;
+  /// Total heading change across the section (radians; 0 = straight).
+  double heading_change_rad = 0.0;
+  int lanes = 1;
+};
+
+/// Builds a Road by integrating section specs into dense samples.
+class RoadBuilder {
+ public:
+  explicit RoadBuilder(std::string name, double sample_spacing_m = 1.0);
+
+  RoadBuilder& set_anchor(const math::GeoPoint& anchor);
+  RoadBuilder& set_initial_heading(double heading_rad);
+  RoadBuilder& add_section(const SectionSpec& spec);
+  /// Straight flat segment convenience.
+  RoadBuilder& add_straight(double length_m, double grade_rad = 0.0,
+                            int lanes = 1);
+  /// An S-curve: heading swings +amplitude then -amplitude and returns to the
+  /// original direction; produces the bump pattern of Fig. 5 without a net
+  /// direction change. Total length split into 4 quarter arcs.
+  RoadBuilder& add_s_curve(double length_m, double amplitude_rad,
+                           double grade_rad = 0.0, int lanes = 1);
+
+  /// Finalize. @throws std::logic_error if no sections were added.
+  Road build() const;
+
+  double total_length_m() const;
+
+ private:
+  std::string name_;
+  double ds_;
+  double initial_heading_ = 0.0;
+  math::GeoPoint anchor_{38.0293, -78.4767, 180.0};  // Charlottesville, VA
+  std::vector<SectionSpec> sections_;
+};
+
+}  // namespace rge::road

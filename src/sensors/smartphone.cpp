@@ -1,0 +1,241 @@
+#include "sensors/smartphone.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/angles.hpp"
+#include "math/rng.hpp"
+#include "vehicle/dynamics.hpp"
+#include "vehicle/powertrain.hpp"
+
+namespace rge::sensors {
+
+using math::Rng;
+
+namespace {
+
+/// Decaying-oscillation disturbance bursts injected at given start times.
+class DisturbanceTrain {
+ public:
+  DisturbanceTrain(std::vector<double> starts, double peak, double decay_s,
+                   double freq_hz)
+      : starts_(std::move(starts)),
+        peak_(peak),
+        decay_(decay_s),
+        omega_(math::kTwoPi * freq_hz) {}
+
+  double value_at(double t) const {
+    double acc = 0.0;
+    for (double t0 : starts_) {
+      const double tau = t - t0;
+      if (tau < 0.0 || tau > 6.0 * decay_) continue;
+      acc += peak_ * std::exp(-tau / decay_) * std::sin(omega_ * tau);
+    }
+    return acc;
+  }
+
+ private:
+  std::vector<double> starts_;
+  double peak_;
+  double decay_;
+  double omega_;
+};
+
+std::vector<double> draw_disturbance_times(double duration_s,
+                                           double per_minute, Rng& rng) {
+  std::vector<double> times;
+  const double expected = duration_s / 60.0 * per_minute;
+  auto count = static_cast<std::size_t>(std::floor(expected));
+  if (rng.bernoulli(expected - std::floor(expected))) ++count;
+  times.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    times.push_back(rng.uniform(0.0, duration_s));
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+bool in_outage(const std::vector<std::pair<double, double>>& outages,
+               double t) {
+  for (const auto& [a, b] : outages) {
+    if (t >= a && t < b) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SensorTrace simulate_sensors(const vehicle::Trip& trip,
+                             const math::GeoPoint& anchor,
+                             const vehicle::VehicleParams& params,
+                             const SmartphoneConfig& config) {
+  if (trip.states.empty()) {
+    throw std::invalid_argument("simulate_sensors: empty trip");
+  }
+
+  Rng root(config.seed);
+  Rng rng_accel = root.fork("accel");
+  Rng rng_gyro = root.fork("gyro");
+  Rng rng_gps = root.fork("gps");
+  Rng rng_spd = root.fork("speedometer");
+  Rng rng_can = root.fork("canbus");
+  Rng rng_baro = root.fork("barometer");
+  Rng rng_dist = root.fork("disturbance");
+  Rng rng_torque = root.fork("engine-torque");
+
+  const double duration = trip.duration_s();
+  const double dt = trip.dt;
+
+  SensorTrace trace;
+  trace.imu_rate_hz = 1.0 / dt;
+
+  // Drift processes.
+  math::DriftProcess accel_drift(config.accel_drift_sigma,
+                                 config.accel_drift_tau_s);
+  math::DriftProcess gyro_drift(config.gyro_drift_sigma,
+                                config.gyro_drift_tau_s);
+  math::DriftProcess baro_drift(config.barometer_drift_sigma,
+                                config.barometer_drift_tau_s);
+  math::DriftProcess gps_drift_e(config.gps_pos_drift_sigma_m,
+                                 config.gps_pos_drift_tau_s);
+  math::DriftProcess gps_drift_n(config.gps_pos_drift_sigma_m,
+                                 config.gps_pos_drift_tau_s);
+
+  // Relative-movement disturbances.
+  const auto dist_times = draw_disturbance_times(
+      duration, config.disturbances_per_minute, rng_dist);
+  const DisturbanceTrain gyro_dist(dist_times, config.disturbance_gyro_peak,
+                                   config.disturbance_decay_s,
+                                   config.disturbance_freq_hz);
+  const DisturbanceTrain accel_dist(dist_times, config.disturbance_accel_peak,
+                                    config.disturbance_decay_s,
+                                    config.disturbance_freq_hz);
+
+  // GPS outage windows (configured + random).
+  std::vector<std::pair<double, double>> outages = config.gps_outages;
+  for (int i = 0; i < config.random_outage_count; ++i) {
+    const double start = rng_gps.uniform(0.0, std::max(1.0, duration - 20.0));
+    outages.emplace_back(start, start + rng_gps.uniform(5.0, 20.0));
+  }
+
+  const math::LocalTangentPlane ltp(anchor);
+  const double cos_mount = std::cos(config.mount_yaw_rad);
+  const double sin_mount = std::sin(config.mount_yaw_rad);
+  const vehicle::Powertrain powertrain(params, vehicle::PowertrainParams{});
+
+  double next_gps_t = 0.0;
+  double next_spd_t = 0.0;
+  double next_can_t = 0.0;
+  double next_baro_t = 0.0;
+
+  for (const auto& st : trip.states) {
+    // ---------------- IMU at the trip rate --------------------------
+    accel_drift.step(dt, rng_accel);
+    gyro_drift.step(dt, rng_gyro);
+
+    // True specific forces in the vehicle frame. The road crown's gravity
+    // component rotates into the forward axis when the vehicle's heading
+    // deviates from the road direction (alpha != 0 during lane changes).
+    const double f_fwd =
+        vehicle::longitudinal_specific_force(params, st.accel, st.grade) +
+        params.gravity * config.road_crown * std::sin(st.alpha);
+    const double f_lat = st.speed * st.yaw_rate +
+                         params.gravity * config.road_crown;
+    const double f_vert = params.gravity * std::cos(st.grade);
+
+    ImuSample imu;
+    imu.t = st.t;
+    const double fwd_mounted = f_fwd * cos_mount + f_lat * sin_mount;
+    const double lat_mounted = -f_fwd * sin_mount + f_lat * cos_mount;
+    imu.accel_forward = fwd_mounted + accel_drift.value() +
+                        config.accel_white_sigma * rng_accel.gaussian() +
+                        accel_dist.value_at(st.t);
+    imu.accel_lateral = lat_mounted +
+                        config.accel_white_sigma * rng_accel.gaussian() +
+                        0.5 * accel_dist.value_at(st.t);
+    imu.accel_vertical = f_vert +
+                         config.accel_white_sigma * rng_accel.gaussian();
+    imu.gyro_z = st.yaw_rate + gyro_drift.value() +
+                 config.gyro_white_sigma * rng_gyro.gaussian() +
+                 gyro_dist.value_at(st.t);
+    trace.imu.push_back(imu);
+
+    // ---------------- GPS (1 Hz) ------------------------------------
+    if (st.t >= next_gps_t) {
+      next_gps_t += 1.0 / config.gps_rate_hz;
+      gps_drift_e.step(1.0 / config.gps_rate_hz, rng_gps);
+      gps_drift_n.step(1.0 / config.gps_rate_hz, rng_gps);
+
+      GpsFix fix;
+      fix.t = st.t;
+      fix.valid = !in_outage(outages, st.t);
+      math::Enu noisy = st.position;
+      noisy.east_m += gps_drift_e.value() +
+                      config.gps_pos_sigma_m * rng_gps.gaussian();
+      noisy.north_m += gps_drift_n.value() +
+                       config.gps_pos_sigma_m * rng_gps.gaussian();
+      fix.position = ltp.to_geodetic(noisy);
+      fix.speed_mps = std::max(
+          0.0, st.speed + config.gps_speed_sigma * rng_gps.gaussian());
+      const double heading_sigma =
+          config.gps_heading_sigma *
+          std::max(1.0, 5.0 / std::max(0.5, st.speed));
+      fix.heading_rad =
+          math::wrap_pi(st.heading + heading_sigma * rng_gps.gaussian());
+      trace.gps.push_back(fix);
+    }
+
+    // ---------------- Phone speedometer -----------------------------
+    if (st.t >= next_spd_t) {
+      next_spd_t += 1.0 / config.speedometer_rate_hz;
+      const double v = st.speed * (1.0 + config.speedometer_scale_error) +
+                       config.speedometer_sigma * rng_spd.gaussian();
+      trace.speedometer.push_back(ScalarSample{st.t, std::max(0.0, v)});
+    }
+
+    // ---------------- CAN-bus speed (+ premium streams) -------------
+    if (st.t >= next_can_t) {
+      next_can_t += 1.0 / config.canbus_rate_hz;
+      double v = st.speed * (1.0 + config.canbus_scale_error) +
+                 config.canbus_sigma * rng_can.gaussian();
+      if (config.canbus_quantization > 0.0) {
+        v = std::round(v / config.canbus_quantization) *
+            config.canbus_quantization;
+      }
+      trace.canbus_speed.push_back(ScalarSample{st.t, std::max(0.0, v)});
+
+      if (config.premium_can && st.speed > 0.5) {
+        // Wheel torque implied by the true kinematics, reported through
+        // the gearbox (unclamped so the signal stays consistent).
+        const double wheel_nm = vehicle::required_torque(
+            params, st.accel, st.speed, st.grade);
+        const auto op = powertrain.operate(st.speed, wheel_nm,
+                                           /*clamp=*/false);
+        double torque = op.engine_torque_nm +
+                        config.engine_torque_sigma_nm * rng_torque.gaussian();
+        if (config.engine_torque_quantization_nm > 0.0) {
+          torque = std::round(torque / config.engine_torque_quantization_nm) *
+                   config.engine_torque_quantization_nm;
+        }
+        trace.engine_torque.push_back(ScalarSample{st.t, torque});
+        trace.active_gear.push_back(
+            ScalarSample{st.t, static_cast<double>(op.gear)});
+      }
+    }
+
+    // ---------------- Barometer -------------------------------------
+    if (st.t >= next_baro_t) {
+      next_baro_t += 1.0 / config.barometer_rate_hz;
+      baro_drift.step(1.0 / config.barometer_rate_hz, rng_baro);
+      const double alt = anchor.altitude_m + st.altitude +
+                         baro_drift.value() +
+                         config.barometer_white_sigma * rng_baro.gaussian();
+      trace.barometer_alt.push_back(ScalarSample{st.t, alt});
+    }
+  }
+
+  return trace;
+}
+
+}  // namespace rge::sensors

@@ -1,0 +1,101 @@
+// Smartphone (and CAN-bus) sensor simulation.
+//
+// Converts the ground-truth states of a simulated Trip into the noisy
+// observations a phone mounted in the vehicle would record, reproducing the
+// error families the paper's filters must defeat:
+//   * measuring noise   — additive white noise per sample;
+//   * drift noise       — slowly wandering bias (Ornstein-Uhlenbeck);
+//   * mounting error    — small fixed yaw misalignment between the phone's
+//                         Y_B axis and the vehicle's longitudinal axis;
+//   * relative movement — transient disturbances when the phone shifts in
+//                         its mount (typically on hard accelerations), the
+//                         effect Section III-A cites [14] to remove;
+//   * GPS outages       — invalid fixes in configured windows;
+//   * barometer         — metre-level accuracy, the reason the paper avoids
+//                         altitude-based estimation [19].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sensors/trace.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::sensors {
+
+struct SmartphoneConfig {
+  // IMU (Samsung Galaxy S5 class consumer MEMS).
+  double accel_white_sigma = 0.05;    ///< m/s^2
+  double accel_drift_sigma = 0.012;   ///< m/s^2 stationary bias stddev
+  double accel_drift_tau_s = 200.0;
+  double gyro_white_sigma = 0.006;    ///< rad/s
+  double gyro_drift_sigma = 0.003;    ///< rad/s
+  double gyro_drift_tau_s = 180.0;
+
+  /// Fixed yaw misalignment of the phone in its mount (rad). The paper's
+  /// alignment procedure assumes this is small.
+  double mount_yaw_rad = 0.0;
+
+  /// Road crown (cross-slope for drainage) as a lateral grade ratio.
+  /// While the vehicle's heading deviates from the road direction by alpha
+  /// (lane changes!), the crown's gravity component g*crown*sin(alpha)
+  /// leaks into the forward accelerometer axis — the physical mechanism
+  /// behind the paper's "lane changes corrupt gradient estimation"
+  /// observation.
+  double road_crown = 0.02;
+
+  /// Relative-movement disturbances: expected number per trip-minute and
+  /// the decaying-oscillation parameters injected into gyro/accel.
+  double disturbances_per_minute = 0.15;
+  double disturbance_gyro_peak = 0.5;   ///< rad/s initial amplitude
+  double disturbance_accel_peak = 1.5;  ///< m/s^2
+  double disturbance_decay_s = 0.35;
+  double disturbance_freq_hz = 4.0;
+
+  // GPS.
+  double gps_rate_hz = 1.0;
+  double gps_pos_sigma_m = 3.0;
+  double gps_pos_drift_sigma_m = 2.0;   ///< correlated position error
+  double gps_pos_drift_tau_s = 45.0;
+  double gps_speed_sigma = 0.25;        ///< m/s
+  double gps_heading_sigma = 0.02;      ///< rad at speed; inflated when slow
+  /// Outage windows [start, end) in seconds since trip start.
+  std::vector<std::pair<double, double>> gps_outages;
+  /// Additionally draw this many random outages of random 5-20 s length.
+  int random_outage_count = 0;
+
+  // Phone speedometer (fused speed estimate apps expose), 10 Hz.
+  double speedometer_rate_hz = 10.0;
+  double speedometer_sigma = 0.35;      ///< m/s
+  double speedometer_scale_error = 0.01;
+
+  // CAN-bus wheel speed over bluetooth OBD, 10 Hz.
+  double canbus_rate_hz = 10.0;
+  double canbus_sigma = 0.08;           ///< m/s
+  double canbus_scale_error = 0.005;    ///< tire-radius scale bias
+  double canbus_quantization = 0.0278;  ///< 0.1 km/h LSB
+
+  /// Premium-car CAN: broadcast engine torque and active gear (the signals
+  /// [5]-[8] require; the paper's point is that most cars lack them).
+  bool premium_can = true;
+  double engine_torque_sigma_nm = 4.0;
+  double engine_torque_quantization_nm = 1.0;
+
+  // Barometer altitude, 10 Hz; notoriously poor [19].
+  double barometer_rate_hz = 10.0;
+  double barometer_white_sigma = 1.2;   ///< m
+  double barometer_drift_sigma = 2.5;   ///< m
+  double barometer_drift_tau_s = 300.0;
+
+  std::uint64_t seed = 7;
+};
+
+/// Produce the sensor trace a phone + OBD dongle would record for `trip`.
+/// `anchor` is the geodetic origin the trip's ENU positions refer to (the
+/// road's anchor). Requires a non-empty trip.
+SensorTrace simulate_sensors(const vehicle::Trip& trip,
+                             const math::GeoPoint& anchor,
+                             const vehicle::VehicleParams& params,
+                             const SmartphoneConfig& config);
+
+}  // namespace rge::sensors

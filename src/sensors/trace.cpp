@@ -1,0 +1,168 @@
+#include "sensors/trace.hpp"
+
+#include <array>
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace rge::sensors {
+
+double SensorTrace::duration_s() const {
+  double end = 0.0;
+  if (!imu.empty()) end = std::max(end, imu.back().t);
+  if (!gps.empty()) end = std::max(end, gps.back().t);
+  if (!speedometer.empty()) end = std::max(end, speedometer.back().t);
+  if (!canbus_speed.empty()) end = std::max(end, canbus_speed.back().t);
+  if (!barometer_alt.empty()) end = std::max(end, barometer_alt.back().t);
+  if (!engine_torque.empty()) end = std::max(end, engine_torque.back().t);
+  if (!active_gear.empty()) end = std::max(end, active_gear.back().t);
+  return end;
+}
+
+namespace {
+
+void write_scalar_stream(std::ostream& out, std::string_view name,
+                         const std::vector<ScalarSample>& xs) {
+  for (const auto& s : xs) {
+    out << name << ',' << s.t << ',' << s.value << '\n';
+  }
+}
+
+std::vector<std::string_view> split_csv(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+double parse_double(std::string_view sv, std::size_t line_no) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(sv.data(), sv.data() + sv.size(), value);
+  if (ec != std::errc{} || ptr != sv.data() + sv.size()) {
+    throw std::runtime_error("trace CSV: bad number '" + std::string(sv) +
+                             "' at line " + std::to_string(line_no));
+  }
+  return value;
+}
+
+[[noreturn]] void bad_field_count(std::string_view stream,
+                                  std::size_t line_no) {
+  throw std::runtime_error("trace CSV: wrong field count for stream '" +
+                           std::string(stream) + "' at line " +
+                           std::to_string(line_no));
+}
+
+}  // namespace
+
+void write_csv(const SensorTrace& trace, std::ostream& out) {
+  out << std::setprecision(17);
+  out << "meta,imu_rate_hz," << trace.imu_rate_hz << '\n';
+  for (const auto& s : trace.imu) {
+    out << "imu," << s.t << ',' << s.accel_forward << ',' << s.accel_lateral
+        << ',' << s.accel_vertical << ',' << s.gyro_z << '\n';
+  }
+  for (const auto& f : trace.gps) {
+    out << "gps," << f.t << ',' << f.position.latitude_deg << ','
+        << f.position.longitude_deg << ',' << f.position.altitude_m << ','
+        << f.speed_mps << ',' << f.heading_rad << ',' << (f.valid ? 1 : 0)
+        << '\n';
+  }
+  write_scalar_stream(out, "speedometer", trace.speedometer);
+  write_scalar_stream(out, "canbus", trace.canbus_speed);
+  write_scalar_stream(out, "barometer", trace.barometer_alt);
+  write_scalar_stream(out, "engine_torque", trace.engine_torque);
+  write_scalar_stream(out, "gear", trace.active_gear);
+}
+
+void write_csv_file(const SensorTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("trace CSV: cannot open for write: " + path);
+  }
+  write_csv(trace, out);
+}
+
+SensorTrace read_csv(std::istream& in) {
+  SensorTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_csv(line);
+    const std::string_view stream = fields[0];
+    if (stream == "meta") {
+      if (fields.size() != 3 || fields[1] != "imu_rate_hz") {
+        throw std::runtime_error("trace CSV: bad meta line " +
+                                 std::to_string(line_no));
+      }
+      trace.imu_rate_hz = parse_double(fields[2], line_no);
+    } else if (stream == "imu") {
+      if (fields.size() != 6) bad_field_count(stream, line_no);
+      ImuSample s;
+      s.t = parse_double(fields[1], line_no);
+      s.accel_forward = parse_double(fields[2], line_no);
+      s.accel_lateral = parse_double(fields[3], line_no);
+      s.accel_vertical = parse_double(fields[4], line_no);
+      s.gyro_z = parse_double(fields[5], line_no);
+      trace.imu.push_back(s);
+    } else if (stream == "gps") {
+      if (fields.size() != 8) bad_field_count(stream, line_no);
+      GpsFix f;
+      f.t = parse_double(fields[1], line_no);
+      f.position.latitude_deg = parse_double(fields[2], line_no);
+      f.position.longitude_deg = parse_double(fields[3], line_no);
+      f.position.altitude_m = parse_double(fields[4], line_no);
+      f.speed_mps = parse_double(fields[5], line_no);
+      f.heading_rad = parse_double(fields[6], line_no);
+      f.valid = parse_double(fields[7], line_no) != 0.0;
+      trace.gps.push_back(f);
+    } else if (stream == "speedometer" || stream == "canbus" ||
+               stream == "barometer" || stream == "engine_torque" ||
+               stream == "gear") {
+      if (fields.size() != 3) bad_field_count(stream, line_no);
+      ScalarSample s;
+      s.t = parse_double(fields[1], line_no);
+      s.value = parse_double(fields[2], line_no);
+      if (stream == "speedometer") {
+        trace.speedometer.push_back(s);
+      } else if (stream == "canbus") {
+        trace.canbus_speed.push_back(s);
+      } else if (stream == "barometer") {
+        trace.barometer_alt.push_back(s);
+      } else if (stream == "engine_torque") {
+        trace.engine_torque.push_back(s);
+      } else {
+        trace.active_gear.push_back(s);
+      }
+    } else {
+      throw std::runtime_error("trace CSV: unknown stream '" +
+                               std::string(stream) + "' at line " +
+                               std::to_string(line_no));
+    }
+  }
+  return trace;
+}
+
+SensorTrace read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("trace CSV: cannot open for read: " + path);
+  }
+  return read_csv(in);
+}
+
+}  // namespace rge::sensors

@@ -1,0 +1,70 @@
+// Sensor trace containers and CSV (de)serialization.
+//
+// A SensorTrace is everything the estimation side is allowed to see: noisy
+// smartphone IMU samples, 1 Hz GPS fixes, phone speedometer readings,
+// CAN-bus speed (via bluetooth OBD dongle), and barometer altitude. Ground
+// truth never crosses this boundary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "math/geodesy.hpp"
+
+namespace rge::sensors {
+
+/// One inertial sample in the (aligned) smartphone frame: Y_B forward,
+/// X_B right, Z_B up. Accelerometers report specific force.
+struct ImuSample {
+  double t = 0.0;
+  double accel_forward = 0.0;  ///< m/s^2 along Y_B
+  double accel_lateral = 0.0;  ///< m/s^2 along X_B
+  double accel_vertical = 0.0; ///< m/s^2 along Z_B
+  double gyro_z = 0.0;         ///< rad/s around Z_B (yaw rate)
+};
+
+/// One GPS fix (1 Hz). `valid` is false inside outage windows; consumers
+/// must skip invalid fixes.
+struct GpsFix {
+  double t = 0.0;
+  math::GeoPoint position;
+  double speed_mps = 0.0;
+  double heading_rad = 0.0;  ///< course over ground, CCW from East
+  bool valid = true;
+};
+
+/// Generic timestamped scalar reading.
+struct ScalarSample {
+  double t = 0.0;
+  double value = 0.0;
+};
+
+struct SensorTrace {
+  double imu_rate_hz = 50.0;
+  std::vector<ImuSample> imu;
+  std::vector<GpsFix> gps;
+  std::vector<ScalarSample> speedometer;    ///< phone speed estimate (m/s)
+  std::vector<ScalarSample> canbus_speed;   ///< OBD speed (m/s)
+  std::vector<ScalarSample> barometer_alt;  ///< altitude (m)
+  /// Premium-car CAN streams ([5]-[8] need these; empty on ordinary cars).
+  std::vector<ScalarSample> engine_torque;  ///< engine torque (Nm)
+  std::vector<ScalarSample> active_gear;    ///< 1-based gear
+
+  double duration_s() const;
+  bool empty() const { return imu.empty(); }
+};
+
+/// Serialize a trace to a simple line-oriented CSV:
+///   stream,t,fields...
+/// e.g. "imu,0.020000,0.1,0.0,9.8,0.01". Deterministic formatting with
+/// enough digits to round-trip doubles.
+void write_csv(const SensorTrace& trace, std::ostream& out);
+void write_csv_file(const SensorTrace& trace, const std::string& path);
+
+/// Parse a trace written by write_csv. Unknown streams and malformed lines
+/// raise std::runtime_error with the line number.
+SensorTrace read_csv(std::istream& in);
+SensorTrace read_csv_file(const std::string& path);
+
+}  // namespace rge::sensors

@@ -1,0 +1,45 @@
+#include "vehicle/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rge::vehicle {
+
+double longitudinal_acceleration(const VehicleParams& p, double torque_nm,
+                                 double speed_mps, double grade_rad) {
+  const double traction = torque_nm / (p.wheel_radius_m * p.mass_kg);
+  const double drag = p.drag_k() * speed_mps * speed_mps / p.mass_kg;
+  const double grade_resist = p.gravity * std::sin(grade_rad);
+  const double rolling = p.rolling_resistance * p.gravity * std::cos(grade_rad);
+  return traction - drag - grade_resist - rolling;
+}
+
+double required_torque(const VehicleParams& p, double accel_mps2,
+                       double speed_mps, double grade_rad) {
+  const double force =
+      p.mass_kg * accel_mps2 + p.drag_k() * speed_mps * speed_mps +
+      p.mass_kg * p.gravity * std::sin(grade_rad) +
+      p.rolling_resistance * p.mass_kg * p.gravity * std::cos(grade_rad);
+  return force * p.wheel_radius_m;
+}
+
+double grade_from_states(const VehicleParams& p, double torque_nm,
+                         double speed_mps, double accel_mps2) {
+  const double arg =
+      torque_nm / (p.wheel_radius_m * p.mass_kg * p.gravity) -
+      p.drag_k() * speed_mps * speed_mps / (p.mass_kg * p.gravity) -
+      accel_mps2 / p.gravity;
+  return std::asin(std::clamp(arg, -1.0, 1.0)) - p.beta();
+}
+
+double torque_from_states_flat_road(const VehicleParams& p, double speed_mps,
+                                    double accel_mps2) {
+  return required_torque(p, accel_mps2, speed_mps, 0.0);
+}
+
+double longitudinal_specific_force(const VehicleParams& p, double accel_mps2,
+                                   double grade_rad) {
+  return accel_mps2 + p.gravity * std::sin(grade_rad);
+}
+
+}  // namespace rge::vehicle

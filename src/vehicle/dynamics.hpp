@@ -1,0 +1,41 @@
+// Longitudinal vehicle dynamics: the force balance behind the paper's Eq. 3,
+// both the forward direction (torque -> acceleration, used by the trip
+// simulator) and the inverse direction (states -> torque / gradient, used by
+// the estimators and the EKF baseline [7]).
+#pragma once
+
+#include "vehicle/params.hpp"
+
+namespace rge::vehicle {
+
+/// Forward dynamics: longitudinal acceleration of the vehicle given driving
+/// torque M at the wheels, speed v, and road gradient theta:
+///   a = M/(r m) - k v^2 / m - g sin(theta) - mu g cos(theta)
+double longitudinal_acceleration(const VehicleParams& p, double torque_nm,
+                                 double speed_mps, double grade_rad);
+
+/// Inverse dynamics: wheel torque required to achieve acceleration a at
+/// speed v on gradient theta (can be negative = braking/engine braking).
+double required_torque(const VehicleParams& p, double accel_mps2,
+                       double speed_mps, double grade_rad);
+
+/// The paper's Eq. 3: gradient from measured states,
+///   theta = asin(M/(r m g) - k v^2/(m g) - a/g) - beta
+/// The asin argument is clamped to [-1, 1] for robustness against noisy
+/// inputs.
+double grade_from_states(const VehicleParams& p, double torque_nm,
+                         double speed_mps, double accel_mps2);
+
+/// Driving-torque estimate from measurable states (Sahlholm [7]: avoids the
+/// gearbox by reconstructing torque from the force balance with an assumed
+/// flat road). Used by the EKF baseline exactly as the paper's evaluation
+/// describes.
+double torque_from_states_flat_road(const VehicleParams& p, double speed_mps,
+                                    double accel_mps2);
+
+/// Longitudinal specific force a phone accelerometer senses when the vehicle
+/// accelerates at `accel` on gradient `grade`: f = a + g sin(theta).
+double longitudinal_specific_force(const VehicleParams& p, double accel_mps2,
+                                   double grade_rad);
+
+}  // namespace rge::vehicle

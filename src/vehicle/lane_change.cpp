@@ -1,0 +1,87 @@
+#include "vehicle/lane_change.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/angles.hpp"
+
+namespace rge::vehicle {
+
+double LaneChangeManeuver::shape(double x) const {
+  // Unit pulse on [0,1]: positive |sin|^p bump then negative mirror.
+  const double s = std::sin(math::kTwoPi * x);
+  const double mag = std::pow(std::abs(s), shape_p_);
+  return s >= 0.0 ? mag : -mag;
+}
+
+LaneChangeManeuver::LaneChangeManeuver(LaneChangeDirection dir,
+                                       double peak_rate, double speed_mps,
+                                       double lateral_m, double shape_p)
+    : dir_(dir),
+      peak_(peak_rate),
+      speed_(speed_mps),
+      lateral_(lateral_m),
+      shape_p_(shape_p) {
+  if (peak_ <= 0.0) {
+    throw std::invalid_argument("LaneChangeManeuver: peak rate must be > 0");
+  }
+  if (speed_ <= 0.0) {
+    throw std::invalid_argument("LaneChangeManeuver: speed must be > 0");
+  }
+  if (lateral_ <= 0.0) {
+    throw std::invalid_argument("LaneChangeManeuver: lateral must be > 0");
+  }
+  if (shape_p_ <= 0.0 || shape_p_ > 2.0) {
+    throw std::invalid_argument("LaneChangeManeuver: shape_p outside (0,2]");
+  }
+
+  // Cumulative unit-shape table C(x) = int_0^x shape, trapezoid rule.
+  const double dx = 1.0 / static_cast<double>(kTableSize - 1);
+  cum_[0] = 0.0;
+  double prev = shape(0.0);
+  for (std::size_t i = 1; i < kTableSize; ++i) {
+    const double cur = shape(static_cast<double>(i) * dx);
+    cum_[i] = cum_[i - 1] + 0.5 * (prev + cur) * dx;
+    prev = cur;
+  }
+  // Shape displacement integral I(p) = int_0^1 C(x) dx.
+  double integral = 0.0;
+  for (std::size_t i = 1; i < kTableSize; ++i) {
+    integral += 0.5 * (cum_[i] + cum_[i - 1]) * dx;
+  }
+  shape_integral_ = integral;
+
+  // Small-angle lateral displacement is v * A * T^2 * I(p); solve for T.
+  duration_ = std::sqrt(lateral_ / (speed_ * peak_ * shape_integral_));
+}
+
+double LaneChangeManeuver::steering_rate(double t) const {
+  if (t < 0.0 || t > duration_) return 0.0;
+  const double sign = dir_ == LaneChangeDirection::kLeft ? 1.0 : -1.0;
+  return sign * peak_ * shape(t / duration_);
+}
+
+double LaneChangeManeuver::heading_deviation(double t) const {
+  if (t <= 0.0 || t >= duration_) return 0.0;
+  const double sign = dir_ == LaneChangeDirection::kLeft ? 1.0 : -1.0;
+  const double x = t / duration_;
+  const double pos = x * static_cast<double>(kTableSize - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, kTableSize - 1);
+  const double frac = pos - static_cast<double>(lo);
+  const double c = cum_[lo] * (1.0 - frac) + cum_[hi] * frac;
+  return sign * peak_ * duration_ * c;
+}
+
+double LaneChangeManeuver::nominal_lateral_displacement() const {
+  const double sign = dir_ == LaneChangeDirection::kLeft ? 1.0 : -1.0;
+  return sign * speed_ * peak_ * duration_ * duration_ * shape_integral_;
+}
+
+double DriverSteeringStyle::sample_peak_rate(math::Rng& rng) const {
+  const double raw = rng.gaussian(peak_rate_mean, peak_rate_sigma);
+  return std::clamp(raw, peak_rate_min, peak_rate_max);
+}
+
+}  // namespace rge::vehicle

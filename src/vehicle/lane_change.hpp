@@ -1,0 +1,86 @@
+// Parametric lane-change maneuver generator.
+//
+// A lane change is modelled as a full-period steering-rate pulse
+//   w_steer(t) = dir * A * sgn(sin(2 pi t / T)) * |sin(2 pi t / T)|^p
+// which produces the two opposite-sign bumps of the paper's Fig. 3/4: for a
+// left change (dir = +1) a positive bump followed by a negative one, and the
+// mirrored pattern for a right change. The shape exponent p < 1 flattens the
+// pulse (naturalistic steering holds a near-constant rate through the bump),
+// lengthening the time spent above 0.7*A — the paper's T feature.
+//
+// The heading deviation alpha(t) = integral of w returns to zero at t = T
+// (the vehicle ends parallel to the road) and the lateral displacement
+// integrates, for small alpha, to dir * v * A * T^2 * I(p) where I(p) is a
+// pure shape integral computed numerically. Given a driver's characteristic
+// peak steering rate A and the lane width W_lane (= 3.65 m), the duration is
+// solved from the displacement constraint:
+//   T = sqrt(W_lane / (v * A * I(p))).
+// Faster driving or stronger steering yields shorter maneuvers, consistent
+// with naturalistic lane-change studies [15].
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "math/rng.hpp"
+
+namespace rge::vehicle {
+
+enum class LaneChangeDirection { kLeft, kRight };
+
+/// Standard lane width used throughout the paper (metres).
+inline constexpr double kLaneWidthM = 3.65;
+
+/// One concrete maneuver realization.
+class LaneChangeManeuver {
+ public:
+  /// @param dir       change direction
+  /// @param peak_rate A, the peak steering rate (rad/s), > 0
+  /// @param speed_mps vehicle speed during the maneuver, > 0
+  /// @param lateral_m lateral displacement to cover (defaults to one lane)
+  /// @param shape_p   pulse shape exponent in (0, 2]; smaller = flatter
+  LaneChangeManeuver(LaneChangeDirection dir, double peak_rate,
+                     double speed_mps, double lateral_m = kLaneWidthM,
+                     double shape_p = 0.5);
+
+  LaneChangeDirection direction() const { return dir_; }
+  double duration_s() const { return duration_; }
+  double peak_rate() const { return peak_; }
+  double shape_exponent() const { return shape_p_; }
+
+  /// Steering rate at time t since maneuver start (0 outside [0, T]).
+  double steering_rate(double t) const;
+  /// Heading deviation from the road direction at time t (rad), from the
+  /// precomputed cumulative shape table.
+  double heading_deviation(double t) const;
+  /// Small-angle total lateral displacement (signed; left positive).
+  double nominal_lateral_displacement() const;
+
+ private:
+  static constexpr std::size_t kTableSize = 513;
+
+  double shape(double x) const;  ///< unit pulse at normalized time x
+
+  LaneChangeDirection dir_;
+  double peak_;
+  double speed_;
+  double lateral_;
+  double shape_p_;
+  double duration_ = 0.0;
+  double shape_integral_ = 0.0;  ///< I(p)
+  std::array<double, kTableSize> cum_{};  ///< cumulative unit-shape table
+};
+
+/// Per-driver steering style: drivers differ in how aggressively they steer.
+struct DriverSteeringStyle {
+  double peak_rate_mean = 0.155;  ///< rad/s, centre of Table I's deltas
+  double peak_rate_sigma = 0.025;
+  double peak_rate_min = 0.117;   ///< keep above Table I's detection floor
+  double peak_rate_max = 0.22;
+  double shape_p = 0.5;           ///< pulse flatness
+
+  /// Sample a peak steering rate for one maneuver.
+  double sample_peak_rate(math::Rng& rng) const;
+};
+
+}  // namespace rge::vehicle

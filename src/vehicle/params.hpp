@@ -1,0 +1,33 @@
+// Vehicle physical parameters used by the longitudinal dynamics (Eq. 3) and
+// the state-space gradient model (Eq. 4/5). Defaults approximate the
+// evaluation vehicle (Nissan Altima 2006-class mid-size sedan; the paper's
+// Table II uses gross weight 1479 kg).
+#pragma once
+
+#include <cmath>
+
+namespace rge::vehicle {
+
+struct VehicleParams {
+  double mass_kg = 1479.0;        ///< gross vehicle weight m
+  double frontal_area_m2 = 2.3;   ///< A_f
+  double drag_coefficient = 0.31; ///< C_d
+  double air_density = 1.204;     ///< rho (kg/m^3 at ~20 C)
+  double wheel_radius_m = 0.32;   ///< r
+  double rolling_resistance = 0.012; ///< mu
+  double gravity = 9.80665;       ///< g
+
+  /// beta = asin(mu / sqrt(1 + mu^2)), the constant rolling-resistance term
+  /// of Eq. 3.
+  double beta() const {
+    return std::asin(rolling_resistance /
+                     std::sqrt(1.0 + rolling_resistance * rolling_resistance));
+  }
+  /// Aerodynamic drag force coefficient: F_drag = k * v^2 with
+  /// k = 0.5 * rho * A_f * C_d.
+  double drag_k() const {
+    return 0.5 * air_density * frontal_area_m2 * drag_coefficient;
+  }
+};
+
+}  // namespace rge::vehicle

@@ -1,0 +1,90 @@
+#include "vehicle/powertrain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/angles.hpp"
+
+namespace rge::vehicle {
+
+Powertrain::Powertrain(const VehicleParams& vehicle,
+                       const PowertrainParams& params)
+    : vehicle_(vehicle), params_(params) {
+  for (double r : params_.gear_ratios) {
+    if (r <= 0.0) {
+      throw std::invalid_argument("Powertrain: gear ratios must be > 0");
+    }
+  }
+  if (params_.final_drive <= 0.0 || params_.efficiency <= 0.0 ||
+      params_.efficiency > 1.0) {
+    throw std::invalid_argument("Powertrain: bad drive parameters");
+  }
+}
+
+double Powertrain::max_engine_torque(double rpm) const {
+  // Parabola peaking at (peak_rpm, peak): T(rpm) = peak - k (rpm - peak)^2,
+  // with k set so the curve passes ~60% peak at idle.
+  const double span = params_.peak_torque_rpm - params_.idle_rpm;
+  const double k = 0.4 * params_.peak_torque_nm / (span * span);
+  const double d = rpm - params_.peak_torque_rpm;
+  return std::max(0.3 * params_.peak_torque_nm,
+                  params_.peak_torque_nm - k * d * d);
+}
+
+double Powertrain::rpm_at(double speed_mps, int gear) const {
+  if (gear < 1 || gear > static_cast<int>(params_.gear_ratios.size())) {
+    throw std::invalid_argument("Powertrain::rpm_at: bad gear");
+  }
+  const double wheel_rps = speed_mps / (math::kTwoPi * vehicle_.wheel_radius_m);
+  const double ratio =
+      params_.gear_ratios[static_cast<std::size_t>(gear - 1)] *
+      params_.final_drive;
+  return std::max(params_.idle_rpm, wheel_rps * ratio * 60.0);
+}
+
+int Powertrain::select_gear(double speed_mps) const {
+  const int n = static_cast<int>(params_.gear_ratios.size());
+  // Highest gear that keeps rpm above the downshift point; if even first
+  // gear is below the upshift point, stay in first.
+  for (int gear = n; gear >= 2; --gear) {
+    if (rpm_at(speed_mps, gear) >= params_.shift_down_rpm) return gear;
+  }
+  return 1;
+}
+
+double Powertrain::wheel_torque(double engine_torque_nm, int gear) const {
+  const double ratio =
+      params_.gear_ratios[static_cast<std::size_t>(gear - 1)] *
+      params_.final_drive;
+  return engine_torque_nm * ratio * params_.efficiency;
+}
+
+PowertrainState Powertrain::operate(double speed_mps,
+                                    double wheel_torque_nm,
+                                    bool clamp) const {
+  PowertrainState st;
+  st.gear = select_gear(speed_mps);
+  st.engine_rpm =
+      std::min(params_.max_rpm, rpm_at(speed_mps, st.gear));
+  const double ratio =
+      params_.gear_ratios[static_cast<std::size_t>(st.gear - 1)] *
+      params_.final_drive;
+  double demand = wheel_torque_nm / (ratio * params_.efficiency);
+  if (clamp) {
+    const double cap = max_engine_torque(st.engine_rpm);
+    if (demand > cap) {
+      demand = cap;
+      st.saturated = true;
+    }
+    const double brake_floor = -0.15 * params_.peak_torque_nm;
+    if (demand < brake_floor) {
+      demand = brake_floor;  // friction brakes take the rest
+      st.saturated = true;
+    }
+  }
+  st.engine_torque_nm = demand;
+  return st;
+}
+
+}  // namespace rge::vehicle

@@ -1,0 +1,77 @@
+// Powertrain model: gearbox + engine torque curve.
+//
+// The paper's related work ([5]-[8]) estimates grade from engine torque and
+// active gear, and dismisses the approach because "the gearbox management
+// system ... is only available in premium cars" and gears shift constantly.
+// This module supplies exactly those signals for the simulator's CAN bus —
+// a speed-scheduled automatic gearbox and an engine torque curve — so the
+// premium-car torque method can be implemented faithfully and compared
+// against the smartphone-only system.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "vehicle/params.hpp"
+
+namespace rge::vehicle {
+
+struct PowertrainParams {
+  /// Gear ratios of a 5-speed automatic (engine rev per wheel rev, before
+  /// the final drive).
+  std::array<double, 5> gear_ratios{3.6, 2.1, 1.4, 1.0, 0.75};
+  double final_drive = 3.9;
+  /// Driveline efficiency (wheel torque = engine torque * ratio * eff).
+  double efficiency = 0.90;
+  /// Speed-scheduled shift points: upshift when engine rpm exceeds this...
+  double shift_up_rpm = 2600.0;
+  /// ...and downshift when it falls below this.
+  double shift_down_rpm = 1300.0;
+  double idle_rpm = 700.0;
+  double max_rpm = 6000.0;
+  /// Peak engine torque (Nm) and the rpm it peaks at; the curve is a
+  /// parabola through (idle, 60% peak), (peak_rpm, peak), (max, 70% peak).
+  double peak_torque_nm = 230.0;
+  double peak_torque_rpm = 3800.0;
+};
+
+/// Instantaneous powertrain operating point.
+struct PowertrainState {
+  int gear = 1;                  ///< 1-based active gear
+  double engine_rpm = 0.0;
+  double engine_torque_nm = 0.0; ///< signed; negative = engine braking
+  bool saturated = false;        ///< demand exceeded the torque curve
+};
+
+class Powertrain {
+ public:
+  Powertrain(const VehicleParams& vehicle, const PowertrainParams& params);
+
+  /// Maximum engine torque available at the given rpm (the torque curve).
+  double max_engine_torque(double rpm) const;
+
+  /// Engine rpm in `gear` (1-based) at road speed v.
+  double rpm_at(double speed_mps, int gear) const;
+
+  /// Gear the speed-scheduled automatic selects at road speed v, keeping
+  /// rpm between the shift points where possible (hysteresis-free
+  /// schedule: deterministic per speed; adequate for signal simulation).
+  int select_gear(double speed_mps) const;
+
+  /// Operating point delivering `wheel_torque_nm` at `speed_mps`.
+  /// With `clamp` (default), engine torque is limited to the curve
+  /// (saturated flag set) and floors at -15% of peak (engine braking);
+  /// without, the exact demanded torque is reported — used by the signal
+  /// simulator so CAN torque stays consistent with the kinematics.
+  PowertrainState operate(double speed_mps, double wheel_torque_nm,
+                          bool clamp = true) const;
+
+  /// Wheel torque produced by a given engine torque in `gear`.
+  double wheel_torque(double engine_torque_nm, int gear) const;
+
+ private:
+  VehicleParams vehicle_;
+  PowertrainParams params_;
+};
+
+}  // namespace rge::vehicle

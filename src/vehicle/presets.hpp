@@ -1,0 +1,46 @@
+// Vehicle parameter presets. The paper evaluates with one mid-size sedan
+// and argues (Section III-E) that "diversity of vehicles will slightly
+// affect the final computation of fuel consumption"; these presets let the
+// benches and examples quantify that sensitivity.
+#pragma once
+
+#include "vehicle/params.hpp"
+
+namespace rge::vehicle {
+
+/// The paper's evaluation vehicle: mid-size sedan, 1479 kg gross.
+inline VehicleParams make_midsize_sedan() { return VehicleParams{}; }
+
+/// Compact hatchback: lighter, smaller frontal area.
+inline VehicleParams make_compact() {
+  VehicleParams p;
+  p.mass_kg = 1150.0;
+  p.frontal_area_m2 = 2.1;
+  p.drag_coefficient = 0.30;
+  p.wheel_radius_m = 0.30;
+  return p;
+}
+
+/// Mid-size SUV: heavier, blunter, taller tires.
+inline VehicleParams make_suv() {
+  VehicleParams p;
+  p.mass_kg = 2100.0;
+  p.frontal_area_m2 = 2.8;
+  p.drag_coefficient = 0.36;
+  p.wheel_radius_m = 0.36;
+  p.rolling_resistance = 0.013;
+  return p;
+}
+
+/// Light delivery van (loaded).
+inline VehicleParams make_delivery_van() {
+  VehicleParams p;
+  p.mass_kg = 3200.0;
+  p.frontal_area_m2 = 4.2;
+  p.drag_coefficient = 0.40;
+  p.wheel_radius_m = 0.37;
+  p.rolling_resistance = 0.014;
+  return p;
+}
+
+}  // namespace rge::vehicle

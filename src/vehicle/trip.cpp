@@ -1,0 +1,200 @@
+#include "vehicle/trip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "math/angles.hpp"
+#include "math/rng.hpp"
+
+namespace rge::vehicle {
+
+using math::Rng;
+
+double VehicleState::longitudinal_speed() const {
+  return speed * std::cos(alpha);
+}
+
+namespace {
+
+void validate(const TripConfig& c) {
+  if (c.sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("TripConfig: sample rate must be > 0");
+  }
+  if (c.cruise_speed_mps <= 0.0 || c.start_speed_mps < 0.0) {
+    throw std::invalid_argument("TripConfig: speeds must be positive");
+  }
+  if (c.max_accel <= 0.0 || c.max_decel >= 0.0) {
+    throw std::invalid_argument("TripConfig: accel limits malformed");
+  }
+  if (c.lane_changes_per_km < 0.0 || c.stops_per_km < 0.0) {
+    throw std::invalid_argument("TripConfig: event rates must be >= 0");
+  }
+}
+
+}  // namespace
+
+Trip simulate_trip(const road::Road& road, const TripConfig& config) {
+  validate(config);
+  const double dt = 1.0 / config.sample_rate_hz;
+
+  Rng rng = Rng(config.seed).fork("trip");
+  Rng rng_events = rng.fork("events");
+  math::DriftProcess accel_jitter(config.accel_jitter_sigma,
+                                  config.accel_jitter_tau_s);
+  math::DriftProcess target_wander(config.target_speed_sigma,
+                                   config.target_speed_tau_s);
+
+  Trip trip;
+  trip.dt = dt;
+  trip.config = config;
+
+  double t = 0.0;
+  double s = 0.0;
+  double v = std::max(config.start_speed_mps, 0.0);
+  double alpha = 0.0;
+  double lateral = 0.0;
+  int lane = 0;
+
+  std::optional<LaneChangeManeuver> active_lc;
+  double lc_start_t = 0.0;
+  double lc_start_s = 0.0;
+  double last_lc_end_t = -1e9;
+
+  double stop_until = -1.0;  // timestamp until which the vehicle is stopped
+  const double total_len = road.length_m();
+
+  const std::size_t max_samples = static_cast<std::size_t>(
+      (total_len / std::max(1.0, config.min_speed_mps) + 3600.0) /
+      dt);
+
+  std::size_t step_count = 0;
+  while (s < total_len && step_count++ < max_samples) {
+    const double grade = road.grade_at(s);
+    const double curvature = road.curvature_at(s);
+
+    // ---- Driver longitudinal control -------------------------------
+    double v_target = config.cruise_speed_mps + target_wander.value();
+    // Comfort limit through curves: v^2 * |kappa| <= a_lat_max.
+    if (std::abs(curvature) > 1e-6) {
+      v_target = std::min(
+          v_target, std::sqrt(config.lateral_accel_limit /
+                              std::abs(curvature)));
+    }
+    v_target = std::max(v_target, config.min_speed_mps);
+
+    bool stopped = false;
+    double a_cmd;
+    if (t < stop_until) {
+      // Holding at a stop.
+      a_cmd = 0.0;
+      v = 0.0;
+      stopped = true;
+    } else {
+      a_cmd = config.speed_p_gain * (v_target - v) + accel_jitter.value();
+      a_cmd = std::clamp(a_cmd, config.max_decel, config.max_accel);
+    }
+
+    // ---- Random stop events ----------------------------------------
+    if (config.stops_per_km > 0.0 && !stopped && !active_lc && v > 3.0) {
+      const double p_stop = config.stops_per_km / 1000.0 * v * dt;
+      if (rng_events.bernoulli(std::min(1.0, p_stop))) {
+        // Instant comfortable stop approximation: decelerate hard for the
+        // next samples by setting a short stop window after ramp-down.
+        stop_until = t + v / std::abs(config.max_decel) +
+                     config.stop_duration_s;
+      }
+    }
+
+    // ---- Lane change scheduling ------------------------------------
+    const int lanes_here = road.lanes_at(s);
+    if (config.allow_lane_changes && !active_lc && !stopped &&
+        lanes_here >= 2 && v > 5.0 &&
+        t - last_lc_end_t > config.lane_change_cooldown_s) {
+      const double p = config.lane_changes_per_km / 1000.0 * v * dt;
+      if (rng_events.bernoulli(std::min(1.0, p))) {
+        LaneChangeDirection dir;
+        if (lane <= 0) {
+          dir = LaneChangeDirection::kLeft;
+        } else if (lane >= lanes_here - 1) {
+          dir = LaneChangeDirection::kRight;
+        } else {
+          dir = rng_events.bernoulli(0.5) ? LaneChangeDirection::kLeft
+                                          : LaneChangeDirection::kRight;
+        }
+        const double peak = config.steering.sample_peak_rate(rng_events);
+        active_lc.emplace(dir, peak, v, kLaneWidthM, config.steering.shape_p);
+        lc_start_t = t;
+        lc_start_s = s;
+      }
+    }
+
+    // ---- Steering (lane change) ------------------------------------
+    double w_steer = 0.0;
+    bool in_lc = false;
+    if (active_lc) {
+      const double tau = t - lc_start_t;
+      if (tau <= active_lc->duration_s()) {
+        w_steer = active_lc->steering_rate(tau);
+        in_lc = true;
+      } else {
+        // Maneuver complete: commit the lane switch and record the label.
+        lane += active_lc->direction() == LaneChangeDirection::kLeft ? 1 : -1;
+        trip.lane_changes.push_back(LaneChangeEvent{
+            lc_start_t, t, lc_start_s, active_lc->direction(),
+            active_lc->peak_rate(), v});
+        last_lc_end_t = t;
+        active_lc.reset();
+        alpha = 0.0;  // maneuver geometry returns the deviation to zero
+      }
+    }
+
+    // ---- Record the state ------------------------------------------
+    VehicleState st;
+    st.t = t;
+    st.s = s;
+    st.speed = v;
+    st.accel = stopped ? 0.0 : a_cmd;
+    st.grade = grade;
+    st.road_heading = road.heading_at(s);
+    st.alpha = alpha;
+    st.heading = math::wrap_pi(st.road_heading + alpha);
+    st.steer_rate = w_steer;
+    st.yaw_rate = curvature * v * std::cos(alpha) + w_steer;
+    st.lateral_offset = lateral;
+    st.lane = lane;
+    st.in_lane_change = in_lc;
+    st.stopped = stopped;
+    st.position = road.position_at(s);
+    // Shift position laterally (left of travel direction).
+    st.position.east_m += -std::sin(st.road_heading) * lateral;
+    st.position.north_m += std::cos(st.road_heading) * lateral;
+    st.altitude = road.elevation_at(s);
+    st.position.up_m = st.altitude;
+    trip.states.push_back(st);
+
+    // ---- Integrate one step ----------------------------------------
+    if (!stopped) {
+      v = std::max(0.0, v + a_cmd * dt);
+      if (t >= stop_until && stop_until > 0.0 && v < config.min_speed_mps) {
+        // Pull away from a stop.
+        v = std::max(v, 0.5);
+      } else if (stop_until < t && v < config.min_speed_mps &&
+                 a_cmd <= 0.0) {
+        v = config.min_speed_mps;  // keep crawling; trips never stall
+      }
+    }
+    alpha += w_steer * dt;
+    lateral += v * std::sin(alpha) * dt;
+    s += v * std::cos(alpha) * dt;
+    t += dt;
+    accel_jitter.step(dt, rng);
+    target_wander.step(dt, rng);
+  }
+
+  return trip;
+}
+
+}  // namespace rge::vehicle

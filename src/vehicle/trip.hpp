@@ -1,0 +1,94 @@
+// Trip simulator: integrates a driver-controlled vehicle along a Road and
+// records ground-truth kinematic states at the IMU sample rate. This is the
+// substitute for the paper's physical test drives — every estimator in the
+// repository consumes (noisy observations of) the states produced here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/geodesy.hpp"
+#include "road/road.hpp"
+#include "vehicle/lane_change.hpp"
+#include "vehicle/params.hpp"
+
+namespace rge::vehicle {
+
+/// Ground-truth vehicle state at one sample instant.
+struct VehicleState {
+  double t = 0.0;              ///< seconds since trip start
+  double s = 0.0;              ///< arc length along the road (m)
+  double speed = 0.0;          ///< vehicle speed along its own path (m/s)
+  double accel = 0.0;          ///< d(speed)/dt (m/s^2)
+  double grade = 0.0;          ///< road gradient at s (rad)
+  double road_heading = 0.0;   ///< road direction at s (rad CCW from East)
+  double alpha = 0.0;          ///< vehicle heading deviation from road (rad)
+  double heading = 0.0;        ///< vehicle heading (rad CCW from East)
+  double yaw_rate = 0.0;       ///< total d(heading)/dt a gyro senses (rad/s)
+  double steer_rate = 0.0;     ///< lane-change steering component (rad/s)
+  double lateral_offset = 0.0; ///< m left of the trip's initial lane centre
+  int lane = 0;                ///< lane index, 0 = rightmost
+  bool in_lane_change = false;
+  bool stopped = false;
+  math::Enu position;          ///< ENU relative to the road anchor
+  double altitude = 0.0;       ///< m above the road anchor datum
+
+  /// Velocity component along the road direction (what Eq. 2 recovers).
+  double longitudinal_speed() const;
+};
+
+/// Ground-truth label of one lane-change maneuver, for detector evaluation.
+struct LaneChangeEvent {
+  double start_t = 0.0;
+  double end_t = 0.0;
+  double start_s = 0.0;
+  LaneChangeDirection direction = LaneChangeDirection::kLeft;
+  double peak_rate = 0.0;
+  double speed = 0.0;
+};
+
+struct TripConfig {
+  double sample_rate_hz = 50.0;      ///< ground-truth/IMU rate
+  double cruise_speed_mps = 11.11;   ///< ~40 km/h, the paper's city average
+  double start_speed_mps = 8.0;
+  double max_accel = 2.0;            ///< m/s^2
+  double max_decel = -3.5;           ///< m/s^2
+  double speed_p_gain = 0.4;         ///< driver speed-tracking gain (1/s)
+  double accel_jitter_sigma = 0.35;  ///< stddev of driver accel jitter
+  double accel_jitter_tau_s = 3.0;   ///< jitter correlation time
+  double target_speed_sigma = 1.2;   ///< slow target-speed wander (m/s)
+  double target_speed_tau_s = 25.0;
+  double lateral_accel_limit = 2.5;  ///< curve-slowing comfort limit (m/s^2)
+  double min_speed_mps = 2.0;        ///< floor while moving
+
+  bool allow_lane_changes = true;
+  double lane_changes_per_km = 1.2;  ///< on multi-lane stretches (urban-ish)
+  double lane_change_cooldown_s = 8.0;
+  DriverSteeringStyle steering;
+
+  double stops_per_km = 0.0;         ///< random full stops (traffic lights)
+  double stop_duration_s = 8.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// A completed simulated drive.
+struct Trip {
+  std::vector<VehicleState> states;
+  std::vector<LaneChangeEvent> lane_changes;
+  double dt = 0.02;
+  TripConfig config;
+
+  double duration_s() const {
+    return states.empty() ? 0.0 : states.back().t;
+  }
+  double distance_m() const {
+    return states.empty() ? 0.0 : states.back().s;
+  }
+};
+
+/// Simulate one drive over the full length of `road`.
+/// @throws std::invalid_argument on nonsensical configs.
+Trip simulate_trip(const road::Road& road, const TripConfig& config);
+
+}  // namespace rge::vehicle

@@ -1,0 +1,194 @@
+// Unit tests for the smartphone coordinate alignment stage.
+#include "core/alignment.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+#include "math/stats.hpp"
+#include "road/road.hpp"
+#include "sensors/smartphone.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::core {
+namespace {
+
+using math::deg2rad;
+
+struct Scenario {
+  road::Road road;
+  vehicle::Trip trip;
+  sensors::SensorTrace trace;
+};
+
+Scenario curved_scenario(double heading_change_deg, bool lane_changes,
+                         std::uint64_t seed = 1) {
+  road::RoadBuilder b("align-road");
+  b.add_section(road::SectionSpec{2000.0, 0.0, 0.0,
+                                  deg2rad(heading_change_deg), 2});
+  Scenario sc{b.build(), {}, {}};
+  vehicle::TripConfig tc;
+  tc.seed = seed;
+  tc.allow_lane_changes = lane_changes;
+  tc.lane_changes_per_km = lane_changes ? 4.0 : 0.0;
+  sc.trip = vehicle::simulate_trip(sc.road, tc);
+  sensors::SmartphoneConfig pc;
+  pc.seed = seed + 100;
+  sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                       vehicle::VehicleParams{}, pc);
+  return sc;
+}
+
+TEST(Alignment, EmptyTraceThrows) {
+  EXPECT_THROW(align_states(sensors::SensorTrace{}), std::invalid_argument);
+}
+
+TEST(Alignment, OutputsAreSameLengthAsImu) {
+  const Scenario sc = curved_scenario(0.0, false);
+  const AlignedStates a = align_states(sc.trace);
+  EXPECT_EQ(a.size(), sc.trace.imu.size());
+  EXPECT_EQ(a.steer_rate.size(), a.size());
+  EXPECT_EQ(a.road_rate.size(), a.size());
+  EXPECT_EQ(a.accel_forward.size(), a.size());
+  EXPECT_EQ(a.gps_available.size(), a.size());
+}
+
+TEST(Alignment, SteerRateNearZeroWithoutManeuvers) {
+  const Scenario sc = curved_scenario(0.0, false);
+  const AlignedStates a = align_states(sc.trace);
+  std::vector<double> tail(a.steer_rate.begin() + 500, a.steer_rate.end());
+  EXPECT_LT(math::stddev(tail), 0.03);
+  EXPECT_NEAR(math::mean(tail), 0.0, 0.01);
+}
+
+TEST(Alignment, RoadRateTracksCurvatureOnBend) {
+  // Steady 90-degree bend over 2 km: w_road = curvature * v.
+  const Scenario sc = curved_scenario(90.0, false);
+  const AlignedStates a = align_states(sc.trace);
+  // Compare mid-trip road rate to the truth.
+  const std::size_t mid = a.size() / 2;
+  const auto& st = sc.trip.states[mid];
+  const double expected = sc.road.curvature_at(st.s) * st.speed;
+  EXPECT_NEAR(a.road_rate[mid], expected, 0.5 * std::abs(expected) + 0.005);
+  // And the steering residual stays small (vehicle follows the road).
+  std::vector<double> tail(a.steer_rate.begin() + 500, a.steer_rate.end());
+  EXPECT_LT(math::stddev(tail), 0.04);
+}
+
+TEST(Alignment, LaneChangeBumpsSurviveAlignment) {
+  const Scenario sc = curved_scenario(0.0, true, 3);
+  ASSERT_FALSE(sc.trip.lane_changes.empty());
+  const AlignedStates a = align_states(sc.trace);
+  // Within each true lane-change window the steering rate must reach a
+  // significant fraction of the generated peak.
+  for (const auto& lc : sc.trip.lane_changes) {
+    double max_abs = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a.t[i] >= lc.start_t && a.t[i] <= lc.end_t) {
+        max_abs = std::max(max_abs, std::abs(a.steer_rate[i]));
+      }
+    }
+    EXPECT_GT(max_abs, 0.6 * lc.peak_rate);
+  }
+}
+
+TEST(Alignment, SpikeRemovalCleansDisturbances) {
+  Scenario sc = curved_scenario(0.0, false, 5);
+  // Inject a massive phone-shift transient into the raw gyro.
+  for (std::size_t i = 2000; i < 2020; ++i) {
+    sc.trace.imu[i].gyro_z += 2.0;
+  }
+  AlignmentConfig with;
+  AlignmentConfig without;
+  without.remove_spikes = false;
+  const AlignedStates cleaned = align_states(sc.trace, with);
+  const AlignedStates raw = align_states(sc.trace, without);
+  double max_clean = 0.0;
+  double max_raw = 0.0;
+  for (std::size_t i = 1990; i < 2040; ++i) {
+    max_clean = std::max(max_clean, std::abs(cleaned.steer_rate[i]));
+    max_raw = std::max(max_raw, std::abs(raw.steer_rate[i]));
+  }
+  EXPECT_GT(max_raw, 1.0);
+  EXPECT_LT(max_clean, 0.2);
+}
+
+TEST(Alignment, BiasRemovalCancelsGyroDrift) {
+  Scenario sc = curved_scenario(0.0, false, 7);
+  // Add a constant gyro bias.
+  for (auto& s : sc.trace.imu) s.gyro_z += 0.02;
+  AlignmentConfig with;
+  AlignmentConfig without;
+  without.remove_bias = false;
+  const AlignedStates corrected = align_states(sc.trace, with);
+  const AlignedStates uncorrected = align_states(sc.trace, without);
+  // After the bias estimator converges the residual mean should be much
+  // smaller than the injected bias.
+  std::vector<double> tail_c(corrected.steer_rate.end() - 2000,
+                             corrected.steer_rate.end());
+  std::vector<double> tail_u(uncorrected.steer_rate.end() - 2000,
+                             uncorrected.steer_rate.end());
+  EXPECT_LT(std::abs(math::mean(tail_c)), 0.01);
+  EXPECT_GT(std::abs(math::mean(tail_u)), 0.015);
+}
+
+TEST(Alignment, GpsAvailabilityFlag) {
+  Scenario sc = curved_scenario(0.0, false, 9);
+  // Re-simulate with an outage window.
+  sensors::SmartphoneConfig pc;
+  pc.seed = 109;
+  pc.gps_outages = {{30.0, 45.0}};
+  sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                       vehicle::VehicleParams{}, pc);
+  const AlignedStates a = align_states(sc.trace);
+  std::size_t avail_in_outage = 0;
+  std::size_t total_in_outage = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.t[i] > 33.0 && a.t[i] < 45.0) {
+      ++total_in_outage;
+      if (a.gps_available[i]) ++avail_in_outage;
+    }
+  }
+  ASSERT_GT(total_in_outage, 0u);
+  EXPECT_EQ(avail_in_outage, 0u);
+  // During the outage the road-rate estimate decays rather than exploding.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.t[i] > 33.0 && a.t[i] < 45.0) {
+      EXPECT_LT(std::abs(a.road_rate[i]), 0.2);
+    }
+  }
+}
+
+TEST(Alignment, OutageGyroFallbackSuppressesCurveResidual) {
+  // Curved road with a long GPS outage: without the fallback, the road
+  // curvature shows up as sustained "steering" during the outage; with
+  // it, the slow gyro average stands in for the road rate.
+  Scenario sc = curved_scenario(150.0, false, 11);
+  sensors::SmartphoneConfig pc;
+  pc.seed = 211;
+  pc.gps_outages = {{40.0, 100.0}};
+  sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                       vehicle::VehicleParams{}, pc);
+  AlignmentConfig with;
+  AlignmentConfig without;
+  without.outage_gyro_fallback = false;
+  const AlignedStates a_with = align_states(sc.trace, with);
+  const AlignedStates a_without = align_states(sc.trace, without);
+  double resid_with = 0.0;
+  double resid_without = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a_with.size(); ++i) {
+    if (a_with.t[i] < 50.0 || a_with.t[i] > 95.0) continue;
+    resid_with += std::abs(a_with.steer_rate[i]);
+    resid_without += std::abs(a_without.steer_rate[i]);
+    ++n;
+  }
+  ASSERT_GT(n, 100u);
+  // The shared gyro white-noise floor dilutes the ratio; the fallback must
+  // still remove a solid chunk of the curve-induced residual.
+  EXPECT_LT(resid_with, 0.7 * resid_without);
+}
+
+}  // namespace
+}  // namespace rge::core

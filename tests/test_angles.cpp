@@ -1,0 +1,59 @@
+// Unit tests for angle utilities.
+#include "math/angles.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rge::math {
+namespace {
+
+TEST(Angles, DegRadRoundTrip) {
+  EXPECT_DOUBLE_EQ(deg2rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad2deg(kPi / 2.0), 90.0);
+  for (double d : {-123.4, -1.0, 0.0, 57.3, 359.0}) {
+    EXPECT_NEAR(rad2deg(deg2rad(d)), d, 1e-12);
+  }
+}
+
+TEST(Angles, WrapPi) {
+  EXPECT_NEAR(wrap_pi(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(wrap_pi(kPi + 0.1), -kPi + 0.1, 1e-12);
+  EXPECT_NEAR(wrap_pi(-kPi - 0.1), kPi - 0.1, 1e-12);
+  EXPECT_NEAR(wrap_pi(3.0 * kTwoPi + 0.5), 0.5, 1e-9);
+  // Boundary: the interval is [-pi, pi), so +pi wraps to -pi.
+  EXPECT_NEAR(wrap_pi(kPi), -kPi, 1e-12);
+  EXPECT_NEAR(wrap_pi(-kPi), -kPi, 1e-12);
+}
+
+TEST(Angles, WrapTwoPi) {
+  EXPECT_NEAR(wrap_two_pi(-0.1), kTwoPi - 0.1, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(kTwoPi + 0.25), 0.25, 1e-12);
+  for (double a : {-10.0, -1.0, 0.0, 1.0, 10.0}) {
+    const double w = wrap_two_pi(a);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, kTwoPi + 1e-12);
+  }
+}
+
+TEST(Angles, AngleDiffShortestPath) {
+  EXPECT_NEAR(angle_diff(0.1, -0.1), 0.2, 1e-12);
+  // Across the wrap: 179 deg to -179 deg is -2 deg, not +358.
+  EXPECT_NEAR(angle_diff(deg2rad(-179.0), deg2rad(179.0)), deg2rad(2.0),
+              1e-9);
+  EXPECT_NEAR(angle_diff(deg2rad(179.0), deg2rad(-179.0)), deg2rad(-2.0),
+              1e-9);
+}
+
+TEST(Angles, SlopeConversions) {
+  EXPECT_NEAR(slope_to_angle(1.0), kPi / 4.0, 1e-12);
+  EXPECT_NEAR(angle_to_slope(kPi / 4.0), 1.0, 1e-12);
+  EXPECT_NEAR(angle_to_percent_grade(std::atan(0.05)), 5.0, 1e-9);
+  // Round trip for small slopes.
+  for (double s : {-0.08, -0.01, 0.0, 0.02, 0.1}) {
+    EXPECT_NEAR(angle_to_slope(slope_to_angle(s)), s, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rge::math

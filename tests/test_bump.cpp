@@ -1,0 +1,163 @@
+// Unit tests for steering-rate bump extraction.
+#include "core/bump.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+#include "vehicle/lane_change.hpp"
+
+namespace rge::core {
+namespace {
+
+// Build a sampled profile from a callable at the given rate.
+template <typename F>
+void sample_profile(F f, double duration, double rate,
+                    std::vector<double>& t, std::vector<double>& w) {
+  t.clear();
+  w.clear();
+  const double dt = 1.0 / rate;
+  for (double x = 0.0; x <= duration; x += dt) {
+    t.push_back(x);
+    w.push_back(f(x));
+  }
+}
+
+TEST(Bump, SizeMismatchThrows) {
+  const std::vector<double> t{0.0, 1.0};
+  const std::vector<double> w{0.0};
+  EXPECT_THROW(extract_bumps(t, w), std::invalid_argument);
+}
+
+TEST(Bump, FlatProfileHasNoBumps) {
+  std::vector<double> t;
+  std::vector<double> w;
+  sample_profile([](double) { return 0.005; }, 10.0, 10.0, t, w);
+  // Values inside the zero band never open an excursion.
+  EXPECT_TRUE(extract_bumps(t, w).empty());
+}
+
+TEST(Bump, SinglePositiveBump) {
+  std::vector<double> t;
+  std::vector<double> w;
+  sample_profile(
+      [](double x) {
+        return x >= 2.0 && x <= 5.0
+                   ? 0.15 * std::sin(math::kPi * (x - 2.0) / 3.0)
+                   : 0.0;
+      },
+      10.0, 20.0, t, w);
+  const auto bumps = extract_bumps(t, w);
+  ASSERT_EQ(bumps.size(), 1u);
+  const Bump& b = bumps[0];
+  EXPECT_EQ(b.sign, 1);
+  EXPECT_NEAR(b.delta, 0.15, 0.01);
+  EXPECT_NEAR(b.t_peak, 3.5, 0.2);
+  EXPECT_GT(b.t_end, b.t_start);
+  // For a half-sine, time above 0.7*peak is ~0.506 of the width.
+  EXPECT_NEAR(b.duration_above, 0.506 * 3.0, 0.2);
+}
+
+TEST(Bump, OppositePairExtractedInOrder) {
+  std::vector<double> t;
+  std::vector<double> w;
+  const vehicle::LaneChangeManeuver m(vehicle::LaneChangeDirection::kLeft,
+                                      0.15, 10.0);
+  sample_profile([&](double x) { return m.steering_rate(x); },
+                 m.duration_s(), 50.0, t, w);
+  const auto bumps = extract_bumps(t, w);
+  ASSERT_EQ(bumps.size(), 2u);
+  EXPECT_EQ(bumps[0].sign, 1);
+  EXPECT_EQ(bumps[1].sign, -1);
+  EXPECT_LT(bumps[0].t_end, bumps[1].t_start + 1e-9);
+  EXPECT_NEAR(bumps[0].delta, 0.15, 0.01);
+  EXPECT_NEAR(bumps[1].delta, 0.15, 0.01);
+}
+
+TEST(Bump, QualificationThresholds) {
+  Bump b;
+  b.delta = 0.12;
+  b.duration_above = 1.0;
+  BumpThresholds thr;
+  thr.delta_min = 0.10;
+  thr.t_min = 0.55;
+  EXPECT_TRUE(qualifies(b, thr));
+  b.delta = 0.09;
+  EXPECT_FALSE(qualifies(b, thr));
+  b.delta = 0.12;
+  b.duration_above = 0.3;
+  EXPECT_FALSE(qualifies(b, thr));
+}
+
+TEST(Bump, ZeroBandMergesJitter) {
+  // A bump interrupted by tiny jitter around zero should not split when the
+  // jitter stays inside the zero band.
+  std::vector<double> t;
+  std::vector<double> w;
+  sample_profile(
+      [](double x) {
+        if (x < 1.0 || x > 5.0) return 0.0;
+        const double base = 0.2 * std::sin(math::kPi * (x - 1.0) / 4.0);
+        return std::max(base, 0.021);  // never dips into the band
+      },
+      6.0, 20.0, t, w);
+  const auto bumps = extract_bumps(t, w);
+  ASSERT_EQ(bumps.size(), 1u);
+}
+
+TEST(MeasureManeuver, LeftLaneChangeFeatures) {
+  const vehicle::LaneChangeManeuver m(vehicle::LaneChangeDirection::kLeft,
+                                      0.16, 8.0);
+  std::vector<double> t;
+  std::vector<double> w;
+  sample_profile([&](double x) { return m.steering_rate(x); },
+                 m.duration_s(), 50.0, t, w);
+  const ManeuverFeatures f = measure_maneuver(t, w);
+  EXPECT_TRUE(f.complete);
+  EXPECT_NEAR(f.delta_pos, 0.16, 0.01);
+  EXPECT_NEAR(f.delta_neg, 0.16, 0.01);
+  EXPECT_GT(f.t_pos, 0.3);
+  // Symmetric maneuver: both durations comparable.
+  EXPECT_NEAR(f.t_pos, f.t_neg, 0.2);
+}
+
+TEST(MeasureManeuver, IncompleteWithoutNegativeBump) {
+  std::vector<double> t;
+  std::vector<double> w;
+  sample_profile(
+      [](double x) {
+        return x < 3.0 ? 0.15 * std::sin(math::kPi * x / 3.0) : 0.0;
+      },
+      5.0, 20.0, t, w);
+  const ManeuverFeatures f = measure_maneuver(t, w);
+  EXPECT_FALSE(f.complete);
+  EXPECT_GT(f.delta_pos, 0.1);
+  EXPECT_DOUBLE_EQ(f.delta_neg, 0.0);
+}
+
+// Parameterized: the dominant bump is found across peak magnitudes.
+class BumpMagnitude : public ::testing::TestWithParam<double> {};
+
+TEST_P(BumpMagnitude, PeakRecovered) {
+  const double peak = GetParam();
+  std::vector<double> t;
+  std::vector<double> w;
+  sample_profile(
+      [peak](double x) {
+        return x >= 1.0 && x <= 4.0
+                   ? peak * std::sin(math::kPi * (x - 1.0) / 3.0)
+                   : 0.0;
+      },
+      6.0, 25.0, t, w);
+  const auto bumps = extract_bumps(t, w);
+  ASSERT_EQ(bumps.size(), 1u);
+  EXPECT_NEAR(bumps[0].delta, peak, 0.02 * peak + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Peaks, BumpMagnitude,
+                         ::testing::Values(0.05, 0.1, 0.15, 0.2, 0.4));
+
+}  // namespace
+}  // namespace rge::core

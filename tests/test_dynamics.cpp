@@ -1,0 +1,137 @@
+// Unit tests for longitudinal vehicle dynamics (the Eq. 3 force balance).
+#include "vehicle/dynamics.hpp"
+#include "vehicle/presets.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+
+namespace rge::vehicle {
+namespace {
+
+using math::deg2rad;
+
+TEST(VehicleParams, DerivedQuantities) {
+  VehicleParams p;
+  EXPECT_NEAR(p.beta(), std::asin(0.012 / std::sqrt(1.0 + 0.012 * 0.012)),
+              1e-15);
+  EXPECT_NEAR(p.drag_k(), 0.5 * 1.204 * 2.3 * 0.31, 1e-12);
+}
+
+TEST(Dynamics, TorqueAccelerationRoundTrip) {
+  const VehicleParams p;
+  for (double v : {0.0, 5.0, 15.0, 30.0}) {
+    for (double a : {-2.0, 0.0, 1.5}) {
+      for (double g_deg : {-6.0, 0.0, 4.0}) {
+        const double grade = deg2rad(g_deg);
+        const double torque = required_torque(p, a, v, grade);
+        EXPECT_NEAR(longitudinal_acceleration(p, torque, v, grade), a, 1e-10)
+            << "v=" << v << " a=" << a << " grade=" << g_deg;
+      }
+    }
+  }
+}
+
+TEST(Dynamics, CoastingDecelerates) {
+  const VehicleParams p;
+  // Zero torque on flat ground: drag + rolling slow the car down.
+  EXPECT_LT(longitudinal_acceleration(p, 0.0, 20.0, 0.0), 0.0);
+  // On a steep enough downhill, gravity wins.
+  EXPECT_GT(longitudinal_acceleration(p, 0.0, 5.0, deg2rad(-8.0)), 0.0);
+}
+
+TEST(Dynamics, UphillNeedsMoreTorque) {
+  const VehicleParams p;
+  const double flat = required_torque(p, 0.0, 15.0, 0.0);
+  const double up = required_torque(p, 0.0, 15.0, deg2rad(4.0));
+  const double down = required_torque(p, 0.0, 15.0, deg2rad(-4.0));
+  EXPECT_GT(up, flat);
+  EXPECT_LT(down, flat);
+  // Gravity term dominates: difference ~ m g sin(4 deg) * r.
+  EXPECT_NEAR(up - flat,
+              p.mass_kg * p.gravity * std::sin(deg2rad(4.0)) *
+                  p.wheel_radius_m,
+              1.0);
+}
+
+TEST(Dynamics, GradeFromStatesRecoversGrade) {
+  const VehicleParams p;
+  for (double g_deg : {-5.0, -1.0, 0.0, 2.0, 6.0}) {
+    const double grade = deg2rad(g_deg);
+    const double v = 12.0;
+    const double a = 0.7;
+    const double torque = required_torque(p, a, v, grade);
+    // Eq. 3 with exact inputs: recovered grade must match up to the
+    // small-angle treatment of rolling resistance (beta merges mu*cos
+    // into a constant), i.e. within ~0.05 deg over city grades.
+    EXPECT_NEAR(grade_from_states(p, torque, v, a), grade, deg2rad(0.05))
+        << g_deg;
+  }
+}
+
+TEST(Dynamics, GradeFromStatesClampsInsaneInputs) {
+  const VehicleParams p;
+  // Absurd torque would push asin out of domain; must not NaN.
+  const double g = grade_from_states(p, 1e9, 10.0, 0.0);
+  EXPECT_TRUE(std::isfinite(g));
+  EXPECT_NEAR(g, math::kPi / 2.0 - p.beta(), 1e-12);
+}
+
+TEST(Dynamics, FlatRoadTorqueIgnoresGrade) {
+  const VehicleParams p;
+  EXPECT_DOUBLE_EQ(torque_from_states_flat_road(p, 10.0, 1.0),
+                   required_torque(p, 1.0, 10.0, 0.0));
+}
+
+TEST(Dynamics, SpecificForceIncludesGravityLeak) {
+  const VehicleParams p;
+  EXPECT_DOUBLE_EQ(longitudinal_specific_force(p, 1.0, 0.0), 1.0);
+  const double up = longitudinal_specific_force(p, 0.0, deg2rad(5.0));
+  EXPECT_NEAR(up, p.gravity * std::sin(deg2rad(5.0)), 1e-12);
+  const double down = longitudinal_specific_force(p, 0.0, deg2rad(-5.0));
+  EXPECT_DOUBLE_EQ(up, -down);
+}
+
+TEST(VehiclePresets, OrderingIsPhysical) {
+  const VehicleParams compact = make_compact();
+  const VehicleParams sedan = make_midsize_sedan();
+  const VehicleParams suv = make_suv();
+  const VehicleParams van = make_delivery_van();
+  // Heavier vehicles need more torque for the same hill climb.
+  const double grade = deg2rad(4.0);
+  const double t_compact = required_torque(compact, 0.0, 12.0, grade);
+  const double t_sedan = required_torque(sedan, 0.0, 12.0, grade);
+  const double t_suv = required_torque(suv, 0.0, 12.0, grade);
+  const double t_van = required_torque(van, 0.0, 12.0, grade);
+  EXPECT_LT(t_compact, t_sedan);
+  EXPECT_LT(t_sedan, t_suv);
+  EXPECT_LT(t_suv, t_van);
+  // And decelerate faster when coasting (more drag area per... at least
+  // the van, with the largest drag area, slows hardest at speed).
+  EXPECT_LT(longitudinal_acceleration(van, 0.0, 30.0, 0.0),
+            longitudinal_acceleration(compact, 0.0, 30.0, 0.0));
+}
+
+// Parameterized: heavier vehicles need proportionally more grade torque.
+class MassScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(MassScaling, GradeTorqueScalesWithMass) {
+  VehicleParams p;
+  p.mass_kg = GetParam();
+  const double up = required_torque(p, 0.0, 10.0, deg2rad(3.0));
+  const double flat = required_torque(p, 0.0, 10.0, 0.0);
+  const double expected =
+      p.gravity *
+      (std::sin(deg2rad(3.0)) +
+       p.rolling_resistance * (std::cos(deg2rad(3.0)) - 1.0)) *
+      p.wheel_radius_m;
+  EXPECT_NEAR((up - flat) / p.mass_kg, expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masses, MassScaling,
+                         ::testing::Values(900.0, 1479.0, 2200.0, 3500.0));
+
+}  // namespace
+}  // namespace rge::vehicle

@@ -1,0 +1,122 @@
+// Unit tests for emission factors, per-road fuel summaries, and the AADT
+// traffic model.
+#include "emissions/emissions.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+#include "road/network.hpp"
+
+namespace rge::emissions {
+namespace {
+
+using math::deg2rad;
+
+TEST(EmissionMass, FactorsFromPaper) {
+  EXPECT_DOUBLE_EQ(emission_mass_g(1.0, kCo2GramsPerGallon), 8908.0);
+  EXPECT_DOUBLE_EQ(emission_mass_g(1.0, kPm25GramsPerGallon), 0.084);
+  EXPECT_DOUBLE_EQ(emission_mass_g(2.5, kCo2GramsPerGallon), 22270.0);
+  EXPECT_THROW(emission_mass_g(-1.0, kCo2GramsPerGallon),
+               std::invalid_argument);
+}
+
+road::Road hilly_road() {
+  road::RoadBuilder b("hilly");
+  b.add_straight(1000.0, deg2rad(3.0));
+  b.add_straight(1000.0, deg2rad(-3.0));
+  return b.build();
+}
+
+road::Road flat_road() {
+  road::RoadBuilder b("flat");
+  b.add_straight(2000.0, 0.0);
+  return b.build();
+}
+
+TEST(RoadFuel, FlatRoadMatchesFlatRate) {
+  const road::Road r = flat_road();
+  const RoadFuelSummary s = summarize_road_fuel(r, 11.1);
+  EXPECT_NEAR(s.fuel_rate_gal_per_h, s.fuel_rate_flat_gal_per_h, 1e-9);
+  EXPECT_NEAR(s.length_km, 2.0, 1e-6);
+  EXPECT_NEAR(s.mean_grade_rad, 0.0, 1e-12);
+  // Per-vehicle fuel = rate * traversal hours.
+  const double hours = 2000.0 / 11.1 / 3600.0;
+  EXPECT_NEAR(s.fuel_per_vehicle_gal, s.fuel_rate_gal_per_h * hours, 1e-9);
+}
+
+TEST(RoadFuel, HillyRoadBurnsMoreThanFlatAssumption) {
+  const road::Road r = hilly_road();
+  const RoadFuelSummary s = summarize_road_fuel(r, 11.1);
+  // The up/down asymmetry (idle floor) raises the true average above the
+  // flat-road assumption — the paper's Section IV-C effect.
+  EXPECT_GT(s.fuel_rate_gal_per_h, 1.15 * s.fuel_rate_flat_gal_per_h);
+  EXPECT_GT(s.fuel_per_vehicle_gal, s.fuel_per_vehicle_flat_gal);
+}
+
+TEST(RoadFuel, WithExternalGradeSeries) {
+  const road::Road r = flat_road();
+  // Pretend the estimator reported a constant 2-degree uphill.
+  const std::vector<double> grades(100, deg2rad(2.0));
+  const RoadFuelSummary s =
+      summarize_road_fuel_with_grades(r, 11.1, grades, 20.0);
+  EXPECT_GT(s.fuel_rate_gal_per_h, s.fuel_rate_flat_gal_per_h);
+  EXPECT_NEAR(s.mean_grade_rad, deg2rad(2.0), 1e-12);
+}
+
+TEST(RoadFuel, Validation) {
+  const road::Road r = flat_road();
+  EXPECT_THROW(summarize_road_fuel(r, 0.0), std::invalid_argument);
+  EXPECT_THROW(summarize_road_fuel_with_grades(r, 10.0, {}, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      summarize_road_fuel_with_grades(r, 10.0, {0.0}, 0.0),
+      std::invalid_argument);
+}
+
+TEST(Traffic, AadtRangesPerClass) {
+  TrafficModel tm;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double art = tm.aadt(road::RoadClass::kArterial, i);
+    EXPECT_GE(art, tm.arterial_lo);
+    EXPECT_LE(art, tm.arterial_hi);
+    const double res = tm.aadt(road::RoadClass::kResidential, i);
+    EXPECT_GE(res, tm.residential_lo);
+    EXPECT_LE(res, tm.residential_hi);
+    EXPECT_GT(art, res);  // by construction of the ranges
+  }
+}
+
+TEST(Traffic, DeterministicPerIndex) {
+  TrafficModel tm;
+  EXPECT_DOUBLE_EQ(tm.aadt(road::RoadClass::kCollector, 3),
+                   tm.aadt(road::RoadClass::kCollector, 3));
+  EXPECT_NE(tm.aadt(road::RoadClass::kCollector, 3),
+            tm.aadt(road::RoadClass::kCollector, 4));
+}
+
+TEST(Traffic, HourlyFraction) {
+  TrafficModel tm;
+  EXPECT_NEAR(tm.vehicles_per_hour(road::RoadClass::kArterial, 1),
+              tm.aadt(road::RoadClass::kArterial, 1) / 24.0, 1e-9);
+}
+
+TEST(EmissionDensity, ScalesWithVolumeAndFuel) {
+  RoadFuelSummary fuel;
+  fuel.length_km = 2.0;
+  fuel.fuel_per_vehicle_gal = 0.05;
+  const double low = emission_density_g_per_km_h(fuel, 100.0,
+                                                 kCo2GramsPerGallon);
+  const double high = emission_density_g_per_km_h(fuel, 1000.0,
+                                                  kCo2GramsPerGallon);
+  EXPECT_NEAR(high / low, 10.0, 1e-9);
+  // Hand check: 0.05 gal * 100 veh / 2 km * 8908 g/gal.
+  EXPECT_NEAR(low, 0.05 * 100.0 / 2.0 * 8908.0, 1e-6);
+  RoadFuelSummary bad;
+  EXPECT_THROW(emission_density_g_per_km_h(bad, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rge::emissions

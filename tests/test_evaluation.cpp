@@ -1,0 +1,173 @@
+// Unit tests for the evaluation helpers.
+#include "core/evaluation.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "math/angles.hpp"
+#include "math/stats.hpp"
+#include "road/network.hpp"
+#include "road/road.hpp"
+#include "sensors/smartphone.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::core {
+namespace {
+
+using math::deg2rad;
+
+vehicle::Trip make_trip() {
+  road::RoadBuilder b("eval-road");
+  b.add_straight(500.0, deg2rad(2.0));
+  b.add_straight(500.0, deg2rad(-1.0));
+  vehicle::TripConfig tc;
+  tc.seed = 1;
+  tc.allow_lane_changes = false;
+  return vehicle::simulate_trip(b.build(), tc);
+}
+
+TEST(Evaluation, TruthGradeAtTimes) {
+  const vehicle::Trip trip = make_trip();
+  const std::vector<double> ts{0.0, trip.duration_s() / 4.0,
+                               trip.duration_s()};
+  const auto grades = truth_grade_at_times(trip, ts);
+  ASSERT_EQ(grades.size(), 3u);
+  EXPECT_NEAR(grades[0], deg2rad(2.0), deg2rad(0.2));
+  EXPECT_NEAR(grades[2], deg2rad(-1.0), deg2rad(0.2));
+  // Clamping before start / after end.
+  const auto clamped =
+      truth_grade_at_times(trip, std::vector<double>{-10.0, 1e9});
+  EXPECT_DOUBLE_EQ(clamped[0], trip.states.front().grade);
+  EXPECT_DOUBLE_EQ(clamped[1], trip.states.back().grade);
+}
+
+TEST(Evaluation, TruthGradeAtDistances) {
+  const vehicle::Trip trip = make_trip();
+  const auto grades =
+      truth_grade_at_distances(trip, std::vector<double>{250.0, 750.0});
+  EXPECT_NEAR(grades[0], deg2rad(2.0), deg2rad(0.05));
+  EXPECT_NEAR(grades[1], deg2rad(-1.0), deg2rad(0.05));
+}
+
+TEST(Evaluation, EmptyInputsThrow) {
+  const vehicle::Trip trip = make_trip();
+  GradeTrack empty;
+  EXPECT_THROW(evaluate_track(empty, trip), std::invalid_argument);
+  vehicle::Trip no_states;
+  EXPECT_THROW(
+      truth_grade_at_times(no_states, std::vector<double>{1.0}),
+      std::invalid_argument);
+}
+
+TEST(Evaluation, PerfectTrackHasZeroError) {
+  const vehicle::Trip trip = make_trip();
+  GradeTrack track;
+  track.source = "perfect";
+  for (std::size_t i = 0; i < trip.states.size(); i += 50) {
+    track.t.push_back(trip.states[i].t);
+    track.grade.push_back(trip.states[i].grade);
+    track.grade_var.push_back(1e-6);
+    track.speed.push_back(trip.states[i].speed);
+    track.s.push_back(trip.states[i].s);
+  }
+  const TrackErrorStats stats = evaluate_track(track, trip, 0.0);
+  EXPECT_NEAR(stats.mae_rad, 0.0, 1e-9);
+  EXPECT_NEAR(stats.mre, 0.0, 1e-9);
+  EXPECT_NEAR(stats.median_abs_deg, 0.0, 1e-9);
+}
+
+TEST(Evaluation, ConstantOffsetTrackHasThatError) {
+  const vehicle::Trip trip = make_trip();
+  GradeTrack track;
+  const double offset = deg2rad(0.5);
+  for (std::size_t i = 0; i < trip.states.size(); i += 50) {
+    track.t.push_back(trip.states[i].t);
+    track.grade.push_back(trip.states[i].grade + offset);
+    track.grade_var.push_back(1e-6);
+    track.speed.push_back(trip.states[i].speed);
+    track.s.push_back(trip.states[i].s);
+  }
+  const TrackErrorStats stats = evaluate_track(track, trip, 0.0);
+  EXPECT_NEAR(stats.mae_rad, offset, 1e-9);
+  EXPECT_NEAR(stats.median_abs_deg, 0.5, 1e-6);
+  EXPECT_EQ(stats.abs_errors_deg.size(), stats.positions_m.size());
+  // Positions should be nondecreasing along the drive.
+  for (std::size_t i = 1; i < stats.positions_m.size(); ++i) {
+    EXPECT_GE(stats.positions_m[i], stats.positions_m[i - 1] - 1e-9);
+  }
+}
+
+TEST(Evaluation, SkipInitialExcludesTransient) {
+  const vehicle::Trip trip = make_trip();
+  GradeTrack track;
+  for (std::size_t i = 0; i < trip.states.size(); i += 50) {
+    const double t = trip.states[i].t;
+    track.t.push_back(t);
+    // Huge error in the first 10 seconds, perfect afterwards.
+    track.grade.push_back(trip.states[i].grade +
+                          (t < 10.0 ? deg2rad(20.0) : 0.0));
+    track.grade_var.push_back(1e-6);
+    track.speed.push_back(trip.states[i].speed);
+    track.s.push_back(trip.states[i].s);
+  }
+  const TrackErrorStats with_skip = evaluate_track(track, trip, 15.0);
+  const TrackErrorStats no_skip = evaluate_track(track, trip, 0.0);
+  EXPECT_NEAR(with_skip.mae_rad, 0.0, 1e-9);
+  EXPECT_GT(no_skip.mae_rad, deg2rad(0.5));
+  // Skipping everything throws.
+  EXPECT_THROW(evaluate_track(track, trip, 1e9), std::invalid_argument);
+}
+
+TEST(Evaluation, ElevationFromPerfectTrackMatchesRoad) {
+  road::RoadBuilder b("elev");
+  b.add_straight(400.0, deg2rad(3.0));
+  b.add_straight(400.0, deg2rad(-1.5));
+  const road::Road r = b.build();
+  GradeTrack track;
+  for (double s = 0.0; s <= r.length_m(); s += 5.0) {
+    track.t.push_back(s / 10.0);
+    track.s.push_back(s);
+    track.grade.push_back(r.grade_at(s));
+    track.grade_var.push_back(1e-6);
+    track.speed.push_back(10.0);
+  }
+  const auto z = elevation_from_track(track);
+  ASSERT_EQ(z.size(), track.size());
+  EXPECT_DOUBLE_EQ(z.front(), 0.0);
+  // Peak near s=400 at 400*sin(3 deg) ~ 20.9 m; end near 20.9 - 10.5 m.
+  const double peak = 400.0 * std::sin(deg2rad(3.0));
+  const double end = peak - 400.0 * std::sin(deg2rad(1.5));
+  EXPECT_NEAR(z[80], peak, 0.3);
+  EXPECT_NEAR(z.back(), end, 0.5);
+}
+
+TEST(Evaluation, ElevationFromEstimatedTrackBeatsBarometer) {
+  // The gradient-integral elevation from a real estimation run should be
+  // far smoother than the barometer's metre-level readings.
+  const road::Road r = road::make_table3_route(2019);
+  vehicle::TripConfig tc;
+  tc.seed = 12;
+  const auto trip = vehicle::simulate_trip(r, tc);
+  sensors::SmartphoneConfig pc;
+  pc.seed = 13;
+  const auto trace = sensors::simulate_sensors(trip, r.anchor(),
+                                               vehicle::VehicleParams{}, pc);
+  const auto res = estimate_gradient(trace, vehicle::VehicleParams{});
+  const auto z = elevation_from_track(res.fused);
+  // Compare against truth altitude at the same timestamps.
+  const auto& tr = res.fused;
+  std::size_t si = 0;
+  std::vector<double> err;
+  for (std::size_t i = 0; i < tr.t.size(); ++i) {
+    while (si + 1 < trip.states.size() && trip.states[si].t < tr.t[i]) ++si;
+    err.push_back(std::abs(z[i] - trip.states[si].altitude));
+  }
+  // Relative elevation within a couple of metres over 2.16 km — better
+  // than the barometer's drift even before fusing multiple drives.
+  EXPECT_LT(math::median(err), 3.0);
+}
+
+}  // namespace
+}  // namespace rge::core

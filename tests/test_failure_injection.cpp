@@ -1,0 +1,169 @@
+// Failure-injection tests: the pipeline must degrade gracefully — never
+// crash, never emit NaNs — under missing streams, extreme noise, stops,
+// disturbances, and hostile traces.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/ekf_altitude.hpp"
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "math/angles.hpp"
+#include "road/network.hpp"
+#include "sensors/smartphone.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::core {
+namespace {
+
+using math::deg2rad;
+
+struct Scenario {
+  road::Road road;
+  vehicle::Trip trip;
+  sensors::SensorTrace trace;
+};
+
+Scenario make_scenario(std::uint64_t seed,
+                       const sensors::SmartphoneConfig& pc_in = {},
+                       const vehicle::TripConfig& tc_in = {}) {
+  Scenario sc{road::make_table3_route(2019), {}, {}};
+  vehicle::TripConfig tc = tc_in;
+  tc.seed = seed;
+  sc.trip = vehicle::simulate_trip(sc.road, tc);
+  sensors::SmartphoneConfig pc = pc_in;
+  pc.seed = seed + 33;
+  sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                       vehicle::VehicleParams{}, pc);
+  return sc;
+}
+
+void expect_finite(const GradeTrack& track) {
+  for (double g : track.grade) ASSERT_TRUE(std::isfinite(g));
+  for (double p : track.grade_var) {
+    ASSERT_TRUE(std::isfinite(p));
+    ASSERT_GT(p, 0.0);
+  }
+  for (double v : track.speed) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(FailureInjection, MissingCanBusStream) {
+  Scenario sc = make_scenario(1);
+  sc.trace.canbus_speed.clear();  // no OBD dongle
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  EXPECT_EQ(res.tracks.size(), 3u);
+  expect_finite(res.fused);
+  EXPECT_LT(evaluate_track(res.fused, sc.trip).median_abs_deg, 0.8);
+}
+
+TEST(FailureInjection, MissingAllButGps) {
+  Scenario sc = make_scenario(2);
+  sc.trace.canbus_speed.clear();
+  sc.trace.speedometer.clear();
+  sc.trace.barometer_alt.clear();
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  // GPS + IMU-derived velocities remain.
+  EXPECT_EQ(res.tracks.size(), 2u);
+  expect_finite(res.fused);
+}
+
+TEST(FailureInjection, NoVelocityAnywhereThrows) {
+  Scenario sc = make_scenario(3);
+  sc.trace.canbus_speed.clear();
+  sc.trace.speedometer.clear();
+  sc.trace.gps.clear();
+  // The IMU source needs GPS to seed/blend; with nothing left the
+  // pipeline must refuse rather than hallucinate.
+  PipelineConfig cfg;
+  cfg.use_imu = false;
+  EXPECT_THROW(estimate_gradient(sc.trace, vehicle::VehicleParams{}, cfg),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, TotalGpsOutage) {
+  sensors::SmartphoneConfig pc;
+  pc.gps_outages = {{0.0, 1e9}};  // never a valid fix
+  const Scenario sc = make_scenario(4, pc);
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  expect_finite(res.fused);
+  // Speedometer/CAN still carry the filter.
+  EXPECT_LT(evaluate_track(res.fused, sc.trip).median_abs_deg, 0.8);
+}
+
+TEST(FailureInjection, ExtremeSensorNoise) {
+  sensors::SmartphoneConfig pc;
+  pc.accel_white_sigma = 0.5;
+  pc.gyro_white_sigma = 0.05;
+  pc.canbus_sigma = 0.5;
+  pc.speedometer_sigma = 1.5;
+  pc.gps_speed_sigma = 1.5;
+  const Scenario sc = make_scenario(5, pc);
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  expect_finite(res.fused);
+  // Accuracy degrades but stays bounded (the clamp keeps theta physical).
+  for (double g : res.fused.grade) EXPECT_LE(std::abs(g), 0.36);
+}
+
+TEST(FailureInjection, ConstantPhoneDisturbances) {
+  sensors::SmartphoneConfig pc;
+  pc.disturbances_per_minute = 20.0;  // phone rattling in a loose mount
+  const Scenario sc = make_scenario(6, pc);
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  expect_finite(res.fused);
+  EXPECT_LT(evaluate_track(res.fused, sc.trip).mre, 0.6);
+}
+
+TEST(FailureInjection, StopAndGoTraffic) {
+  vehicle::TripConfig tc;
+  tc.stops_per_km = 3.0;
+  tc.cruise_speed_mps = 8.0;
+  const Scenario sc = make_scenario(7, {}, tc);
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  expect_finite(res.fused);
+  // Stops break observability temporarily; bounded degradation only.
+  EXPECT_LT(evaluate_track(res.fused, sc.trip).median_abs_deg, 1.0);
+}
+
+TEST(FailureInjection, LargeMountMisalignment) {
+  sensors::SmartphoneConfig pc;
+  pc.mount_yaw_rad = deg2rad(12.0);  // phone wedged at an angle
+  const Scenario sc = make_scenario(8, pc);
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  expect_finite(res.fused);
+  EXPECT_LT(evaluate_track(res.fused, sc.trip).mre, 0.5);
+}
+
+TEST(FailureInjection, DuplicateTimestampsInTrace) {
+  Scenario sc = make_scenario(9);
+  // Duplicate a block of IMU samples (e.g. a logging hiccup).
+  const std::size_t n = sc.trace.imu.size();
+  for (std::size_t i = 0; i < 50 && i < n; ++i) {
+    sc.trace.imu.push_back(sc.trace.imu[n - 1]);
+  }
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  expect_finite(res.fused);
+}
+
+TEST(FailureInjection, VeryShortTrace) {
+  Scenario sc = make_scenario(10);
+  sc.trace.imu.resize(20);  // 0.4 s of data
+  sc.trace.gps.resize(1);
+  sc.trace.speedometer.resize(4);
+  sc.trace.canbus_speed.resize(4);
+  sc.trace.barometer_alt.resize(4);
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  expect_finite(res.fused);
+  EXPECT_FALSE(res.fused.t.empty());
+}
+
+TEST(FailureInjection, BaselineEkfSurvivesMissingBarometer) {
+  Scenario sc = make_scenario(11);
+  sc.trace.barometer_alt.clear();
+  // The altitude baseline degrades to velocity-only but must not crash.
+  const auto track =
+      baselines::run_altitude_ekf(sc.trace, vehicle::VehicleParams{});
+  expect_finite(track);
+}
+
+}  // namespace
+}  // namespace rge::core

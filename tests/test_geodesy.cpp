@@ -1,0 +1,102 @@
+// Unit tests for geodesy helpers.
+#include "math/geodesy.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+
+namespace rge::math {
+namespace {
+
+const GeoPoint kCville{38.0293, -78.4767, 180.0};
+
+TEST(LocalTangentPlane, OriginMapsToZero) {
+  const LocalTangentPlane ltp(kCville);
+  const Enu e = ltp.to_enu(kCville);
+  EXPECT_NEAR(e.east_m, 0.0, 1e-9);
+  EXPECT_NEAR(e.north_m, 0.0, 1e-9);
+  EXPECT_NEAR(e.up_m, 0.0, 1e-9);
+}
+
+TEST(LocalTangentPlane, RoundTrip) {
+  const LocalTangentPlane ltp(kCville);
+  const Enu e{1234.5, -987.6, 42.0};
+  const GeoPoint p = ltp.to_geodetic(e);
+  const Enu back = ltp.to_enu(p);
+  EXPECT_NEAR(back.east_m, e.east_m, 1e-6);
+  EXPECT_NEAR(back.north_m, e.north_m, 1e-6);
+  EXPECT_NEAR(back.up_m, e.up_m, 1e-9);
+}
+
+TEST(LocalTangentPlane, NorthIncreasesLatitude) {
+  const LocalTangentPlane ltp(kCville);
+  const GeoPoint p = ltp.to_geodetic(Enu{0.0, 1000.0, 0.0});
+  EXPECT_GT(p.latitude_deg, kCville.latitude_deg);
+  EXPECT_NEAR(p.longitude_deg, kCville.longitude_deg, 1e-12);
+  // 1 km north ~ 1/111.2 degrees of latitude.
+  EXPECT_NEAR(p.latitude_deg - kCville.latitude_deg, 1.0 / 111.195, 1e-4);
+}
+
+TEST(Haversine, KnownDistance) {
+  // One degree of latitude is ~111.2 km.
+  const GeoPoint a{38.0, -78.0, 0.0};
+  const GeoPoint b{39.0, -78.0, 0.0};
+  EXPECT_NEAR(haversine_distance_m(a, b), 111195.0, 150.0);
+  EXPECT_DOUBLE_EQ(haversine_distance_m(a, a), 0.0);
+}
+
+TEST(Distance3d, IncludesAltitude) {
+  const GeoPoint a{38.0, -78.0, 0.0};
+  GeoPoint b = a;
+  b.altitude_m = 30.0;
+  EXPECT_NEAR(distance_3d_m(a, b), 30.0, 1e-9);
+}
+
+TEST(Bearing, CardinalDirections) {
+  const GeoPoint origin{38.0, -78.0, 0.0};
+  const GeoPoint north{38.01, -78.0, 0.0};
+  const GeoPoint east{38.0, -77.99, 0.0};
+  const GeoPoint south{37.99, -78.0, 0.0};
+  EXPECT_NEAR(initial_bearing_rad(origin, north), 0.0, 1e-6);
+  EXPECT_NEAR(initial_bearing_rad(origin, east), kPi / 2.0, 1e-3);
+  EXPECT_NEAR(initial_bearing_rad(origin, south), kPi, 1e-6);
+}
+
+TEST(HeadingFromEast, Conventions) {
+  const GeoPoint origin{38.0, -78.0, 0.0};
+  const GeoPoint east{38.0, -77.99, 0.0};
+  const GeoPoint north{38.01, -78.0, 0.0};
+  EXPECT_NEAR(heading_from_east_rad(origin, east), 0.0, 1e-3);
+  EXPECT_NEAR(heading_from_east_rad(origin, north), kPi / 2.0, 1e-6);
+}
+
+TEST(Destination, RoundTripWithBearing) {
+  const GeoPoint start{38.0293, -78.4767, 120.0};
+  const double bearing = deg2rad(37.0);
+  const GeoPoint end = destination(start, bearing, 5000.0);
+  EXPECT_NEAR(haversine_distance_m(start, end), 5000.0, 0.5);
+  EXPECT_NEAR(initial_bearing_rad(start, end), bearing, 1e-3);
+  EXPECT_DOUBLE_EQ(end.altitude_m, 120.0);
+}
+
+TEST(PolylineLength, SumsSegments) {
+  const GeoPoint a{38.0, -78.0, 0.0};
+  const GeoPoint b = destination(a, 0.0, 1000.0);
+  const GeoPoint c = destination(b, kPi / 2.0, 500.0);
+  const double len = polyline_length_m({a, b, c});
+  EXPECT_NEAR(len, 1500.0, 1.0);
+  EXPECT_DOUBLE_EQ(polyline_length_m({a}), 0.0);
+  EXPECT_DOUBLE_EQ(polyline_length_m({}), 0.0);
+}
+
+TEST(LocalTangentPlane, ConsistentWithHaversineAtCityScale) {
+  const LocalTangentPlane ltp(kCville);
+  const GeoPoint p = ltp.to_geodetic(Enu{3000.0, -4000.0, 0.0});
+  // ENU distance 5 km; haversine should agree within ~1 m at this scale.
+  EXPECT_NEAR(haversine_distance_m(kCville, p), 5000.0, 2.0);
+}
+
+}  // namespace
+}  // namespace rge::math

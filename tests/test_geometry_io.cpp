@@ -1,0 +1,156 @@
+// Tests for road geometry import/export.
+#include "road/geometry_io.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+#include "math/rng.hpp"
+#include "road/network.hpp"
+
+namespace rge::road {
+namespace {
+
+using math::deg2rad;
+
+std::vector<math::GeoPoint> sample_geo(const Road& r, double spacing) {
+  std::vector<math::GeoPoint> pts;
+  for (double s = 0.0; s <= r.length_m(); s += spacing) {
+    pts.push_back(r.geo_at(s));
+  }
+  return pts;
+}
+
+TEST(GeometryImport, Validation) {
+  EXPECT_THROW(road_from_geometry({}), std::invalid_argument);
+  EXPECT_THROW(road_from_geometry({math::GeoPoint{38.0, -78.0, 0.0}}),
+               std::invalid_argument);
+  // Points too close together.
+  const math::GeoPoint p{38.0, -78.0, 0.0};
+  EXPECT_THROW(road_from_geometry({p, p}), std::invalid_argument);
+  // Lanes size mismatch.
+  const auto q = math::destination(p, 0.0, 100.0);
+  EXPECT_THROW(road_from_geometry({p, q}, {1, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(GeometryImport, RoundTripsGeneratedRoad) {
+  const Road original = make_table3_route(2019);
+  const auto pts = sample_geo(original, 10.0);
+  GeometryImportOptions opts;
+  opts.name = "reimported";
+  const Road imported = road_from_geometry(pts, {}, opts);
+
+  EXPECT_NEAR(imported.length_m(), original.length_m(),
+              0.01 * original.length_m());
+  // Grade profile matches within the smoothing bandwidth.
+  double err_acc = 0.0;
+  std::size_t n = 0;
+  for (double s = 100.0; s < original.length_m() - 100.0; s += 25.0) {
+    err_acc += std::abs(imported.grade_at(s) - original.grade_at(s));
+    ++n;
+  }
+  EXPECT_LT(err_acc / static_cast<double>(n), deg2rad(0.5));
+  // Geometry matches.
+  const auto a = original.position_at(1000.0);
+  const auto b = imported.position_at(1000.0);
+  EXPECT_NEAR(a.east_m, b.east_m, 5.0);
+  EXPECT_NEAR(a.north_m, b.north_m, 5.0);
+}
+
+TEST(GeometryImport, HeadingFollowsPolyline) {
+  // A simple L: 500 m east then 500 m north.
+  std::vector<math::GeoPoint> pts;
+  math::GeoPoint p{38.0, -78.0, 100.0};
+  for (int i = 0; i <= 10; ++i) {
+    pts.push_back(math::destination(p, math::kPi / 2.0, 50.0 * i));
+  }
+  const auto corner = pts.back();
+  for (int i = 1; i <= 10; ++i) {
+    pts.push_back(math::destination(corner, 0.0, 50.0 * i));
+  }
+  const Road r = road_from_geometry(pts);
+  EXPECT_NEAR(r.heading_at(200.0), 0.0, 0.05);              // east
+  EXPECT_NEAR(r.heading_at(800.0), math::kPi / 2.0, 0.05);  // north
+}
+
+TEST(GeometryImport, LanesFromColumn) {
+  std::vector<math::GeoPoint> pts;
+  std::vector<int> lanes;
+  const math::GeoPoint p{38.0, -78.0, 0.0};
+  for (int i = 0; i <= 20; ++i) {
+    pts.push_back(math::destination(p, 0.0, 50.0 * i));
+    lanes.push_back(i < 10 ? 1 : 2);
+  }
+  const Road r = road_from_geometry(pts, lanes);
+  EXPECT_EQ(r.lanes_at(100.0), 1);
+  EXPECT_EQ(r.lanes_at(900.0), 2);
+  EXPECT_EQ(r.sections().size(), 2u);
+}
+
+TEST(GeometryCsv, RoundTrip) {
+  const Road original = make_table3_route(7);
+  std::stringstream ss;
+  write_road_csv(original, ss, 10.0);
+  GeometryImportOptions opts;
+  const Road back = read_road_csv(ss, opts);
+  EXPECT_NEAR(back.length_m(), original.length_m(),
+              0.01 * original.length_m());
+  EXPECT_NEAR(back.grade_at(700.0), original.grade_at(700.0),
+              deg2rad(0.6));
+  // Lanes column survives.
+  EXPECT_EQ(back.lanes_at(original.length_m() * 0.75),
+            original.lanes_at(original.length_m() * 0.75));
+}
+
+TEST(GeometryCsv, MalformedInputs) {
+  {
+    std::stringstream ss("38.0,-78.0\n");  // too few fields
+    EXPECT_THROW(read_road_csv(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("38.0,-78.0,abc\n");
+    EXPECT_THROW(read_road_csv(ss), std::runtime_error);
+  }
+  {
+    // Header + comments tolerated.
+    std::stringstream ss;
+    ss << "latitude_deg,longitude_deg,altitude_m,lanes\n# comment\n";
+    math::GeoPoint p{38.0, -78.0, 10.0};
+    for (int i = 0; i <= 5; ++i) {
+      const auto q = math::destination(p, 0.0, 100.0 * i);
+      ss << q.latitude_deg << ',' << q.longitude_deg << ",10.0,1\n";
+    }
+    const Road r = read_road_csv(ss);
+    EXPECT_NEAR(r.length_m(), 500.0, 2.0);
+  }
+}
+
+TEST(GeometryImport, NoisySurveySmoothing) {
+  // A survey with 0.05 m altitude noise every 10 m: unsmoothed grades are
+  // ~0.3 deg noisy; the import smoothing pulls the error down.
+  const Road original = make_table3_route(3);
+  auto pts = sample_geo(original, 10.0);
+  math::Rng rng(4);
+  for (auto& p : pts) p.altitude_m += rng.gaussian(0.0, 0.05);
+
+  GeometryImportOptions rough;
+  rough.grade_smooth_half = 0;
+  GeometryImportOptions smooth;
+  const Road r_rough = road_from_geometry(pts, {}, rough);
+  const Road r_smooth = road_from_geometry(pts, {}, smooth);
+  double e_rough = 0.0;
+  double e_smooth = 0.0;
+  std::size_t n = 0;
+  for (double s = 100.0; s < original.length_m() - 100.0; s += 20.0) {
+    e_rough += std::abs(r_rough.grade_at(s) - original.grade_at(s));
+    e_smooth += std::abs(r_smooth.grade_at(s) - original.grade_at(s));
+    ++n;
+  }
+  EXPECT_LT(e_smooth, 0.6 * e_rough);
+}
+
+}  // namespace
+}  // namespace rge::road

@@ -1,0 +1,93 @@
+// Unit tests for interpolation / resampling helpers.
+#include "math/interp.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rge::math {
+namespace {
+
+TEST(LinearInterpolator, ExactAtKnotsLinearBetween) {
+  const LinearInterpolator f({0.0, 1.0, 3.0}, {0.0, 2.0, -2.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 0.0);
+}
+
+TEST(LinearInterpolator, ClampsOutsideRange) {
+  const LinearInterpolator f({1.0, 2.0}, {5.0, 7.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(99.0), 7.0);
+  EXPECT_DOUBLE_EQ(f.x_min(), 1.0);
+  EXPECT_DOUBLE_EQ(f.x_max(), 2.0);
+}
+
+TEST(LinearInterpolator, Validation) {
+  EXPECT_THROW(LinearInterpolator({1.0, 1.0}, {0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LinearInterpolator({2.0, 1.0}, {0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LinearInterpolator({1.0}, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(LinearInterpolator({}, {}), std::invalid_argument);
+  // A single knot is a constant function.
+  const LinearInterpolator c({1.0}, {3.0});
+  EXPECT_DOUBLE_EQ(c(-5.0), 3.0);
+  EXPECT_DOUBLE_EQ(c(5.0), 3.0);
+}
+
+TEST(LinearInterpolator, Sample) {
+  const LinearInterpolator f({0.0, 2.0}, {0.0, 4.0});
+  const auto ys = f.sample(5);
+  ASSERT_EQ(ys.size(), 5u);
+  EXPECT_DOUBLE_EQ(ys[0], 0.0);
+  EXPECT_DOUBLE_EQ(ys[2], 2.0);
+  EXPECT_DOUBLE_EQ(ys[4], 4.0);
+}
+
+TEST(Linspace, EdgeCases) {
+  EXPECT_TRUE(linspace(0.0, 1.0, 0).empty());
+  const auto one = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 3.0);
+  const auto xs = linspace(0.0, 1.0, 11);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  EXPECT_NEAR(xs[5], 0.5, 1e-15);
+}
+
+TEST(CumulativeTrapezoid, IntegratesLinear) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{0.0, 1.0, 2.0, 3.0};  // integral = x^2/2
+  const auto c = cumulative_trapezoid(x, y);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+  EXPECT_DOUBLE_EQ(c[3], 4.5);
+  EXPECT_THROW(cumulative_trapezoid(x, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(FiniteDifference, RecoverLinearSlope) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 4.0};
+  const std::vector<double> y{1.0, 3.0, 5.0, 9.0};
+  const auto d = finite_difference(x, y);
+  for (double v : d) EXPECT_NEAR(v, 2.0, 1e-12);
+  EXPECT_TRUE(finite_difference(std::vector<double>{1.0},
+                                std::vector<double>{1.0})[0] == 0.0);
+}
+
+TEST(MovingAverage, SmoothsAndPreservesConstant) {
+  const std::vector<double> c{2.0, 2.0, 2.0, 2.0};
+  const auto sc = moving_average(c, 1);
+  for (double v : sc) EXPECT_DOUBLE_EQ(v, 2.0);
+
+  const std::vector<double> spike{0.0, 0.0, 9.0, 0.0, 0.0};
+  const auto ss = moving_average(spike, 1);
+  EXPECT_DOUBLE_EQ(ss[2], 3.0);
+  EXPECT_DOUBLE_EQ(ss[0], 0.0);
+  EXPECT_DOUBLE_EQ(ss[1], 3.0);
+}
+
+}  // namespace
+}  // namespace rge::math

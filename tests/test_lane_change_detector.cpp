@@ -1,0 +1,211 @@
+// Unit tests for Algorithm 1 (lane change detection) and the Eq. 1/Eq. 2
+// displacement and velocity-adjustment machinery.
+#include "core/lane_change_detector.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+#include "vehicle/lane_change.hpp"
+
+namespace rge::core {
+namespace {
+
+using vehicle::LaneChangeDirection;
+using vehicle::LaneChangeManeuver;
+
+struct Profile {
+  std::vector<double> t;
+  std::vector<double> w;
+  std::vector<double> v;
+};
+
+/// Synthesize a steering profile with a maneuver starting at t0.
+Profile maneuver_profile(const LaneChangeManeuver& m, double t0,
+                         double speed, double duration, double rate = 20.0) {
+  Profile p;
+  const double dt = 1.0 / rate;
+  for (double t = 0.0; t <= duration; t += dt) {
+    p.t.push_back(t);
+    p.w.push_back(m.steering_rate(t - t0));
+    p.v.push_back(speed);
+  }
+  return p;
+}
+
+TEST(Detector, SizeMismatchThrows) {
+  const std::vector<double> t{0.0, 1.0};
+  const std::vector<double> w{0.0, 0.0};
+  const std::vector<double> v{10.0};
+  EXPECT_THROW(detect_lane_changes(t, w, v), std::invalid_argument);
+}
+
+TEST(Detector, DetectsLeftLaneChange) {
+  const LaneChangeManeuver m(LaneChangeDirection::kLeft, 0.15, 10.0);
+  const Profile p = maneuver_profile(m, 5.0, 10.0, 20.0);
+  const auto changes = detect_lane_changes(p.t, p.w, p.v);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].type, LaneChangeType::kLeft);
+  EXPECT_NEAR(changes[0].t_start, 5.0, 0.5);
+  EXPECT_NEAR(changes[0].t_end, 5.0 + m.duration_s(), 0.5);
+  // Displacement close to one lane width, positive (left).
+  EXPECT_NEAR(changes[0].displacement_m, vehicle::kLaneWidthM, 0.8);
+}
+
+TEST(Detector, DetectsRightLaneChange) {
+  const LaneChangeManeuver m(LaneChangeDirection::kRight, 0.17, 12.0);
+  const Profile p = maneuver_profile(m, 3.0, 12.0, 15.0);
+  const auto changes = detect_lane_changes(p.t, p.w, p.v);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].type, LaneChangeType::kRight);
+  EXPECT_NEAR(changes[0].displacement_m, -vehicle::kLaneWidthM, 0.8);
+}
+
+TEST(Detector, IgnoresSubThresholdSteering) {
+  // A gentle correction far below delta_min.
+  const LaneChangeManeuver m(LaneChangeDirection::kLeft, 0.12, 10.0);
+  Profile p = maneuver_profile(m, 5.0, 10.0, 20.0);
+  for (auto& x : p.w) x *= 0.3;  // peak 0.036 << 0.10
+  EXPECT_TRUE(detect_lane_changes(p.t, p.w, p.v).empty());
+}
+
+TEST(Detector, RejectsSCurveByDisplacement) {
+  // Sustained opposite bumps lasting much longer than a lane change: the
+  // integrated lateral displacement blows past 3 lane widths.
+  Profile p;
+  const double rate = 20.0;
+  for (double t = 0.0; t <= 60.0; t += 1.0 / rate) {
+    double w = 0.0;
+    if (t >= 5.0 && t < 20.0) {
+      w = 0.15 * std::sin(math::kPi * (t - 5.0) / 15.0);
+    } else if (t >= 20.0 && t < 35.0) {
+      w = -0.15 * std::sin(math::kPi * (t - 20.0) / 15.0);
+    }
+    p.t.push_back(t);
+    p.w.push_back(w);
+    p.v.push_back(12.0);
+  }
+  const auto changes = detect_lane_changes(p.t, p.w, p.v);
+  EXPECT_TRUE(changes.empty());
+  // Sanity: the bumps themselves would qualify.
+  const double w_disp = horizontal_displacement(p.t, p.w, p.v, 100, 690);
+  EXPECT_GT(std::abs(w_disp), 3.0 * vehicle::kLaneWidthM);
+}
+
+TEST(Detector, SameSignBumpsAreNotPaired) {
+  // Two positive bumps (e.g. two right-turn corrections) must not pair.
+  Profile p;
+  for (double t = 0.0; t <= 30.0; t += 0.05) {
+    double w = 0.0;
+    if (t >= 5.0 && t < 8.0) w = 0.15 * std::sin(math::kPi * (t - 5.0) / 3.0);
+    if (t >= 12.0 && t < 15.0) {
+      w = 0.15 * std::sin(math::kPi * (t - 12.0) / 3.0);
+    }
+    p.t.push_back(t);
+    p.w.push_back(w);
+    p.v.push_back(10.0);
+  }
+  EXPECT_TRUE(detect_lane_changes(p.t, p.w, p.v).empty());
+}
+
+TEST(Detector, DistantOppositeBumpsAreNotPaired) {
+  // Opposite bumps 20 s apart: independent events, not one maneuver.
+  Profile p;
+  for (double t = 0.0; t <= 40.0; t += 0.05) {
+    double w = 0.0;
+    if (t >= 5.0 && t < 8.0) w = 0.15 * std::sin(math::kPi * (t - 5.0) / 3.0);
+    if (t >= 28.0 && t < 31.0) {
+      w = -0.15 * std::sin(math::kPi * (t - 28.0) / 3.0);
+    }
+    p.t.push_back(t);
+    p.w.push_back(w);
+    p.v.push_back(10.0);
+  }
+  LaneChangeDetectorConfig cfg;
+  cfg.max_bump_gap_s = 4.0;
+  EXPECT_TRUE(detect_lane_changes(p.t, p.w, p.v, cfg).empty());
+}
+
+TEST(Detector, BackToBackLaneChanges) {
+  const LaneChangeManeuver left(LaneChangeDirection::kLeft, 0.16, 10.0);
+  const LaneChangeManeuver right(LaneChangeDirection::kRight, 0.16, 10.0);
+  Profile p;
+  const double t1 = 5.0;
+  const double t2 = t1 + left.duration_s() + 6.0;
+  for (double t = 0.0; t <= 30.0; t += 0.05) {
+    p.t.push_back(t);
+    p.w.push_back(left.steering_rate(t - t1) + right.steering_rate(t - t2));
+    p.v.push_back(10.0);
+  }
+  const auto changes = detect_lane_changes(p.t, p.w, p.v);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].type, LaneChangeType::kLeft);
+  EXPECT_EQ(changes[1].type, LaneChangeType::kRight);
+}
+
+TEST(HorizontalDisplacement, MatchesClosedFormForManeuver) {
+  const LaneChangeManeuver m(LaneChangeDirection::kLeft, 0.14, 9.0);
+  const Profile p = maneuver_profile(m, 0.0, 9.0, m.duration_s(), 100.0);
+  const double w =
+      horizontal_displacement(p.t, p.w, p.v, 0, p.t.size() - 1);
+  EXPECT_NEAR(w, m.nominal_lateral_displacement(), 0.3);
+}
+
+TEST(HorizontalDisplacement, RangeValidation) {
+  const std::vector<double> t{0.0, 0.1, 0.2};
+  const std::vector<double> w{0.0, 0.1, 0.0};
+  const std::vector<double> v{10.0, 10.0, 10.0};
+  EXPECT_THROW(horizontal_displacement(t, w, v, 2, 1),
+               std::invalid_argument);
+  EXPECT_THROW(horizontal_displacement(t, w, v, 0, 3),
+               std::invalid_argument);
+}
+
+TEST(AdjustVelocity, ScalesByCosAlphaInsideWindow) {
+  const LaneChangeManeuver m(LaneChangeDirection::kLeft, 0.18, 8.0);
+  const Profile p = maneuver_profile(m, 2.0, 8.0, 12.0, 50.0);
+  const auto changes = detect_lane_changes(p.t, p.w, p.v);
+  ASSERT_EQ(changes.size(), 1u);
+  const auto adjusted = adjust_longitudinal_velocity(p.t, p.w, p.v, changes);
+  ASSERT_EQ(adjusted.size(), p.v.size());
+  // Outside the window nothing changes.
+  EXPECT_DOUBLE_EQ(adjusted.front(), p.v.front());
+  EXPECT_DOUBLE_EQ(adjusted.back(), p.v.back());
+  // At mid-maneuver alpha is maximal, so v_L < v, matching cos(alpha_max).
+  const double t_mid = 2.0 + m.duration_s() / 2.0;
+  std::size_t i_mid = 0;
+  for (std::size_t i = 0; i < p.t.size(); ++i) {
+    if (p.t[i] <= t_mid) i_mid = i;
+  }
+  const double alpha_max = m.heading_deviation(m.duration_s() / 2.0);
+  EXPECT_LT(adjusted[i_mid], p.v[i_mid]);
+  EXPECT_NEAR(adjusted[i_mid], p.v[i_mid] * std::cos(alpha_max), 0.05);
+}
+
+TEST(AdjustVelocity, NoChangesNoEffect) {
+  const std::vector<double> t{0.0, 0.1, 0.2};
+  const std::vector<double> w{0.0, 0.1, 0.0};
+  const std::vector<double> v{10.0, 10.0, 10.0};
+  const auto adjusted = adjust_longitudinal_velocity(t, w, v, {});
+  EXPECT_EQ(adjusted, v);
+}
+
+// Parameterized: detection works across the paper's 15-65 km/h band.
+class DetectorSpeed : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetectorSpeed, DetectsAcrossSpeeds) {
+  const double v = GetParam() / 3.6;
+  const LaneChangeManeuver m(LaneChangeDirection::kRight, 0.15, v);
+  const Profile p = maneuver_profile(m, 4.0, v, 25.0, 25.0);
+  const auto changes = detect_lane_changes(p.t, p.w, p.v);
+  ASSERT_EQ(changes.size(), 1u) << "speed " << GetParam() << " km/h";
+  EXPECT_EQ(changes[0].type, LaneChangeType::kRight);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, DetectorSpeed,
+                         ::testing::Values(15.0, 25.0, 40.0, 55.0, 65.0));
+
+}  // namespace
+}  // namespace rge::core

@@ -1,0 +1,129 @@
+// Unit tests for the lane-change maneuver generator.
+#include "vehicle/lane_change.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+
+namespace rge::vehicle {
+namespace {
+
+TEST(LaneChangeManeuver, Validation) {
+  EXPECT_THROW(LaneChangeManeuver(LaneChangeDirection::kLeft, 0.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(LaneChangeManeuver(LaneChangeDirection::kLeft, 0.15, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      LaneChangeManeuver(LaneChangeDirection::kLeft, 0.15, 10.0, -1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      LaneChangeManeuver(LaneChangeDirection::kLeft, 0.15, 10.0, 3.65, 0.0),
+      std::invalid_argument);
+}
+
+TEST(LaneChangeManeuver, LeftIsPositiveThenNegative) {
+  const LaneChangeManeuver m(LaneChangeDirection::kLeft, 0.15, 10.0);
+  const double t_quarter = m.duration_s() * 0.25;
+  const double t_three_quarter = m.duration_s() * 0.75;
+  EXPECT_GT(m.steering_rate(t_quarter), 0.0);
+  EXPECT_LT(m.steering_rate(t_three_quarter), 0.0);
+  EXPECT_NEAR(m.steering_rate(t_quarter), 0.15, 1e-12);  // peak
+}
+
+TEST(LaneChangeManeuver, RightIsMirrored) {
+  const LaneChangeManeuver l(LaneChangeDirection::kLeft, 0.15, 10.0);
+  const LaneChangeManeuver r(LaneChangeDirection::kRight, 0.15, 10.0);
+  EXPECT_DOUBLE_EQ(l.duration_s(), r.duration_s());
+  for (double f : {0.1, 0.3, 0.6, 0.9}) {
+    const double t = f * l.duration_s();
+    EXPECT_DOUBLE_EQ(l.steering_rate(t), -r.steering_rate(t));
+    EXPECT_DOUBLE_EQ(l.heading_deviation(t), -r.heading_deviation(t));
+  }
+}
+
+TEST(LaneChangeManeuver, ZeroOutsideWindow) {
+  const LaneChangeManeuver m(LaneChangeDirection::kLeft, 0.15, 10.0);
+  EXPECT_DOUBLE_EQ(m.steering_rate(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(m.steering_rate(m.duration_s() + 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(m.heading_deviation(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(m.heading_deviation(m.duration_s() + 0.1), 0.0);
+}
+
+TEST(LaneChangeManeuver, HeadingDeviationReturnsToZero) {
+  const LaneChangeManeuver m(LaneChangeDirection::kLeft, 0.13, 12.0);
+  // alpha integrates the steering pulse: zero at both ends, peak mid-way.
+  EXPECT_NEAR(m.heading_deviation(m.duration_s() * 0.999), 0.0, 5e-3);
+  EXPECT_GT(m.heading_deviation(m.duration_s() * 0.5), 0.0);
+}
+
+TEST(LaneChangeManeuver, HeadingDeviationMatchesNumericIntegral) {
+  const LaneChangeManeuver m(LaneChangeDirection::kRight, 0.16, 9.0);
+  double alpha = 0.0;
+  const double dt = m.duration_s() / 2000.0;
+  for (int i = 0; i < 1000; ++i) {  // integrate the first half
+    alpha += m.steering_rate((i + 0.5) * dt) * dt;
+  }
+  EXPECT_NEAR(m.heading_deviation(m.duration_s() / 2.0), alpha, 1e-3);
+}
+
+TEST(LaneChangeManeuver, LateralDisplacementHitsLaneWidth) {
+  for (double v : {5.0, 10.0, 18.0}) {
+    const LaneChangeManeuver m(LaneChangeDirection::kLeft, 0.15, v);
+    // Numeric small-angle lateral integral must equal the lane width.
+    double lateral = 0.0;
+    const int n = 4000;
+    const double dt = m.duration_s() / n;
+    double alpha = 0.0;
+    for (int i = 0; i < n; ++i) {
+      alpha += m.steering_rate((i + 0.5) * dt) * dt;
+      lateral += v * std::sin(alpha) * dt;
+    }
+    EXPECT_NEAR(lateral, kLaneWidthM, 0.12) << "v=" << v;
+    EXPECT_NEAR(m.nominal_lateral_displacement(), kLaneWidthM, 1e-6);
+  }
+}
+
+TEST(LaneChangeManeuver, FasterDrivingShortensManeuver) {
+  const LaneChangeManeuver slow(LaneChangeDirection::kLeft, 0.15, 5.0);
+  const LaneChangeManeuver fast(LaneChangeDirection::kLeft, 0.15, 18.0);
+  EXPECT_GT(slow.duration_s(), fast.duration_s());
+  // T = sqrt(W/(v A I)) -> ratio sqrt(18/5).
+  EXPECT_NEAR(slow.duration_s() / fast.duration_s(), std::sqrt(18.0 / 5.0),
+              1e-9);
+}
+
+TEST(LaneChangeManeuver, StrongerSteeringShortensManeuver) {
+  const LaneChangeManeuver soft(LaneChangeDirection::kLeft, 0.12, 10.0);
+  const LaneChangeManeuver hard(LaneChangeDirection::kLeft, 0.20, 10.0);
+  EXPECT_GT(soft.duration_s(), hard.duration_s());
+}
+
+TEST(DriverSteeringStyle, SamplesWithinBounds) {
+  DriverSteeringStyle style;
+  math::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double a = style.sample_peak_rate(rng);
+    EXPECT_GE(a, style.peak_rate_min);
+    EXPECT_LE(a, style.peak_rate_max);
+  }
+}
+
+// Parameterized across speeds: durations stay within a plausible human
+// range (2-8 s) for the paper's 15-65 km/h experiments.
+class ManeuverDuration : public ::testing::TestWithParam<double> {};
+
+TEST_P(ManeuverDuration, HumanPlausible) {
+  const double speed_kmh = GetParam();
+  const LaneChangeManeuver m(LaneChangeDirection::kLeft, 0.15,
+                             speed_kmh / 3.6);
+  EXPECT_GE(m.duration_s(), 2.0);
+  EXPECT_LE(m.duration_s(), 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, ManeuverDuration,
+                         ::testing::Values(15.0, 25.0, 40.0, 55.0, 65.0));
+
+}  // namespace
+}  // namespace rge::vehicle

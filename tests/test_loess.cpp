@@ -1,0 +1,130 @@
+// Unit tests for the LOESS local-regression smoother.
+#include "math/loess.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+
+namespace rge::math {
+namespace {
+
+std::vector<double> iota_x(std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i);
+  return x;
+}
+
+TEST(Loess, ConfigValidation) {
+  EXPECT_THROW(LoessSmoother({.span = 0.0}), std::invalid_argument);
+  EXPECT_THROW(LoessSmoother({.span = 1.5}), std::invalid_argument);
+  EXPECT_THROW(LoessSmoother({.span = 0.5, .degree = 3}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      LoessSmoother({.span = 0.5, .degree = 1, .robust_iterations = -1}),
+      std::invalid_argument);
+}
+
+TEST(Loess, ReproducesLinearExactly) {
+  const auto x = iota_x(50);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) y[i] = 3.0 * x[i] - 2.0;
+  const LoessSmoother s({.span = 0.3, .degree = 1});
+  const auto fitted = s.fit(x, y);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_NEAR(fitted[i], y[i], 1e-8);
+}
+
+TEST(Loess, QuadraticDegreeReproducesParabola) {
+  const auto x = iota_x(60);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) y[i] = 0.5 * x[i] * x[i];
+  const LoessSmoother s({.span = 0.25, .degree = 2});
+  const auto fitted = s.fit(x, y);
+  for (std::size_t i = 0; i < 60; ++i) {
+    EXPECT_NEAR(fitted[i], y[i], 1e-6) << "i=" << i;
+  }
+}
+
+TEST(Loess, ReducesNoiseVariance) {
+  Rng rng(21);
+  const std::size_t n = 400;
+  const auto x = iota_x(n);
+  std::vector<double> clean(n);
+  std::vector<double> noisy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clean[i] = std::sin(0.05 * x[i]);
+    noisy[i] = clean[i] + rng.gaussian(0.0, 0.3);
+  }
+  const LoessSmoother s({.span = 0.08, .degree = 1});
+  const auto fitted = s.fit(x, noisy);
+  EXPECT_LT(rmse(fitted, clean), 0.5 * rmse(noisy, clean));
+}
+
+TEST(Loess, RobustIterationsSuppressOutliers) {
+  const std::size_t n = 101;
+  const auto x = iota_x(n);
+  Rng rng(8);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = 1.0 + rng.gaussian(0.0, 0.05);
+  y[50] = 50.0;  // gross outlier
+  const LoessSmoother plain({.span = 0.2, .degree = 1});
+  const LoessSmoother robust(
+      {.span = 0.2, .degree = 1, .robust_iterations = 3});
+  const auto f_plain = plain.fit(x, y);
+  const auto f_robust = robust.fit(x, y);
+  // Near the outlier the robust fit should stay close to 1.
+  EXPECT_GT(std::abs(f_plain[48] - 1.0), std::abs(f_robust[48] - 1.0));
+  EXPECT_NEAR(f_robust[48], 1.0, 0.15);
+}
+
+TEST(Loess, InputValidation) {
+  const LoessSmoother s({.span = 0.5});
+  const std::vector<double> x{0.0, 1.0};
+  EXPECT_THROW((void)s.fit(x, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)s.fit(std::vector<double>{1.0, 0.0},
+                           std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  // Tiny inputs pass through unchanged.
+  const auto tiny = s.fit(std::vector<double>{1.0}, std::vector<double>{7.0});
+  ASSERT_EQ(tiny.size(), 1u);
+  EXPECT_DOUBLE_EQ(tiny[0], 7.0);
+}
+
+TEST(Loess, FitUniformMatchesExplicitX) {
+  Rng rng(3);
+  std::vector<double> y(80);
+  for (auto& v : y) v = rng.gaussian();
+  const LoessSmoother s({.span = 0.2, .degree = 1});
+  const auto a = s.fit_uniform(y);
+  const auto b = s.fit(iota_x(80), y);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+// Parameterized: smoothing must reduce noise across span settings.
+class LoessSpanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoessSpanTest, NoiseReduction) {
+  Rng rng(100);
+  const std::size_t n = 300;
+  const auto x = iota_x(n);
+  std::vector<double> clean(n);
+  std::vector<double> noisy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clean[i] = 0.01 * x[i];
+    noisy[i] = clean[i] + rng.gaussian(0.0, 0.2);
+  }
+  const LoessSmoother s({.span = GetParam(), .degree = 1});
+  const auto fitted = s.fit(x, noisy);
+  EXPECT_LT(rmse(fitted, clean), rmse(noisy, clean));
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, LoessSpanTest,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.6, 1.0));
+
+}  // namespace
+}  // namespace rge::math

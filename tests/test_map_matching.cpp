@@ -1,0 +1,158 @@
+// Unit tests for GPS-to-road map matching.
+#include "core/map_matching.hpp"
+#include "core/pipeline.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+#include "road/network.hpp"
+#include "sensors/smartphone.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::core {
+namespace {
+
+using math::deg2rad;
+
+road::Road bent_road() {
+  road::RoadBuilder b("bent");
+  b.add_straight(800.0, deg2rad(2.0));
+  b.add_section(road::SectionSpec{400.0, deg2rad(2.0), deg2rad(-1.0),
+                                  deg2rad(60.0), 1});
+  b.add_straight(800.0, deg2rad(-1.0));
+  return b.build();
+}
+
+TEST(MatchPoint, OnCenterline) {
+  const road::Road r = bent_road();
+  for (double s : {50.0, 700.0, 1100.0, 1900.0}) {
+    const auto m = match_point(r, r.geo_at(s));
+    EXPECT_TRUE(m.valid);
+    EXPECT_NEAR(m.s_m, s, 2.0) << "s=" << s;
+    EXPECT_LT(m.lateral_m, 1.0);
+  }
+}
+
+TEST(MatchPoint, LateralOffsetMeasured) {
+  const road::Road r = bent_road();
+  // A point 12 m left of the road at s = 500.
+  const auto pos = r.position_at(500.0);
+  const double h = r.heading_at(500.0);
+  math::Enu offset = pos;
+  offset.east_m += -std::sin(h) * 12.0;
+  offset.north_m += std::cos(h) * 12.0;
+  const auto geo = math::LocalTangentPlane(r.anchor()).to_geodetic(offset);
+  const auto m = match_point(r, geo);
+  EXPECT_TRUE(m.valid);
+  EXPECT_NEAR(m.s_m, 500.0, 3.0);
+  EXPECT_NEAR(m.lateral_m, 12.0, 1.0);
+}
+
+TEST(MatchPoint, FarAwayRejected) {
+  const road::Road r = bent_road();
+  const auto pos = r.position_at(500.0);
+  math::Enu offset = pos;
+  offset.north_m += 500.0;
+  const auto geo = math::LocalTangentPlane(r.anchor()).to_geodetic(offset);
+  const auto m = match_point(r, geo);
+  EXPECT_FALSE(m.valid);
+}
+
+struct Scenario {
+  road::Road road = bent_road();
+  vehicle::Trip trip;
+  sensors::SensorTrace trace;
+};
+
+Scenario simulate(std::uint64_t seed, int outages = 0) {
+  Scenario sc;
+  vehicle::TripConfig tc;
+  tc.seed = seed;
+  tc.allow_lane_changes = false;
+  sc.trip = vehicle::simulate_trip(sc.road, tc);
+  sensors::SmartphoneConfig pc;
+  pc.seed = seed + 40;
+  pc.random_outage_count = outages;
+  sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                       vehicle::VehicleParams{}, pc);
+  return sc;
+}
+
+TEST(MatchTrack, FollowsDriveMonotonically) {
+  const Scenario sc = simulate(3);
+  const auto matched = match_track(sc.road, sc.trace.gps);
+  ASSERT_EQ(matched.size(), sc.trace.gps.size());
+  double prev_s = -1.0;
+  std::size_t valid = 0;
+  for (const auto& m : matched) {
+    if (!m.valid) continue;
+    EXPECT_GE(m.s_m, prev_s - 1e-9);  // forward progress
+    prev_s = m.s_m;
+    ++valid;
+  }
+  EXPECT_GT(valid, matched.size() * 9 / 10);
+  // Matched distance should track true distance within GPS noise.
+  std::size_t si = 0;
+  for (const auto& m : matched) {
+    if (!m.valid) continue;
+    while (si + 1 < sc.trip.states.size() && sc.trip.states[si].t < m.t) {
+      ++si;
+    }
+    EXPECT_NEAR(m.s_m, sc.trip.states[si].s, 20.0);
+  }
+}
+
+TEST(MatchTrack, OutagesProduceInvalidEntries) {
+  const Scenario sc = simulate(4, 2);
+  const auto matched = match_track(sc.road, sc.trace.gps);
+  std::size_t invalid = 0;
+  for (std::size_t i = 0; i < matched.size(); ++i) {
+    if (!sc.trace.gps[i].valid) {
+      EXPECT_FALSE(matched[i].valid);
+      ++invalid;
+    }
+  }
+  EXPECT_GT(invalid, 0u);
+}
+
+TEST(RekeyTrack, AlignsOdometryToRoadDistance) {
+  const Scenario sc = simulate(5);
+  const auto res =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  const GradeTrack rekeyed =
+      rekey_track_by_road(res.fused, sc.road, sc.trace.gps);
+  ASSERT_EQ(rekeyed.size(), res.fused.size());
+  // Re-keyed distances must agree with the trip's true distance at the
+  // same timestamps far better than worst-case odometry drift.
+  std::size_t si = 0;
+  for (std::size_t i = 0; i < rekeyed.t.size(); i += 20) {
+    while (si + 1 < sc.trip.states.size() &&
+           sc.trip.states[si].t < rekeyed.t[i]) {
+      ++si;
+    }
+    EXPECT_NEAR(rekeyed.s[i], sc.trip.states[si].s, 15.0);
+  }
+  // Monotone.
+  for (std::size_t i = 1; i < rekeyed.s.size(); ++i) {
+    EXPECT_GE(rekeyed.s[i], rekeyed.s[i - 1] - 5.0);
+  }
+}
+
+TEST(RekeyTrack, ThrowsWithoutUsableFixes) {
+  const Scenario sc = simulate(6);
+  const auto res =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  std::vector<sensors::GpsFix> none;
+  EXPECT_THROW(rekey_track_by_road(res.fused, sc.road, none),
+               std::invalid_argument);
+  // All-invalid fixes also throw.
+  auto invalid = sc.trace.gps;
+  for (auto& f : invalid) f.valid = false;
+  EXPECT_THROW(rekey_track_by_road(res.fused, sc.road, invalid),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rge::core

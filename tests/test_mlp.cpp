@@ -1,0 +1,121 @@
+// Unit tests for the from-scratch MLP.
+#include "baselines/mlp.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+
+namespace rge::baselines {
+namespace {
+
+TEST(Mlp, ConfigValidation) {
+  EXPECT_THROW(Mlp(MlpConfig{.layers = {3}}), std::invalid_argument);
+  EXPECT_THROW(Mlp(MlpConfig{.layers = {3, 0, 1}}), std::invalid_argument);
+}
+
+TEST(Mlp, PredictValidatesInputSize) {
+  Mlp mlp(MlpConfig{.layers = {2, 4, 1}});
+  EXPECT_THROW((void)mlp.predict(std::vector<double>{1.0}),
+               std::invalid_argument);
+  const auto out = mlp.predict(std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Mlp, DeterministicInitialization) {
+  Mlp a(MlpConfig{.layers = {2, 8, 1}, .seed = 5});
+  Mlp b(MlpConfig{.layers = {2, 8, 1}, .seed = 5});
+  const std::vector<double> x{0.3, -0.7};
+  EXPECT_DOUBLE_EQ(a.predict(x)[0], b.predict(x)[0]);
+  Mlp c(MlpConfig{.layers = {2, 8, 1}, .seed = 6});
+  EXPECT_NE(a.predict(x)[0], c.predict(x)[0]);
+}
+
+TEST(Mlp, TrainEpochValidatesSizes) {
+  Mlp mlp(MlpConfig{.layers = {2, 4, 1}});
+  std::vector<double> in(10);  // 5 rows
+  std::vector<double> tg(4);   // mismatched
+  EXPECT_THROW(mlp.train_epoch(in, tg, 5), std::invalid_argument);
+  EXPECT_THROW(mlp.evaluate(in, tg, 5), std::invalid_argument);
+}
+
+TEST(Mlp, LearnsLinearFunction) {
+  math::Rng rng(1);
+  const std::size_t rows = 256;
+  std::vector<double> in;
+  std::vector<double> tg;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    in.push_back(a);
+    in.push_back(b);
+    tg.push_back(0.5 * a - 0.3 * b + 0.1);
+  }
+  Mlp mlp(MlpConfig{.layers = {2, 8, 1}, .learning_rate = 5e-3, .seed = 2});
+  const double mse = mlp.fit(in, tg, rows, 200);
+  EXPECT_LT(mse, 1e-3);
+  EXPECT_NEAR(mlp.predict(std::vector<double>{0.5, 0.5})[0],
+              0.5 * 0.5 - 0.3 * 0.5 + 0.1, 0.05);
+}
+
+TEST(Mlp, LearnsNonlinearXorStyle) {
+  // XOR on {-1, 1}^2: requires the hidden layer.
+  std::vector<double> in{-1, -1, -1, 1, 1, -1, 1, 1};
+  std::vector<double> tg{-1, 1, 1, -1};
+  Mlp mlp(MlpConfig{.layers = {2, 8, 1},
+                    .learning_rate = 2e-2,
+                    .batch_size = 4,
+                    .seed = 3});
+  const double mse = mlp.fit(in, tg, 4, 800);
+  EXPECT_LT(mse, 0.05);
+  EXPECT_GT(mlp.predict(std::vector<double>{-1.0, 1.0})[0], 0.5);
+  EXPECT_LT(mlp.predict(std::vector<double>{1.0, 1.0})[0], -0.5);
+}
+
+TEST(Mlp, TrainingReducesLoss) {
+  math::Rng rng(4);
+  const std::size_t rows = 128;
+  std::vector<double> in;
+  std::vector<double> tg;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double x = rng.uniform(-2.0, 2.0);
+    in.push_back(x);
+    tg.push_back(std::sin(x));
+  }
+  Mlp mlp(MlpConfig{.layers = {1, 16, 16, 1}, .seed = 5});
+  const double before = mlp.evaluate(in, tg, rows);
+  mlp.fit(in, tg, rows, 100);
+  const double after = mlp.evaluate(in, tg, rows);
+  EXPECT_LT(after, 0.5 * before);
+}
+
+TEST(Mlp, EmptyEpochIsNoOp) {
+  Mlp mlp(MlpConfig{.layers = {1, 2, 1}});
+  EXPECT_DOUBLE_EQ(mlp.train_epoch({}, {}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(mlp.evaluate({}, {}, 0), 0.0);
+}
+
+TEST(Mlp, MultiOutputRegression) {
+  math::Rng rng(6);
+  const std::size_t rows = 200;
+  std::vector<double> in;
+  std::vector<double> tg;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    in.push_back(x);
+    tg.push_back(x);
+    tg.push_back(-x);
+  }
+  Mlp mlp(MlpConfig{.layers = {1, 8, 2}, .learning_rate = 5e-3, .seed = 7});
+  const double mse = mlp.fit(in, tg, rows, 300);
+  EXPECT_LT(mse, 0.01);
+  const auto out = mlp.predict(std::vector<double>{0.4});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0], 0.4, 0.1);
+  EXPECT_NEAR(out[1], -0.4, 0.1);
+}
+
+}  // namespace
+}  // namespace rge::baselines

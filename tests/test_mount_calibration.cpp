@@ -1,0 +1,128 @@
+// Tests for mount calibration and the static Eq. 3 baseline.
+#include "core/mount_calibration.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/static_grade.hpp"
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "math/angles.hpp"
+#include "road/network.hpp"
+#include "sensors/smartphone.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::core {
+namespace {
+
+using math::deg2rad;
+
+struct Scenario {
+  road::Road road;
+  vehicle::Trip trip;
+  sensors::SensorTrace trace;
+};
+
+Scenario make_scenario(double mount_yaw_deg, std::uint64_t seed = 1,
+                       double crown = 0.02) {
+  Scenario sc{road::make_table3_route(2019), {}, {}};
+  vehicle::TripConfig tc;
+  tc.seed = seed;
+  sc.trip = vehicle::simulate_trip(sc.road, tc);
+  sensors::SmartphoneConfig pc;
+  pc.seed = seed + 55;
+  pc.mount_yaw_rad = deg2rad(mount_yaw_deg);
+  pc.road_crown = crown;
+  sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                       vehicle::VehicleParams{}, pc);
+  return sc;
+}
+
+TEST(MountCalibration, RecoversInjectedYaw) {
+  for (double yaw_deg : {-8.0, -3.0, 0.0, 3.0, 8.0}) {
+    const Scenario sc = make_scenario(yaw_deg, 3);
+    const MountCalibration cal = calibrate_mount(sc.trace);
+    ASSERT_TRUE(cal.reliable) << yaw_deg;
+    EXPECT_NEAR(math::rad2deg(cal.yaw_rad), yaw_deg, 1.2)
+        << "yaw " << yaw_deg;
+  }
+}
+
+TEST(MountCalibration, RecoversRoadCrown) {
+  const Scenario sc = make_scenario(4.0, 5, 0.03);
+  const MountCalibration cal = calibrate_mount(sc.trace);
+  ASSERT_TRUE(cal.reliable);
+  EXPECT_NEAR(cal.crown_estimate, 0.03, 0.015);
+}
+
+TEST(MountCalibration, UnreliableWithoutData) {
+  sensors::SensorTrace empty;
+  const MountCalibration cal = calibrate_mount(empty);
+  EXPECT_FALSE(cal.reliable);
+  EXPECT_EQ(cal.samples_used, 0u);
+}
+
+TEST(MountCalibration, DerotationRoundTrip) {
+  const Scenario sc = make_scenario(6.0, 7);
+  const MountCalibration cal = calibrate_mount(sc.trace);
+  ASSERT_TRUE(cal.reliable);
+  const auto fixed = derotate_imu(sc.trace, cal.yaw_rad);
+  // Re-calibrating the corrected trace must find ~zero yaw.
+  const MountCalibration recal = calibrate_mount(fixed);
+  ASSERT_TRUE(recal.reliable);
+  EXPECT_NEAR(math::rad2deg(recal.yaw_rad), 0.0, 0.5);
+}
+
+TEST(MountCalibration, ImprovesPipelineUnderMisalignment) {
+  const Scenario sc = make_scenario(10.0, 9);
+  PipelineConfig no_cal;
+  no_cal.auto_calibrate_mount = false;
+  const auto raw =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{}, no_cal);
+  // Default config auto-calibrates and must report the injected yaw.
+  const auto fixed = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  ASSERT_TRUE(fixed.mount.reliable);
+  EXPECT_NEAR(math::rad2deg(fixed.mount.yaw_rad), 10.0, 1.5);
+  const double e_raw = evaluate_track(raw.fused, sc.trip).mae_rad;
+  const double e_fixed = evaluate_track(fixed.fused, sc.trip).mae_rad;
+  EXPECT_LT(e_fixed, e_raw);
+}
+
+// ---------------- static Eq. 3 inversion baseline ----------------------
+
+TEST(StaticGrade, Validation) {
+  EXPECT_THROW(baselines::run_static_grade(sensors::SensorTrace{},
+                                           vehicle::VehicleParams{}),
+               std::invalid_argument);
+  const Scenario sc = make_scenario(0.0, 11);
+  baselines::StaticGradeConfig bad;
+  bad.emit_rate_hz = 0.0;
+  EXPECT_THROW(
+      baselines::run_static_grade(sc.trace, vehicle::VehicleParams{}, bad),
+      std::invalid_argument);
+}
+
+TEST(StaticGrade, UnbiasedButNoisy) {
+  const Scenario sc = make_scenario(0.0, 12);
+  const auto track =
+      baselines::run_static_grade(sc.trace, vehicle::VehicleParams{});
+  ASSERT_GT(track.size(), 100u);
+  const auto stats = evaluate_track(track, sc.trip);
+  // Roughly unbiased...
+  const auto truth = truth_grade_at_times(sc.trip, track.t);
+  double bias = 0.0;
+  for (std::size_t i = 0; i < track.t.size(); ++i) {
+    bias += track.grade[i] - truth[i];
+  }
+  bias /= static_cast<double>(track.t.size());
+  EXPECT_LT(std::abs(bias), deg2rad(0.3));
+  // ...but much noisier than the EKF pipeline: this is the paper's whole
+  // argument for the filtering machinery.
+  const auto ekf = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  const auto ekf_stats = evaluate_track(ekf.fused, sc.trip);
+  EXPECT_GT(stats.median_abs_deg, 2.0 * ekf_stats.median_abs_deg);
+}
+
+}  // namespace
+}  // namespace rge::core

@@ -1,0 +1,129 @@
+// Unit tests for the synthetic road networks (Table III route and the
+// large-scale city network).
+#include "road/network.hpp"
+
+#include <array>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+
+namespace rge::road {
+namespace {
+
+TEST(Table3Route, MatchesPaperStructure) {
+  const Road r = make_table3_route(2019);
+  EXPECT_NEAR(r.length_m(), 2160.0, 1.0);  // paper: 2.16 km
+
+  // Section pattern from Table III: signs + - + - + - +, lanes
+  // 1 1 1 1 2 2 1. The builder splits each logical section into a ramp and
+  // a plateau, so sections() has 14 entries; fold pairs back together.
+  const auto& secs = r.sections();
+  ASSERT_EQ(secs.size(), 14u);
+  constexpr std::array<int, 7> kSigns = {+1, -1, +1, -1, +1, -1, +1};
+  constexpr std::array<int, 7> kLanes = {1, 1, 1, 1, 2, 2, 1};
+  for (std::size_t i = 0; i < 7; ++i) {
+    const auto& plateau = secs[2 * i + 1];  // constant-grade part
+    EXPECT_EQ(plateau.uphill(), kSigns[i] > 0) << "section " << i;
+    EXPECT_EQ(plateau.lanes, kLanes[i]) << "section " << i;
+    EXPECT_GE(std::abs(plateau.mean_grade_rad), math::deg2rad(1.0));
+    EXPECT_LE(std::abs(plateau.mean_grade_rad), math::deg2rad(5.0));
+  }
+}
+
+TEST(Table3Route, Deterministic) {
+  const Road a = make_table3_route(5);
+  const Road b = make_table3_route(5);
+  EXPECT_EQ(a.length_m(), b.length_m());
+  EXPECT_DOUBLE_EQ(a.grade_at(700.0), b.grade_at(700.0));
+  const Road c = make_table3_route(6);
+  EXPECT_NE(a.grade_at(700.0), c.grade_at(700.0));
+}
+
+TEST(Table3Route, HasTwoLaneStretchForLaneChanges) {
+  const Road r = make_table3_route(2019);
+  double two_lane_m = 0.0;
+  for (double s = 0.0; s < r.length_m(); s += 10.0) {
+    if (r.lanes_at(s) >= 2) two_lane_m += 10.0;
+  }
+  EXPECT_GT(two_lane_m, 500.0);  // sections 4-5 and 5-6
+}
+
+TEST(CityNetwork, TotalLengthMatchesPaper) {
+  const RoadNetwork net = make_city_network(1, 164.8);
+  EXPECT_GE(net.total_length_m(), 164800.0);
+  // Overshoot is at most one road (max road length 5 km).
+  EXPECT_LE(net.total_length_m(), 164800.0 + 5100.0);
+  EXPECT_GT(net.size(), 30u);
+}
+
+TEST(CityNetwork, Deterministic) {
+  const RoadNetwork a = make_city_network(7, 20.0);
+  const RoadNetwork b = make_city_network(7, 20.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.roads()[i].road.length_m(),
+                     b.roads()[i].road.length_m());
+  }
+}
+
+TEST(CityNetwork, GradeDistributionIsCityLike) {
+  const RoadNetwork net = make_city_network(3, 40.0);
+  std::size_t samples = 0;
+  std::size_t gentle = 0;
+  double max_abs = 0.0;
+  for (const auto& nr : net.roads()) {
+    for (double s = 0.0; s < nr.road.length_m(); s += 25.0) {
+      const double g = std::abs(nr.road.grade_at(s));
+      ++samples;
+      if (g < math::deg2rad(2.0)) ++gentle;
+      max_abs = std::max(max_abs, g);
+    }
+  }
+  ASSERT_GT(samples, 100u);
+  // Majority of the city is gentle; nothing exceeds the generator's cap.
+  EXPECT_GT(static_cast<double>(gentle) / samples, 0.5);
+  EXPECT_LE(max_abs, math::deg2rad(6.6));
+}
+
+TEST(CityNetwork, HasAllRoadClasses) {
+  const RoadNetwork net = make_city_network(5, 60.0);
+  bool has_arterial = false;
+  bool has_collector = false;
+  bool has_residential = false;
+  for (const auto& nr : net.roads()) {
+    switch (nr.road_class) {
+      case RoadClass::kArterial: has_arterial = true; break;
+      case RoadClass::kCollector: has_collector = true; break;
+      case RoadClass::kResidential: has_residential = true; break;
+    }
+  }
+  EXPECT_TRUE(has_arterial);
+  EXPECT_TRUE(has_collector);
+  EXPECT_TRUE(has_residential);
+}
+
+TEST(CityNetwork, ArterialsAreMultiLane) {
+  const RoadNetwork net = make_city_network(5, 60.0);
+  for (const auto& nr : net.roads()) {
+    if (nr.road_class == RoadClass::kArterial) {
+      EXPECT_GE(nr.road.lanes_at(nr.road.length_m() / 2.0), 2);
+    }
+    if (nr.road_class == RoadClass::kResidential) {
+      EXPECT_EQ(nr.road.lanes_at(nr.road.length_m() / 2.0), 1);
+    }
+  }
+}
+
+TEST(RoadNetwork, AddAccumulates) {
+  RoadNetwork net;
+  EXPECT_EQ(net.size(), 0u);
+  EXPECT_DOUBLE_EQ(net.total_length_m(), 0.0);
+  net.add(NetworkRoad{make_table3_route(1), RoadClass::kCollector});
+  EXPECT_EQ(net.size(), 1u);
+  EXPECT_NEAR(net.total_length_m(), 2160.0, 1.0);
+}
+
+}  // namespace
+}  // namespace rge::road

@@ -1,0 +1,194 @@
+// Tests for the streaming estimator and the barometer-augmented EKF.
+#include "core/online_estimator.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/alignment.hpp"
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "core/velocity_sources.hpp"
+#include "math/angles.hpp"
+#include "math/stats.hpp"
+#include "road/network.hpp"
+#include "sensors/smartphone.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::core {
+namespace {
+
+using math::deg2rad;
+
+struct Scenario {
+  road::Road road;
+  vehicle::Trip trip;
+  sensors::SensorTrace trace;
+};
+
+Scenario make_scenario(std::uint64_t seed, double lc_per_km = 4.0) {
+  Scenario sc{road::make_table3_route(2019), {}, {}};
+  vehicle::TripConfig tc;
+  tc.seed = seed;
+  tc.lane_changes_per_km = lc_per_km;
+  sc.trip = vehicle::simulate_trip(sc.road, tc);
+  sensors::SmartphoneConfig pc;
+  pc.seed = seed + 70;
+  sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                       vehicle::VehicleParams{}, pc);
+  return sc;
+}
+
+/// Stream a full trace into the estimator in timestamp order, recording
+/// the estimate after every IMU sample.
+GradeTrack stream_trace(OnlineGradientEstimator& est,
+                        const sensors::SensorTrace& trace) {
+  GradeTrack track;
+  track.source = "online";
+  std::size_t gi = 0;
+  std::size_t si = 0;
+  std::size_t ci = 0;
+  std::size_t n = 0;
+  for (const auto& imu : trace.imu) {
+    while (gi < trace.gps.size() && trace.gps[gi].t <= imu.t) {
+      est.push_gps(trace.gps[gi++]);
+    }
+    while (si < trace.speedometer.size() &&
+           trace.speedometer[si].t <= imu.t) {
+      est.push_speedometer(trace.speedometer[si].t,
+                           trace.speedometer[si].value);
+      ++si;
+    }
+    while (ci < trace.canbus_speed.size() &&
+           trace.canbus_speed[ci].t <= imu.t) {
+      est.push_canbus(trace.canbus_speed[ci].t,
+                      trace.canbus_speed[ci].value);
+      ++ci;
+    }
+    est.push_imu(imu);
+    if (++n % 5 == 0) {
+      const auto e = est.estimate();
+      track.t.push_back(e.t);
+      track.grade.push_back(e.grade_rad);
+      track.grade_var.push_back(std::max(1e-10, e.grade_var));
+      track.speed.push_back(e.speed_mps);
+      track.s.push_back(e.odometry_m);
+    }
+  }
+  return track;
+}
+
+TEST(OnlineEstimator, TracksGradeOnline) {
+  const Scenario sc = make_scenario(5);
+  OnlineGradientEstimator est(vehicle::VehicleParams{});
+  const GradeTrack track = stream_trace(est, sc.trace);
+  ASSERT_GT(track.size(), 100u);
+  const auto stats = evaluate_track(track, sc.trip);
+  // Online accuracy within ~1.5x of the batch pipeline's ballpark.
+  EXPECT_LT(stats.median_abs_deg, 0.5);
+  EXPECT_LT(stats.mre, 0.35);
+}
+
+TEST(OnlineEstimator, CloseToBatchPipeline) {
+  const Scenario sc = make_scenario(6);
+  OnlineGradientEstimator online(vehicle::VehicleParams{});
+  const GradeTrack track = stream_trace(online, sc.trace);
+  const auto batch =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  const auto st_online = evaluate_track(track, sc.trip);
+  const auto st_batch = evaluate_track(batch.fused, sc.trip);
+  // The batch pipeline smooths with hindsight and uses the IMU velocity
+  // source; online must be in the same accuracy class.
+  EXPECT_LT(st_online.median_abs_deg, 2.0 * st_batch.median_abs_deg + 0.05);
+}
+
+TEST(OnlineEstimator, DetectsLaneChangesOnline) {
+  std::size_t true_total = 0;
+  std::size_t matched = 0;
+  std::size_t detected_total = 0;
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    const Scenario sc = make_scenario(seed, 5.0);
+    OnlineGradientEstimator est(vehicle::VehicleParams{});
+    (void)stream_trace(est, sc.trace);
+    true_total += sc.trip.lane_changes.size();
+    detected_total += est.lane_changes().size();
+    for (const auto& truth : sc.trip.lane_changes) {
+      for (const auto& det : est.lane_changes()) {
+        if (det.t_start < truth.end_t + 1.0 &&
+            det.t_end > truth.start_t - 1.0) {
+          ++matched;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(true_total, 2u);
+  EXPECT_GE(static_cast<double>(matched) / true_total, 0.7);
+  EXPECT_LE(detected_total, true_total + 2);
+}
+
+TEST(OnlineEstimator, EmptyBeforeData) {
+  OnlineGradientEstimator est(vehicle::VehicleParams{});
+  const auto e = est.estimate();
+  EXPECT_DOUBLE_EQ(e.grade_rad, 0.0);
+  EXPECT_EQ(e.lane_changes_detected, 0u);
+  EXPECT_TRUE(est.lane_changes().empty());
+}
+
+TEST(OnlineEstimator, OdometryAccumulates) {
+  const Scenario sc = make_scenario(7);
+  OnlineGradientEstimator est(vehicle::VehicleParams{});
+  (void)stream_trace(est, sc.trace);
+  const auto e = est.estimate();
+  EXPECT_NEAR(e.odometry_m, sc.trip.distance_m(),
+              0.1 * sc.trip.distance_m());
+}
+
+// ---------------- barometer-augmented EKF ------------------------------
+
+TEST(GradeEkfBaro, RunsAndStaysFinite) {
+  const Scenario sc = make_scenario(8, 0.0);
+  const auto aligned = align_states(sc.trace);
+  const auto meas = velocity_from_canbus(sc.trace);
+  const auto track = run_grade_ekf_with_baro(
+      "canbus+baro", aligned.t, aligned.accel_forward, meas,
+      sc.trace.barometer_alt, vehicle::VehicleParams{});
+  ASSERT_FALSE(track.t.empty());
+  for (double g : track.grade) EXPECT_TRUE(std::isfinite(g));
+  const auto stats = evaluate_track(track, sc.trip);
+  EXPECT_LT(stats.median_abs_deg, 0.6);
+}
+
+TEST(GradeEkfBaro, BarometerAddsLittleOverVelocityChannel) {
+  // The paper's design rationale: the barometer's metre-level noise means
+  // the altitude channel cannot beat the velocity-deviation channel. The
+  // augmented filter should be within a small factor of the plain one —
+  // not dramatically better.
+  const Scenario sc = make_scenario(9, 0.0);
+  const auto aligned = align_states(sc.trace);
+  const auto meas = velocity_from_canbus(sc.trace);
+  const auto plain = run_grade_ekf("canbus", aligned.t,
+                                   aligned.accel_forward, meas,
+                                   vehicle::VehicleParams{});
+  const auto baro = run_grade_ekf_with_baro(
+      "canbus+baro", aligned.t, aligned.accel_forward, meas,
+      sc.trace.barometer_alt, vehicle::VehicleParams{});
+  const double e_plain = evaluate_track(plain, sc.trip).mae_rad;
+  const double e_baro = evaluate_track(baro, sc.trip).mae_rad;
+  EXPECT_LT(e_baro, 1.5 * e_plain);
+  EXPECT_GT(e_baro, 0.5 * e_plain);
+}
+
+TEST(GradeEkfBaro, Validation) {
+  EXPECT_THROW(run_grade_ekf_with_baro("x", std::vector<double>{0.0, 1.0},
+                                       std::vector<double>{0.0}, {}, {},
+                                       vehicle::VehicleParams{}),
+               std::invalid_argument);
+  const auto empty = run_grade_ekf_with_baro(
+      "x", std::vector<double>{}, std::vector<double>{}, {}, {},
+      vehicle::VehicleParams{});
+  EXPECT_TRUE(empty.t.empty());
+}
+
+}  // namespace
+}  // namespace rge::core

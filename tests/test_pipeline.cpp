@@ -1,0 +1,268 @@
+// Integration tests for the end-to-end gradient estimation pipeline (OPS).
+#include "core/pipeline.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "math/angles.hpp"
+#include "road/network.hpp"
+#include "sensors/smartphone.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::core {
+namespace {
+
+using math::deg2rad;
+
+struct Scenario {
+  road::Road road;
+  vehicle::Trip trip;
+  sensors::SensorTrace trace;
+};
+
+Scenario table3_scenario(std::uint64_t seed = 21,
+                         double lane_changes_per_km = 5.0) {
+  Scenario sc{road::make_table3_route(2019), {}, {}};
+  vehicle::TripConfig tc;
+  tc.seed = seed;
+  tc.lane_changes_per_km = lane_changes_per_km;
+  sc.trip = vehicle::simulate_trip(sc.road, tc);
+  sensors::SmartphoneConfig pc;
+  pc.seed = seed + 7;
+  sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                       vehicle::VehicleParams{}, pc);
+  return sc;
+}
+
+TEST(Pipeline, Validation) {
+  EXPECT_THROW(
+      estimate_gradient(sensors::SensorTrace{}, vehicle::VehicleParams{}),
+      std::invalid_argument);
+  const Scenario sc = table3_scenario();
+  PipelineConfig cfg;
+  cfg.use_gps = cfg.use_speedometer = cfg.use_canbus = cfg.use_imu = false;
+  EXPECT_THROW(estimate_gradient(sc.trace, vehicle::VehicleParams{}, cfg),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, ProducesFourTracksAndFusedOutput) {
+  const Scenario sc = table3_scenario();
+  const PipelineResult res =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  EXPECT_EQ(res.tracks.size(), 4u);
+  EXPECT_EQ(res.fused.source, "fused");
+  EXPECT_FALSE(res.fused.t.empty());
+  EXPECT_EQ(res.det_t.size(), res.det_steer_smoothed.size());
+  EXPECT_EQ(res.det_t.size(), res.det_speed.size());
+}
+
+TEST(Pipeline, AccuracyOnTable3Route) {
+  const Scenario sc = table3_scenario();
+  const PipelineResult res =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  const TrackErrorStats stats = evaluate_track(res.fused, sc.trip);
+  // System-level accuracy envelope (paper-scale): median well under half a
+  // degree, MRE below 25%.
+  EXPECT_LT(stats.median_abs_deg, 0.45);
+  EXPECT_LT(stats.mre, 0.25);
+}
+
+TEST(Pipeline, FusionBeatsAverageSingleTrack) {
+  const Scenario sc = table3_scenario(33);
+  const PipelineResult res =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  const double fused_med =
+      evaluate_track(res.fused, sc.trip).median_abs_deg;
+  double mean_single = 0.0;
+  for (const auto& tr : res.tracks) {
+    mean_single += evaluate_track(tr, sc.trip).median_abs_deg;
+  }
+  mean_single /= static_cast<double>(res.tracks.size());
+  EXPECT_LT(fused_med, mean_single);
+}
+
+TEST(Pipeline, DetectsLaneChangesWithGoodPrecisionRecall) {
+  // Aggregate over several drives for a stable count.
+  std::size_t true_total = 0;
+  std::size_t detected_total = 0;
+  std::size_t matched = 0;
+  for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    const Scenario sc = table3_scenario(seed);
+    const PipelineResult res =
+        estimate_gradient(sc.trace, vehicle::VehicleParams{});
+    true_total += sc.trip.lane_changes.size();
+    detected_total += res.lane_changes.size();
+    for (const auto& truth : sc.trip.lane_changes) {
+      for (const auto& det : res.lane_changes) {
+        const bool overlap =
+            det.t_start < truth.end_t + 1.0 && det.t_end > truth.start_t - 1.0;
+        const bool same_type =
+            (truth.direction == vehicle::LaneChangeDirection::kLeft) ==
+            (det.type == LaneChangeType::kLeft);
+        if (overlap && same_type) {
+          ++matched;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(true_total, 3u);
+  // Recall and precision both >= 75% across drives.
+  EXPECT_GE(static_cast<double>(matched) / true_total, 0.75);
+  EXPECT_GE(static_cast<double>(matched) / std::max<std::size_t>(
+                                               1, detected_total),
+            0.75);
+}
+
+TEST(Pipeline, LaneChangeAdjustmentHelpsDuringManeuvers) {
+  // Compare fused error inside lane-change windows with and without the
+  // lane-change effect elimination (Eq. 2 velocity adjustment + specific
+  // force projection), aggregated over several drives. The effect scales
+  // with the road's cross slope: on a strongly superelevated road (6%)
+  // the unhandled crown-gravity leak visibly corrupts the gradient, and
+  // the elimination must recover it. (At the standard 2% drainage crown
+  // the two variants are statistically indistinguishable in our physics —
+  // see bench_ablations / EXPERIMENTS.md.)
+  constexpr double kCrown = 0.06;
+  double err_with = 0.0;
+  double err_without = 0.0;
+  std::size_t n = 0;
+  for (std::uint64_t seed : {21u, 22u, 23u, 24u, 25u, 26u}) {
+    Scenario sc = table3_scenario(seed, 6.0);
+    if (sc.trip.lane_changes.empty()) continue;
+    sensors::SmartphoneConfig pc;
+    pc.seed = seed + 7;
+    pc.road_crown = kCrown;
+    sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                         vehicle::VehicleParams{}, pc);
+    PipelineConfig with;
+    with.assumed_road_crown = kCrown;
+    PipelineConfig without;
+    without.enable_lane_change_adjustment = false;
+    const auto res_with =
+        estimate_gradient(sc.trace, vehicle::VehicleParams{}, with);
+    const auto res_without =
+        estimate_gradient(sc.trace, vehicle::VehicleParams{}, without);
+    const auto truth_w = truth_grade_at_times(sc.trip, res_with.fused.t);
+    const auto truth_wo = truth_grade_at_times(sc.trip, res_without.fused.t);
+    for (const auto& lc : sc.trip.lane_changes) {
+      for (std::size_t i = 0; i < res_with.fused.t.size(); ++i) {
+        const double t = res_with.fused.t[i];
+        if (t >= lc.start_t && t <= lc.end_t + 3.0) {
+          err_with += std::abs(res_with.fused.grade[i] - truth_w[i]);
+          err_without += std::abs(res_without.fused.grade[i] - truth_wo[i]);
+          ++n;
+        }
+      }
+    }
+  }
+  ASSERT_GT(n, 50u);
+  EXPECT_LT(err_with, err_without);
+}
+
+TEST(Pipeline, SmoothingCanBeDisabled) {
+  const Scenario sc = table3_scenario();
+  PipelineConfig cfg;
+  cfg.smoothing_window_s = 0.0;
+  const PipelineResult res =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{}, cfg);
+  EXPECT_FALSE(res.fused.t.empty());
+  // Raw profile is rougher than the smoothed one.
+  const PipelineResult smooth =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  double rough_energy = 0.0;
+  double smooth_energy = 0.0;
+  for (std::size_t i = 1; i < res.det_steer_smoothed.size(); ++i) {
+    rough_energy += std::abs(res.det_steer_smoothed[i] -
+                             res.det_steer_smoothed[i - 1]);
+  }
+  for (std::size_t i = 1; i < smooth.det_steer_smoothed.size(); ++i) {
+    smooth_energy += std::abs(smooth.det_steer_smoothed[i] -
+                              smooth.det_steer_smoothed[i - 1]);
+  }
+  EXPECT_GT(rough_energy, 2.0 * smooth_energy);
+}
+
+TEST(Pipeline, SubsetOfSourcesWorks) {
+  const Scenario sc = table3_scenario();
+  PipelineConfig cfg;
+  cfg.use_imu = false;
+  cfg.use_gps = false;
+  const PipelineResult res =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{}, cfg);
+  EXPECT_EQ(res.tracks.size(), 2u);
+  const TrackErrorStats stats = evaluate_track(res.fused, sc.trip);
+  EXPECT_LT(stats.median_abs_deg, 0.6);
+}
+
+TEST(Pipeline, FusionDisabledPicksBestTrack) {
+  const Scenario sc = table3_scenario();
+  PipelineConfig cfg;
+  cfg.enable_fusion = false;
+  const PipelineResult res =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{}, cfg);
+  EXPECT_NE(res.fused.source.find("best-single-track"), std::string::npos);
+}
+
+TEST(Pipeline, SurvivesGpsOutages) {
+  Scenario sc = table3_scenario(44);
+  sensors::SmartphoneConfig pc;
+  pc.seed = 51;
+  pc.gps_outages = {{30.0, 60.0}, {120.0, 150.0}};
+  sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                       vehicle::VehicleParams{}, pc);
+  const PipelineResult res =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  const TrackErrorStats stats = evaluate_track(res.fused, sc.trip);
+  EXPECT_LT(stats.median_abs_deg, 0.6);
+  EXPECT_LT(stats.mre, 0.3);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const Scenario sc = table3_scenario();
+  const PipelineResult a =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  const PipelineResult b =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  ASSERT_EQ(a.fused.size(), b.fused.size());
+  EXPECT_DOUBLE_EQ(a.fused.grade.back(), b.fused.grade.back());
+  EXPECT_EQ(a.lane_changes.size(), b.lane_changes.size());
+}
+
+// Parameterized: accuracy holds across many independent drive/noise
+// realizations, not just the tuned demo seed.
+class PipelineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeedSweep, MedianWithinEnvelope) {
+  const Scenario sc = table3_scenario(GetParam());
+  const PipelineResult res =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  const TrackErrorStats stats = evaluate_track(res.fused, sc.trip);
+  EXPECT_LT(stats.median_abs_deg, 0.45) << "seed " << GetParam();
+  EXPECT_LT(stats.mre, 0.30) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedSweep,
+                         ::testing::Values(101, 202, 303, 404, 505, 606,
+                                           707, 808));
+
+TEST(Pipeline, CsvRoundTripGivesIdenticalResults) {
+  const Scenario sc = table3_scenario();
+  std::stringstream ss;
+  sensors::write_csv(sc.trace, ss);
+  const sensors::SensorTrace reparsed = sensors::read_csv(ss);
+  const PipelineResult a =
+      estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  const PipelineResult b =
+      estimate_gradient(reparsed, vehicle::VehicleParams{});
+  ASSERT_EQ(a.fused.size(), b.fused.size());
+  for (std::size_t i = 0; i < a.fused.size(); i += 37) {
+    EXPECT_DOUBLE_EQ(a.fused.grade[i], b.fused.grade[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rge::core

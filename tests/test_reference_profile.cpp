@@ -1,0 +1,108 @@
+// Unit tests for the Section III-D reference-gradient survey method.
+#include "road/reference_profile.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+#include "math/stats.hpp"
+#include "road/network.hpp"
+
+namespace rge::road {
+namespace {
+
+using math::deg2rad;
+
+Road simple_hill() {
+  RoadBuilder b("hill");
+  b.add_straight(300.0, deg2rad(3.0));
+  b.add_straight(300.0, deg2rad(-2.0));
+  return b.build();
+}
+
+TEST(ReferenceProfile, SegmentsCoverRoad) {
+  const Road r = simple_hill();
+  const ReferenceProfile ref = survey_reference_profile(r);
+  ASSERT_FALSE(ref.segments.empty());
+  EXPECT_NEAR(ref.segments.front().start_s_m, 0.0, 1e-9);
+  EXPECT_NEAR(ref.segments.back().end_s_m, r.length_m(), 1.5);
+  // 1 m segments by default.
+  EXPECT_NEAR(ref.segments[0].end_s_m - ref.segments[0].start_s_m, 1.0,
+              1e-9);
+}
+
+TEST(ReferenceProfile, RecoversTrueGradeClosely) {
+  const Road r = simple_hill();
+  const ReferenceProfile ref = survey_reference_profile(r);
+  const auto exact = exact_grades_at(r, ref);
+  const auto surveyed = ref.grades();
+  // The altimeter is ~1 cm accurate over 1 m segments: per-segment grade
+  // noise is ~ atan(0.014) ~ 0.8 deg, but unbiased; the mean error over
+  // each 300 m leg must be tiny.
+  ASSERT_EQ(exact.size(), surveyed.size());
+  const double mae = math::mae(surveyed, exact);
+  EXPECT_LT(mae, deg2rad(1.5));
+  EXPECT_NEAR(math::bias(surveyed, exact), 0.0, deg2rad(0.1));
+}
+
+TEST(ReferenceProfile, LongerSegmentsAreLessNoisy) {
+  const Road r = simple_hill();
+  SurveyOptions coarse;
+  coarse.segment_length_m = 10.0;
+  const ReferenceProfile fine = survey_reference_profile(r);
+  const ReferenceProfile rough = survey_reference_profile(r, coarse);
+  const double mae_fine =
+      math::mae(fine.grades(), exact_grades_at(r, fine));
+  const double mae_rough =
+      math::mae(rough.grades(), exact_grades_at(r, rough));
+  EXPECT_LT(mae_rough, mae_fine);  // same altimeter noise over longer base
+}
+
+TEST(ReferenceProfile, GradeAtLookup) {
+  const Road r = simple_hill();
+  SurveyOptions opts;
+  opts.altimeter_sigma_m = 0.0;  // noise-free survey
+  opts.position_sigma_deg = 0.0;
+  const ReferenceProfile ref = survey_reference_profile(r, opts);
+  EXPECT_NEAR(ref.grade_at(150.0), deg2rad(3.0), deg2rad(0.05));
+  EXPECT_NEAR(ref.grade_at(450.0), deg2rad(-2.0), deg2rad(0.05));
+  // Clamping at the ends.
+  EXPECT_DOUBLE_EQ(ref.grade_at(-5.0), ref.segments.front().grade_rad);
+  EXPECT_DOUBLE_EQ(ref.grade_at(1e9), ref.segments.back().grade_rad);
+}
+
+TEST(ReferenceProfile, DirectionTracksRoadHeading) {
+  RoadBuilder b("ne");
+  b.set_initial_heading(deg2rad(45.0));
+  b.add_straight(200.0);
+  const Road r = b.build();
+  SurveyOptions opts;
+  opts.altimeter_sigma_m = 0.0;
+  opts.position_sigma_deg = 0.0;
+  const ReferenceProfile ref = survey_reference_profile(r, opts);
+  for (const auto& seg : ref.segments) {
+    EXPECT_NEAR(seg.direction_rad, deg2rad(45.0), deg2rad(1.0));
+  }
+}
+
+TEST(ReferenceProfile, Validation) {
+  const Road r = simple_hill();
+  SurveyOptions opts;
+  opts.segment_length_m = 0.0;
+  EXPECT_THROW(survey_reference_profile(r, opts), std::invalid_argument);
+  opts.segment_length_m = 1e6;
+  EXPECT_THROW(survey_reference_profile(r, opts), std::invalid_argument);
+  EXPECT_THROW(ReferenceProfile{}.grade_at(0.0), std::logic_error);
+}
+
+TEST(ReferenceProfile, WorksOnTable3Route) {
+  const Road r = make_table3_route(2019);
+  const ReferenceProfile ref = survey_reference_profile(r);
+  EXPECT_EQ(ref.segments.size(), 2160u);
+  const double mae = math::mae(ref.grades(), exact_grades_at(r, ref));
+  EXPECT_LT(mae, deg2rad(1.5));
+}
+
+}  // namespace
+}  // namespace rge::road

@@ -1,0 +1,157 @@
+// Unit tests for deterministic RNG and noise processes.
+#include "math/rng.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/stats.hpp"
+
+namespace rge::math {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.gaussian(), b.gaussian());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.gaussian() == b.gaussian()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIndependence) {
+  const Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c1_again = parent.fork(1);
+  EXPECT_DOUBLE_EQ(c1.gaussian(), c1_again.gaussian());
+  // Distinct tags should give distinct streams.
+  Rng d1 = parent.fork(1);
+  Rng d2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (d1.gaussian() == d2.gaussian()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkByString) {
+  const Rng parent(9);
+  Rng a = parent.fork("accel");
+  Rng a2 = parent.fork("accel");
+  Rng g = parent.fork("gyro");
+  EXPECT_DOUBLE_EQ(a.gaussian(), a2.gaussian());
+  EXPECT_NE(a.gaussian(), g.gaussian());
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(mean(xs), 5.0, 0.06);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.06);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const auto k = rng.uniform_int(1, 3);
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 3);
+  }
+}
+
+TEST(Rng, Bernoulli) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(DriftProcess, RandomWalkVarianceGrowsLinearly) {
+  // tau <= 0 selects the pure random walk with sigma per sqrt(second).
+  const int trials = 400;
+  std::vector<double> at1;
+  std::vector<double> at4;
+  for (int k = 0; k < trials; ++k) {
+    Rng rng(1000 + k);
+    DriftProcess p(0.5, 0.0);
+    for (int i = 0; i < 10; ++i) p.step(0.1, rng);
+    at1.push_back(p.value());
+    for (int i = 0; i < 30; ++i) p.step(0.1, rng);
+    at4.push_back(p.value());
+  }
+  EXPECT_NEAR(variance(at1), 0.25, 0.06);      // sigma^2 * t, t=1
+  EXPECT_NEAR(variance(at4), 1.0, 0.25);       // t=4
+}
+
+TEST(DriftProcess, OuIsStationary) {
+  Rng rng(55);
+  DriftProcess p(0.3, 5.0);
+  // Burn in, then collect.
+  for (int i = 0; i < 1000; ++i) p.step(0.1, rng);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(p.step(0.1, rng));
+  EXPECT_NEAR(stddev(xs), 0.3, 0.05);
+  EXPECT_NEAR(mean(xs), 0.0, 0.05);
+}
+
+TEST(DriftProcess, ZeroDtIsNoOp) {
+  Rng rng(1);
+  DriftProcess p(1.0, 0.0, 2.5);
+  EXPECT_DOUBLE_EQ(p.step(0.0, rng), 2.5);
+  EXPECT_DOUBLE_EQ(p.value(), 2.5);
+  p.reset(-1.0);
+  EXPECT_DOUBLE_EQ(p.value(), -1.0);
+}
+
+TEST(SensorNoise, WhiteNoiseLevel) {
+  SensorNoise::Config cfg;
+  cfg.white_sigma = 0.2;
+  SensorNoise noise(cfg, Rng(10));
+  std::vector<double> errs;
+  for (int i = 0; i < 20000; ++i) {
+    errs.push_back(noise.corrupt(1.0, 0.01) - 1.0);
+  }
+  EXPECT_NEAR(stddev(errs), 0.2, 0.01);
+  EXPECT_NEAR(mean(errs), 0.0, 0.01);
+}
+
+TEST(SensorNoise, ConstantBiasAndQuantization) {
+  SensorNoise::Config cfg;
+  cfg.constant_bias = 0.5;
+  cfg.quantization = 0.25;
+  SensorNoise noise(cfg, Rng(11));
+  const double out = noise.corrupt(1.0, 0.01);
+  EXPECT_DOUBLE_EQ(out, 1.5);  // quantization grid includes 1.5
+  const double out2 = noise.corrupt(1.06, 0.01);
+  EXPECT_DOUBLE_EQ(out2, 1.5);  // 1.56 rounds to 1.5
+}
+
+TEST(SensorNoise, DriftAccumulates) {
+  SensorNoise::Config cfg;
+  cfg.drift_sigma = 0.5;
+  cfg.drift_tau_s = 0.0;  // random walk
+  SensorNoise noise(cfg, Rng(12));
+  double last = 0.0;
+  for (int i = 0; i < 1000; ++i) last = noise.corrupt(0.0, 1.0);
+  EXPECT_NE(last, 0.0);
+  EXPECT_DOUBLE_EQ(last, noise.current_drift());
+}
+
+}  // namespace
+}  // namespace rge::math

@@ -1,0 +1,157 @@
+// Unit tests for road geometry and the section-based builder.
+#include "road/road.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+
+namespace rge::road {
+namespace {
+
+using math::deg2rad;
+
+TEST(RoadBuilder, Validation) {
+  EXPECT_THROW(RoadBuilder("r", 0.0), std::invalid_argument);
+  RoadBuilder b("r");
+  EXPECT_THROW(b.build(), std::logic_error);
+  EXPECT_THROW(b.add_section(SectionSpec{-5.0}), std::invalid_argument);
+  EXPECT_THROW(b.add_section(SectionSpec{10.0, 0.0, 0.0, 0.0, 0}),
+               std::invalid_argument);
+}
+
+TEST(RoadBuilder, StraightFlatRoad) {
+  RoadBuilder b("flat");
+  b.add_straight(100.0);
+  const Road r = b.build();
+  EXPECT_NEAR(r.length_m(), 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.grade_at(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.elevation_at(100.0), 0.0);
+  const auto end = r.position_at(100.0);
+  EXPECT_NEAR(end.east_m, 100.0, 1e-9);  // default heading = East
+  EXPECT_NEAR(end.north_m, 0.0, 1e-9);
+}
+
+TEST(RoadBuilder, GradedRoadGainsElevation) {
+  RoadBuilder b("hill");
+  const double grade = deg2rad(5.0);
+  b.add_straight(1000.0, grade);
+  const Road r = b.build();
+  EXPECT_NEAR(r.grade_at(500.0), grade, 1e-12);
+  EXPECT_NEAR(r.elevation_at(1000.0), 1000.0 * std::sin(grade), 1e-6);
+  // Horizontal run is shortened by cos(grade).
+  EXPECT_NEAR(r.position_at(1000.0).east_m, 1000.0 * std::cos(grade), 1e-6);
+}
+
+TEST(RoadBuilder, GradeRampIsLinear) {
+  RoadBuilder b("ramp");
+  b.add_section(SectionSpec{100.0, 0.0, deg2rad(4.0), 0.0, 1});
+  const Road r = b.build();
+  EXPECT_NEAR(r.grade_at(50.0), deg2rad(2.0), deg2rad(0.1));
+  EXPECT_LT(r.grade_at(10.0), r.grade_at(90.0));
+}
+
+TEST(RoadBuilder, HeadingChangeIntegrates) {
+  RoadBuilder b("curve");
+  b.set_initial_heading(0.0);
+  b.add_section(SectionSpec{100.0, 0.0, 0.0, deg2rad(90.0), 1});
+  const Road r = b.build();
+  EXPECT_NEAR(r.heading_at(100.0), deg2rad(90.0), 1e-9);
+  EXPECT_NEAR(r.heading_at(50.0), deg2rad(45.0), deg2rad(1.0));
+  // Quarter-circle of 100 m: radius = L / (pi/2).
+  const double radius = 100.0 / (math::kPi / 2.0);
+  const auto end = r.position_at(100.0);
+  EXPECT_NEAR(end.east_m, radius, 1.0);
+  EXPECT_NEAR(end.north_m, radius, 1.0);
+  EXPECT_NEAR(r.curvature_at(50.0), deg2rad(90.0) / 100.0, 1e-6);
+}
+
+TEST(RoadBuilder, SCurveReturnsToOriginalHeading) {
+  RoadBuilder b("s");
+  b.set_initial_heading(deg2rad(30.0));
+  b.add_s_curve(400.0, deg2rad(15.0));
+  const Road r = b.build();
+  EXPECT_NEAR(r.heading_at(400.0), deg2rad(30.0), 1e-9);
+  // Peak deviation at the first quarter boundary.
+  EXPECT_NEAR(r.heading_at(100.0), deg2rad(45.0), deg2rad(0.5));
+  EXPECT_NEAR(r.heading_at(300.0), deg2rad(15.0), deg2rad(0.5));
+}
+
+TEST(RoadBuilder, LanesPerSection) {
+  RoadBuilder b("lanes");
+  b.add_straight(100.0, 0.0, 1);
+  b.add_straight(100.0, 0.0, 2);
+  const Road r = b.build();
+  EXPECT_EQ(r.lanes_at(50.0), 1);
+  EXPECT_EQ(r.lanes_at(150.0), 2);
+}
+
+TEST(RoadBuilder, SectionInfoRecorded) {
+  RoadBuilder b("sections");
+  b.add_straight(100.0, deg2rad(2.0), 1);
+  b.add_straight(200.0, deg2rad(-1.0), 2);
+  const Road r = b.build();
+  ASSERT_EQ(r.sections().size(), 2u);
+  EXPECT_NEAR(r.sections()[0].mean_grade_rad, deg2rad(2.0), 1e-9);
+  EXPECT_TRUE(r.sections()[0].uphill());
+  EXPECT_FALSE(r.sections()[1].uphill());
+  EXPECT_NEAR(r.sections()[1].length_m(), 200.0, 1e-6);
+  EXPECT_EQ(r.sections()[1].lanes, 2);
+}
+
+TEST(Road, GeoAnchoring) {
+  const math::GeoPoint anchor{38.0, -78.5, 100.0};
+  RoadBuilder b("geo");
+  b.set_anchor(anchor);
+  b.set_initial_heading(deg2rad(90.0));  // due North
+  b.add_straight(1000.0);
+  const Road r = b.build();
+  const auto geo = r.geo_at(1000.0);
+  EXPECT_GT(geo.latitude_deg, anchor.latitude_deg);
+  EXPECT_NEAR(geo.longitude_deg, anchor.longitude_deg, 1e-9);
+  EXPECT_NEAR(math::haversine_distance_m(anchor, geo), 1000.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.anchor().altitude_m, 100.0);
+}
+
+TEST(Road, QueryClamping) {
+  RoadBuilder b("clamp");
+  b.add_straight(100.0, deg2rad(3.0));
+  const Road r = b.build();
+  EXPECT_DOUBLE_EQ(r.grade_at(-10.0), r.grade_at(0.0));
+  EXPECT_DOUBLE_EQ(r.grade_at(500.0), r.grade_at(100.0));
+}
+
+TEST(Road, ConstructorValidation) {
+  EXPECT_THROW(Road("bad", {0.0, 1.0}, {0.0, 1.0}, {0.0}, {0.0, 0.0},
+                    {0.0, 0.0}, {0.0, 0.0}, {1, 1}, {}, math::GeoPoint{}),
+               std::invalid_argument);
+  EXPECT_THROW(Road("bad", {0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0},
+                    {0.0, 0.0}, {0.0, 0.0}, {1, 1}, {}, math::GeoPoint{}),
+               std::invalid_argument);
+}
+
+TEST(RoadBuilder, TotalLengthAccumulates) {
+  RoadBuilder b("total");
+  b.add_straight(120.0).add_straight(80.0);
+  EXPECT_DOUBLE_EQ(b.total_length_m(), 200.0);
+}
+
+// Parameterized: elevation gain equals integral of sin(grade) for a range
+// of grades.
+class GradeIntegration : public ::testing::TestWithParam<double> {};
+
+TEST_P(GradeIntegration, ElevationMatchesGrade) {
+  const double grade = deg2rad(GetParam());
+  RoadBuilder b("g");
+  b.add_straight(500.0, grade);
+  const Road r = b.build();
+  EXPECT_NEAR(r.elevation_at(500.0), 500.0 * std::sin(grade), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grades, GradeIntegration,
+                         ::testing::Values(-8.0, -3.0, -0.5, 0.0, 0.5, 3.0,
+                                           8.0));
+
+}  // namespace
+}  // namespace rge::road

@@ -1,0 +1,101 @@
+// Property/fuzz tests: every road the builder or the generators produce
+// must satisfy structural invariants regardless of the (seeded) random
+// section mix.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+#include "math/rng.hpp"
+#include "road/network.hpp"
+#include "road/road.hpp"
+
+namespace rge::road {
+namespace {
+
+using math::deg2rad;
+
+/// Check the invariants every Road must satisfy.
+void check_road_invariants(const Road& r, double max_grade_rad) {
+  const auto& s = r.samples_s();
+  ASSERT_GE(s.size(), 2u);
+  // Arc length strictly increases and matches length_m().
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    ASSERT_GT(s[i], s[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(r.length_m(), s.back());
+
+  // Grades bounded; elevation equals the integral of sin(grade).
+  double z = 0.0;
+  const auto& grade = r.samples_grade();
+  const auto& elev = r.samples_elevation();
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(std::abs(grade[i]), max_grade_rad + 1e-9);
+    z += std::sin(grade[i]) * (s[i] - s[i - 1]);
+    EXPECT_NEAR(elev[i], z, 0.02 * s[i] + 0.5) << "i=" << i;
+  }
+
+  // Heading is continuous (unwrapped): no jumps beyond what one sample's
+  // curvature could produce.
+  const auto& heading = r.samples_heading();
+  for (std::size_t i = 1; i < heading.size(); ++i) {
+    EXPECT_LT(std::abs(heading[i] - heading[i - 1]), 0.3)
+        << "heading jump at i=" << i;
+  }
+
+  // Sections tile the road.
+  const auto& secs = r.sections();
+  ASSERT_FALSE(secs.empty());
+  EXPECT_NEAR(secs.front().start_s_m, 0.0, 1e-9);
+  for (std::size_t i = 1; i < secs.size(); ++i) {
+    EXPECT_NEAR(secs[i].start_s_m, secs[i - 1].end_s_m, 1e-9);
+  }
+  EXPECT_NEAR(secs.back().end_s_m, r.length_m(), 1e-6);
+
+  // Lane counts valid everywhere.
+  for (double q = 0.0; q < r.length_m(); q += 37.0) {
+    EXPECT_GE(r.lanes_at(q), 1);
+    EXPECT_LE(r.lanes_at(q), 4);
+  }
+}
+
+class RoadBuilderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoadBuilderFuzz, RandomSectionMixHoldsInvariants) {
+  math::Rng rng(GetParam());
+  RoadBuilder b("fuzz-" + std::to_string(GetParam()),
+                rng.uniform(0.5, 2.0));
+  b.set_initial_heading(rng.uniform(-math::kPi, math::kPi));
+  double prev_grade = 0.0;
+  const int n_sections = static_cast<int>(rng.uniform_int(1, 12));
+  for (int i = 0; i < n_sections; ++i) {
+    SectionSpec spec;
+    spec.length_m = rng.uniform(20.0, 600.0);
+    spec.grade_start_rad = prev_grade;
+    spec.grade_end_rad = deg2rad(rng.uniform(-8.0, 8.0));
+    spec.heading_change_rad = deg2rad(rng.uniform(-90.0, 90.0));
+    spec.lanes = static_cast<int>(rng.uniform_int(1, 3));
+    b.add_section(spec);
+    prev_grade = spec.grade_end_rad;
+  }
+  const Road r = b.build();
+  check_road_invariants(r, deg2rad(8.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoadBuilderFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(NetworkInvariants, Table3RouteHoldsInvariants) {
+  check_road_invariants(make_table3_route(2019), deg2rad(5.0));
+  check_road_invariants(make_table3_route(1), deg2rad(5.0));
+}
+
+TEST(NetworkInvariants, CityRoadsHoldInvariants) {
+  const RoadNetwork net = make_city_network(11, 15.0);
+  for (const auto& nr : net.roads()) {
+    check_road_invariants(nr.road, deg2rad(6.6));
+  }
+}
+
+}  // namespace
+}  // namespace rge::road

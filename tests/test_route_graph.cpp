@@ -1,0 +1,168 @@
+// Unit tests for the routing graph and gradient-aware edge costs.
+#include "planning/route_graph.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+
+namespace rge::planning {
+namespace {
+
+using math::deg2rad;
+
+Edge make_edge(std::size_t from, std::size_t to, double length,
+               double grade = 0.0) {
+  Edge e;
+  e.from = from;
+  e.to = to;
+  e.length_m = length;
+  e.grade_step_m = 25.0;
+  e.grades.assign(static_cast<std::size_t>(length / 25.0), grade);
+  if (e.grades.empty()) e.grades.push_back(grade);
+  return e;
+}
+
+TEST(RouteGraph, AddEdgeValidation) {
+  RouteGraph g(3);
+  EXPECT_THROW(g.add_edge(make_edge(0, 5, 100.0)), std::invalid_argument);
+  Edge bad = make_edge(0, 1, 100.0);
+  bad.length_m = 0.0;
+  EXPECT_THROW(g.add_edge(bad), std::invalid_argument);
+  bad = make_edge(0, 1, 100.0);
+  bad.grades.clear();
+  EXPECT_THROW(g.add_edge(bad), std::invalid_argument);
+  EXPECT_EQ(g.add_edge(make_edge(0, 1, 100.0)), 0u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(RouteGraph, BidirectionalMirrorsGrades) {
+  RouteGraph g(2);
+  g.add_bidirectional(make_edge(0, 1, 100.0, deg2rad(3.0)));
+  ASSERT_EQ(g.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge(0).grades.front(), deg2rad(3.0));
+  EXPECT_DOUBLE_EQ(g.edge(1).grades.front(), -deg2rad(3.0));
+  EXPECT_EQ(g.edge(1).from, 1u);
+  EXPECT_EQ(g.edge(1).to, 0u);
+}
+
+TEST(RouteGraph, ShortestPathByDistance) {
+  // 0 --100-- 1 --100-- 2 and a 150 m direct edge 0-2.
+  RouteGraph g(3);
+  g.add_edge(make_edge(0, 1, 100.0));
+  g.add_edge(make_edge(1, 2, 100.0));
+  g.add_edge(make_edge(0, 2, 150.0));
+  const auto route = g.shortest_path(0, 2, edge_cost_distance);
+  ASSERT_TRUE(route.found);
+  EXPECT_DOUBLE_EQ(route.cost, 150.0);
+  EXPECT_EQ(route.edges.size(), 1u);
+  EXPECT_EQ(route.nodes.front(), 0u);
+  EXPECT_EQ(route.nodes.back(), 2u);
+}
+
+TEST(RouteGraph, UnreachableReturnsNotFound) {
+  RouteGraph g(3);
+  g.add_edge(make_edge(0, 1, 100.0));
+  const auto route = g.shortest_path(0, 2, edge_cost_distance);
+  EXPECT_FALSE(route.found);
+  EXPECT_THROW(g.shortest_path(0, 9, edge_cost_distance),
+               std::invalid_argument);
+}
+
+TEST(RouteGraph, FuelCostPrefersFlatDetour) {
+  // Short steep climb vs longer flat detour between 0 and 3.
+  RouteGraph g(4);
+  g.add_edge(make_edge(0, 3, 1000.0, deg2rad(5.0)));  // over the hill
+  g.add_edge(make_edge(0, 1, 600.0));
+  g.add_edge(make_edge(1, 2, 600.0));
+  g.add_edge(make_edge(2, 3, 600.0));  // 1.8 km flat
+  const double v = 11.1;
+  const auto by_dist = g.shortest_path(0, 3, edge_cost_distance);
+  const auto by_fuel = g.shortest_path(
+      0, 3, [v](const Edge& e) { return edge_cost_fuel(e, v); });
+  ASSERT_TRUE(by_dist.found);
+  ASSERT_TRUE(by_fuel.found);
+  EXPECT_EQ(by_dist.edges.size(), 1u);   // the hill is shorter
+  EXPECT_EQ(by_fuel.edges.size(), 3u);   // but the detour is cheaper
+  EXPECT_GT(by_fuel.length_m, by_dist.length_m);
+}
+
+TEST(RouteGraph, EdgeCostHelpers) {
+  const Edge e = make_edge(0, 1, 1000.0, deg2rad(2.0));
+  EXPECT_DOUBLE_EQ(edge_cost_distance(e), 1000.0);
+  EXPECT_NEAR(edge_cost_time(e, 10.0), 100.0, 1e-12);
+  EXPECT_THROW(edge_cost_time(e, 0.0), std::invalid_argument);
+  const double fuel_up = edge_cost_fuel(e, 10.0);
+  const Edge flat = make_edge(0, 1, 1000.0, 0.0);
+  EXPECT_GT(fuel_up, edge_cost_fuel(flat, 10.0));
+  EXPECT_THROW(edge_cost_fuel(e, -1.0), std::invalid_argument);
+}
+
+TEST(GridCity, StructureAndDeterminism) {
+  EXPECT_THROW(make_grid_city(1, 5, 200.0, 1), std::invalid_argument);
+  const RouteGraph a = make_grid_city(4, 5, 200.0, 9);
+  EXPECT_EQ(a.node_count(), 20u);
+  // Streets: horizontal 4*(5-1)=16, vertical (4-1)*5=15, both directions.
+  EXPECT_EQ(a.edge_count(), 2u * (16u + 15u));
+  const RouteGraph b = make_grid_city(4, 5, 200.0, 9);
+  EXPECT_DOUBLE_EQ(a.edge(7).grades.front(), b.edge(7).grades.front());
+}
+
+TEST(GridCity, TerrainIsConservativeAndHasASlope) {
+  const std::size_t rows = 6;
+  const std::size_t cols = 6;
+  const RouteGraph g = make_grid_city(rows, cols, 250.0, 3);
+  // Conservative field: any cycle's signed elevation change sums to ~0.
+  // Walk the perimeter of the first block: (0,0)->(0,1)->(1,1)->(1,0)->(0,0).
+  auto grade_of = [&](std::size_t from, std::size_t to) {
+    for (std::size_t ei = 0; ei < g.edge_count(); ++ei) {
+      const Edge& e = g.edge(ei);
+      if (e.from == from && e.to == to) return e.grades.front();
+    }
+    ADD_FAILURE() << "edge " << from << "->" << to << " missing";
+    return 0.0;
+  };
+  const double loop = std::sin(grade_of(0, 1)) + std::sin(grade_of(1, 1 + cols)) +
+                      std::sin(grade_of(1 + cols, cols)) +
+                      std::sin(grade_of(cols, 0));
+  EXPECT_NEAR(loop * 250.0, 0.0, 1e-9);  // metres gained around the loop
+
+  // The slope between the hilly corner and the flat corner produces real
+  // grades somewhere, while the flat quadrant stays gentle.
+  double max_grade = 0.0;
+  double flat_quadrant = 0.0;
+  int flat_n = 0;
+  for (std::size_t ei = 0; ei < g.edge_count(); ++ei) {
+    const Edge& e = g.edge(ei);
+    max_grade = std::max(max_grade, std::abs(e.grades.front()));
+    const std::size_t r = e.from / cols;
+    const std::size_t c = e.from % cols;
+    if (r >= rows - 2 && c >= cols - 2) {
+      flat_quadrant += std::abs(e.grades.front());
+      ++flat_n;
+    }
+  }
+  ASSERT_GT(flat_n, 0);
+  EXPECT_GT(max_grade, deg2rad(1.5));
+  EXPECT_LT(flat_quadrant / flat_n, 0.5 * max_grade);
+}
+
+TEST(GridCity, AllNodesConnected) {
+  const RouteGraph g = make_grid_city(5, 5, 200.0, 4);
+  for (std::size_t n = 1; n < g.node_count(); ++n) {
+    EXPECT_TRUE(g.shortest_path(0, n, edge_cost_distance).found)
+        << "node " << n;
+  }
+}
+
+TEST(RouteGraph, ManhattanDistanceOnGrid) {
+  const RouteGraph g = make_grid_city(4, 4, 300.0, 5);
+  // Corner to corner: (rows-1 + cols-1) blocks.
+  const auto route = g.shortest_path(0, 15, edge_cost_distance);
+  ASSERT_TRUE(route.found);
+  EXPECT_NEAR(route.cost, 6.0 * 300.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rge::planning

@@ -1,0 +1,292 @@
+// Unit tests for the smartphone sensor simulation and trace CSV IO.
+#include "sensors/smartphone.hpp"
+#include "sensors/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+#include "math/stats.hpp"
+#include "road/network.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::sensors {
+namespace {
+
+using math::deg2rad;
+
+struct Scenario {
+  road::Road road;
+  vehicle::Trip trip;
+  vehicle::VehicleParams car;
+};
+
+Scenario make_scenario(double grade_deg = 2.0, double length = 2000.0,
+                       bool lane_changes = true) {
+  road::RoadBuilder b("test-road");
+  b.add_straight(length, deg2rad(grade_deg), 2);
+  Scenario sc{b.build(), {}, {}};
+  vehicle::TripConfig tc;
+  tc.seed = 42;
+  tc.allow_lane_changes = lane_changes;
+  sc.trip = vehicle::simulate_trip(sc.road, tc);
+  return sc;
+}
+
+TEST(Smartphone, EmptyTripThrows) {
+  vehicle::Trip empty;
+  SmartphoneConfig cfg;
+  EXPECT_THROW(
+      simulate_sensors(empty, math::GeoPoint{}, vehicle::VehicleParams{},
+                       cfg),
+      std::invalid_argument);
+}
+
+TEST(Smartphone, StreamRatesAndCounts) {
+  const Scenario sc = make_scenario();
+  SmartphoneConfig cfg;
+  cfg.seed = 1;
+  const SensorTrace trace =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  EXPECT_EQ(trace.imu.size(), sc.trip.states.size());
+  const double dur = sc.trip.duration_s();
+  EXPECT_NEAR(static_cast<double>(trace.gps.size()), dur, 3.0);
+  EXPECT_NEAR(static_cast<double>(trace.speedometer.size()), 10.0 * dur,
+              15.0);
+  EXPECT_NEAR(static_cast<double>(trace.canbus_speed.size()), 10.0 * dur,
+              15.0);
+  EXPECT_NEAR(static_cast<double>(trace.barometer_alt.size()), 10.0 * dur,
+              15.0);
+  EXPECT_NEAR(trace.duration_s(), dur, 0.2);
+}
+
+TEST(Smartphone, AccelerometerSeesGravityLeak) {
+  // On a constant 3 degree uphill at steady speed, the mean forward
+  // specific force is ~ g*sin(3 deg), not zero.
+  const Scenario sc = make_scenario(3.0);
+  SmartphoneConfig cfg;
+  cfg.seed = 2;
+  const SensorTrace trace =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  std::vector<double> fwd;
+  for (std::size_t i = trace.imu.size() / 2; i < trace.imu.size(); ++i) {
+    fwd.push_back(trace.imu[i].accel_forward);
+  }
+  EXPECT_NEAR(math::mean(fwd), 9.80665 * std::sin(deg2rad(3.0)), 0.1);
+}
+
+TEST(Smartphone, NoiseLevelsMatchConfig) {
+  const Scenario sc = make_scenario(0.0, 2000.0, /*lane_changes=*/false);
+  SmartphoneConfig cfg;
+  cfg.seed = 3;
+  cfg.disturbances_per_minute = 0.0;  // isolate white noise
+  cfg.accel_drift_sigma = 0.0;
+  cfg.gyro_drift_sigma = 0.0;
+  const SensorTrace trace =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  // Gyro on a straight road is pure white noise.
+  std::vector<double> gyro;
+  for (const auto& s : trace.imu) gyro.push_back(s.gyro_z);
+  EXPECT_NEAR(math::stddev(gyro), cfg.gyro_white_sigma, 0.002);
+  EXPECT_NEAR(math::mean(gyro), 0.0, 0.001);
+}
+
+TEST(Smartphone, MountYawMixesAxes) {
+  const Scenario sc = make_scenario(0.0);
+  SmartphoneConfig cfg;
+  cfg.seed = 4;
+  cfg.mount_yaw_rad = deg2rad(25.0);
+  cfg.road_crown = 0.0;  // isolate the rotation effect
+  SmartphoneConfig straight = cfg;
+  straight.mount_yaw_rad = 0.0;
+  const SensorTrace aligned_cfg_trace =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, straight);
+  const SensorTrace rotated =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  // During acceleration phases forward axis magnitude shrinks by cos(yaw).
+  double sum_aligned = 0.0;
+  double sum_rotated = 0.0;
+  for (std::size_t i = 0; i < 200; ++i) {  // initial acceleration
+    sum_aligned += aligned_cfg_trace.imu[i].accel_forward;
+    sum_rotated += rotated.imu[i].accel_forward;
+  }
+  EXPECT_LT(std::abs(sum_rotated), std::abs(sum_aligned));
+}
+
+TEST(Smartphone, GpsOutagesAreMarkedInvalid) {
+  const Scenario sc = make_scenario();
+  SmartphoneConfig cfg;
+  cfg.seed = 5;
+  cfg.gps_outages = {{10.0, 20.0}};
+  const SensorTrace trace =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  int invalid = 0;
+  for (const auto& f : trace.gps) {
+    if (f.t >= 10.0 && f.t < 20.0) {
+      EXPECT_FALSE(f.valid);
+      ++invalid;
+    } else {
+      EXPECT_TRUE(f.valid);
+    }
+  }
+  EXPECT_NEAR(invalid, 10, 2);
+}
+
+TEST(Smartphone, RandomOutagesRequested) {
+  const Scenario sc = make_scenario();
+  SmartphoneConfig cfg;
+  cfg.seed = 6;
+  cfg.random_outage_count = 3;
+  const SensorTrace trace =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  int invalid = 0;
+  for (const auto& f : trace.gps) invalid += f.valid ? 0 : 1;
+  EXPECT_GE(invalid, 5);  // 3 outages of >= 5 s at 1 Hz
+}
+
+TEST(Smartphone, GpsPositionNearTruth) {
+  const Scenario sc = make_scenario();
+  SmartphoneConfig cfg;
+  cfg.seed = 7;
+  const SensorTrace trace =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  const math::LocalTangentPlane ltp(sc.road.anchor());
+  // Each fix should be within ~20 m of the true position at that time.
+  std::size_t si = 0;
+  for (const auto& f : trace.gps) {
+    while (si + 1 < sc.trip.states.size() && sc.trip.states[si].t < f.t) {
+      ++si;
+    }
+    const auto true_pos = sc.trip.states[si].position;
+    const auto meas = ltp.to_enu(f.position);
+    const double err = std::hypot(meas.east_m - true_pos.east_m,
+                                  meas.north_m - true_pos.north_m);
+    EXPECT_LT(err, 25.0);
+  }
+}
+
+TEST(Smartphone, BarometerIsMetreLevelPoor) {
+  const Scenario sc = make_scenario(0.0);
+  SmartphoneConfig cfg;
+  cfg.seed = 8;
+  const SensorTrace trace =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  std::vector<double> errs;
+  std::size_t si = 0;
+  for (const auto& b : trace.barometer_alt) {
+    while (si + 1 < sc.trip.states.size() && sc.trip.states[si].t < b.t) {
+      ++si;
+    }
+    errs.push_back(b.value - (sc.road.anchor().altitude_m +
+                              sc.trip.states[si].altitude));
+  }
+  // Metres of error, per [19] — far worse than the survey altimeter.
+  EXPECT_GT(math::stddev(errs), 0.8);
+  EXPECT_LT(math::stddev(errs), 8.0);
+}
+
+TEST(Smartphone, Deterministic) {
+  const Scenario sc = make_scenario();
+  SmartphoneConfig cfg;
+  cfg.seed = 9;
+  const SensorTrace a =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  const SensorTrace b =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  ASSERT_EQ(a.imu.size(), b.imu.size());
+  EXPECT_DOUBLE_EQ(a.imu.back().gyro_z, b.imu.back().gyro_z);
+  EXPECT_DOUBLE_EQ(a.gps.back().speed_mps, b.gps.back().speed_mps);
+}
+
+// ------------------------------ CSV IO --------------------------------
+
+TEST(TraceCsv, RoundTripExact) {
+  const Scenario sc = make_scenario(1.0, 500.0);
+  SmartphoneConfig cfg;
+  cfg.seed = 10;
+  const SensorTrace trace =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  std::stringstream ss;
+  write_csv(trace, ss);
+  const SensorTrace back = read_csv(ss);
+  ASSERT_EQ(back.imu.size(), trace.imu.size());
+  ASSERT_EQ(back.gps.size(), trace.gps.size());
+  ASSERT_EQ(back.speedometer.size(), trace.speedometer.size());
+  ASSERT_EQ(back.canbus_speed.size(), trace.canbus_speed.size());
+  ASSERT_EQ(back.barometer_alt.size(), trace.barometer_alt.size());
+  ASSERT_EQ(back.engine_torque.size(), trace.engine_torque.size());
+  ASSERT_EQ(back.active_gear.size(), trace.active_gear.size());
+  ASSERT_FALSE(trace.engine_torque.empty());
+  EXPECT_DOUBLE_EQ(back.engine_torque.back().value,
+                   trace.engine_torque.back().value);
+  EXPECT_DOUBLE_EQ(back.imu_rate_hz, trace.imu_rate_hz);
+  // Doubles must round-trip bit-exactly (17 significant digits).
+  for (std::size_t i = 0; i < trace.imu.size(); i += 97) {
+    EXPECT_DOUBLE_EQ(back.imu[i].t, trace.imu[i].t);
+    EXPECT_DOUBLE_EQ(back.imu[i].gyro_z, trace.imu[i].gyro_z);
+    EXPECT_DOUBLE_EQ(back.imu[i].accel_forward, trace.imu[i].accel_forward);
+  }
+  for (std::size_t i = 0; i < trace.gps.size(); i += 7) {
+    EXPECT_DOUBLE_EQ(back.gps[i].position.latitude_deg,
+                     trace.gps[i].position.latitude_deg);
+    EXPECT_EQ(back.gps[i].valid, trace.gps[i].valid);
+  }
+}
+
+TEST(TraceCsv, FileRoundTrip) {
+  const Scenario sc = make_scenario(1.0, 300.0);
+  SmartphoneConfig cfg;
+  cfg.seed = 11;
+  const SensorTrace trace =
+      simulate_sensors(sc.trip, sc.road.anchor(), sc.car, cfg);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rge_trace_test.csv")
+          .string();
+  write_csv_file(trace, path);
+  const SensorTrace back = read_csv_file(path);
+  EXPECT_EQ(back.imu.size(), trace.imu.size());
+  std::remove(path.c_str());
+  EXPECT_THROW(read_csv_file("/nonexistent/rge.csv"), std::runtime_error);
+}
+
+TEST(TraceCsv, MalformedInputs) {
+  {
+    std::stringstream ss("bogusstream,1.0,2.0\n");
+    EXPECT_THROW(read_csv(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("imu,1.0,2.0\n");  // wrong field count
+    EXPECT_THROW(read_csv(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("canbus,notanumber,2.0\n");
+    EXPECT_THROW(read_csv(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("meta,wrong_key,5\n");
+    EXPECT_THROW(read_csv(ss), std::runtime_error);
+  }
+  {
+    // Comments and blank lines are fine.
+    std::stringstream ss("# comment\n\ncanbus,1.5,12.25\n");
+    const SensorTrace t = read_csv(ss);
+    ASSERT_EQ(t.canbus_speed.size(), 1u);
+    EXPECT_DOUBLE_EQ(t.canbus_speed[0].value, 12.25);
+  }
+}
+
+TEST(TraceCsv, EmptyTraceRoundTrips) {
+  SensorTrace empty;
+  std::stringstream ss;
+  write_csv(empty, ss);
+  const SensorTrace back = read_csv(ss);
+  EXPECT_TRUE(back.empty());
+  EXPECT_DOUBLE_EQ(back.duration_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace rge::sensors

@@ -1,0 +1,135 @@
+// Unit tests for descriptive statistics and error metrics.
+#include "math/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+
+namespace rge::math {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+  EXPECT_THROW(min_value(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileAndMedian) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 1.75);
+  EXPECT_THROW(percentile(xs, 1.5), std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<double>{}, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Stats, ErrorMetrics) {
+  const std::vector<double> est{1.0, 2.0, 4.0};
+  const std::vector<double> truth{1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(mae(est, truth), 1.0);
+  EXPECT_NEAR(rmse(est, truth), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(max_abs_error(est, truth), 2.0);
+  EXPECT_NEAR(bias(est, truth), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mre(est, truth), 3.0 / 6.0);
+  EXPECT_THROW(mae(est, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Stats, MreDegenerate) {
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(mre(zeros, zeros), 0.0);
+  EXPECT_TRUE(std::isinf(mre(std::vector<double>{1.0, 1.0}, zeros)));
+}
+
+TEST(EmpiricalCdf, Basics) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0, 4.0});
+  EXPECT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.prob_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.prob_below(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.prob_below(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.5);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1.0), 4.0);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.gaussian());
+  EmpiricalCdf cdf(xs);
+  const auto curve = cdf.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  EmpiricalCdf cdf((std::vector<double>()));
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.prob_below(1.0), 0.0);
+  EXPECT_THROW(cdf.value_at(0.5), std::logic_error);
+  EXPECT_TRUE(cdf.curve(10).empty());
+}
+
+TEST(Histogram, CountsAndRange) {
+  const std::vector<double> xs{0.0, 0.5, 1.0, 1.5, 2.0};
+  const Histogram h = make_histogram(xs, 2);
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 2.0);
+  EXPECT_EQ(h.total, 5u);
+  EXPECT_EQ(h.counts[0], 2u);  // 0.0, 0.5
+  EXPECT_EQ(h.counts[1], 3u);  // 1.0, 1.5, 2.0 (top edge in last bin)
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_TRUE(make_histogram({}, 4).counts.empty());
+}
+
+TEST(RunningStats, MatchesBatch) {
+  Rng rng(77);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(3.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_value(xs));
+}
+
+// Parameterized property: CDF value_at and prob_below are inverse-ish.
+class CdfRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(CdfRoundTrip, QuantileProbConsistency) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(0.0, 10.0));
+  EmpiricalCdf cdf(xs);
+  const double p = GetParam();
+  const double v = cdf.value_at(p);
+  EXPECT_NEAR(cdf.prob_below(v), p, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, CdfRoundTrip,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace rge::math

@@ -1,0 +1,191 @@
+// Unit tests for Eq. 6 convex-combination track fusion.
+#include "core/track_fusion.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+
+namespace rge::core {
+namespace {
+
+GradeTrack make_track(const std::string& name, std::size_t n, double dt,
+                      double grade, double var) {
+  GradeTrack tr;
+  tr.source = name;
+  for (std::size_t i = 0; i < n; ++i) {
+    tr.t.push_back(static_cast<double>(i) * dt);
+    tr.grade.push_back(grade);
+    tr.grade_var.push_back(var);
+    tr.speed.push_back(10.0);
+    tr.s.push_back(static_cast<double>(i) * dt * 10.0);
+  }
+  return tr;
+}
+
+TEST(ConvexCombine, HandChecked) {
+  // theta = (2/1 + 6/2) / (1/1 + 1/2) = 5 / 1.5.
+  const auto [theta, var] = convex_combine(std::vector<double>{2.0, 6.0},
+                                           std::vector<double>{1.0, 2.0});
+  EXPECT_NEAR(theta, 5.0 / 1.5, 1e-12);
+  EXPECT_NEAR(var, 1.0 / 1.5, 1e-12);
+}
+
+TEST(ConvexCombine, EqualVariancesIsMean) {
+  const auto [theta, var] = convex_combine(
+      std::vector<double>{1.0, 2.0, 3.0}, std::vector<double>{0.5, 0.5, 0.5});
+  EXPECT_NEAR(theta, 2.0, 1e-12);
+  EXPECT_NEAR(var, 0.5 / 3.0, 1e-12);
+}
+
+TEST(ConvexCombine, LowVarianceDominates) {
+  const auto [theta, var] = convex_combine(
+      std::vector<double>{0.0, 1.0}, std::vector<double>{1e-6, 1.0});
+  EXPECT_NEAR(theta, 0.0, 1e-3);
+  (void)var;
+}
+
+TEST(ConvexCombine, VarianceFloorApplies) {
+  // A zero variance would otherwise produce an infinite weight.
+  const auto [theta, var] = convex_combine(std::vector<double>{1.0, 3.0},
+                                           std::vector<double>{0.0, 0.0},
+                                           /*min_variance=*/0.5);
+  EXPECT_NEAR(theta, 2.0, 1e-12);
+  EXPECT_NEAR(var, 0.25, 1e-12);
+}
+
+TEST(ConvexCombine, Validation) {
+  EXPECT_THROW(convex_combine(std::vector<double>{},
+                              std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(convex_combine(std::vector<double>{1.0},
+                              std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(FuseTime, SingleTrackPassThrough) {
+  const auto tr = make_track("a", 10, 0.1, 0.05, 0.01);
+  const GradeTrack fused = fuse_tracks_time({tr});
+  EXPECT_EQ(fused.source, "fused");
+  ASSERT_EQ(fused.size(), tr.size());
+  EXPECT_DOUBLE_EQ(fused.grade[5], 0.05);
+}
+
+TEST(FuseTime, Validation) {
+  EXPECT_THROW(fuse_tracks_time({}), std::invalid_argument);
+  const auto tr = make_track("a", 5, 0.1, 0.0, 0.01);
+  EXPECT_THROW(fuse_tracks_time({tr}, 3), std::invalid_argument);
+}
+
+TEST(FuseTime, WeightsByVariance) {
+  const auto good = make_track("good", 20, 0.1, 0.01, 1e-4);
+  const auto bad = make_track("bad", 20, 0.1, 0.09, 1e-2);
+  const GradeTrack fused = fuse_tracks_time({good, bad});
+  // Fused value should sit near the good track.
+  EXPECT_NEAR(fused.grade[10], (0.01 / 1e-4 + 0.09 / 1e-2) /
+                                   (1.0 / 1e-4 + 1.0 / 1e-2),
+              1e-12);
+  EXPECT_LT(std::abs(fused.grade[10] - 0.01),
+            std::abs(fused.grade[10] - 0.09));
+  // Fused variance below every input variance.
+  EXPECT_LT(fused.grade_var[10], 1e-4);
+}
+
+TEST(FuseTime, ReducesNoiseOfIndependentTracks) {
+  math::Rng rng(3);
+  const double truth = 0.04;
+  std::vector<GradeTrack> tracks;
+  for (int k = 0; k < 4; ++k) {
+    GradeTrack tr = make_track("t" + std::to_string(k), 500, 0.1, 0.0, 0.01);
+    for (auto& g : tr.grade) g = truth + rng.gaussian(0.0, 0.1);
+    tracks.push_back(std::move(tr));
+  }
+  const GradeTrack fused = fuse_tracks_time(tracks);
+  std::vector<double> truth_series(fused.size(), truth);
+  double err_single = math::rmse(tracks[0].grade, truth_series);
+  double err_fused = math::rmse(fused.grade, truth_series);
+  // Four independent equal-quality tracks: error halves (1/sqrt(4)).
+  EXPECT_LT(err_fused, 0.65 * err_single);
+}
+
+TEST(FuseTime, InterpolatesMisalignedTimelines) {
+  // Second track sampled at half the rate and offset.
+  const auto a = make_track("a", 40, 0.1, 0.02, 1e-3);
+  GradeTrack b;
+  b.source = "b";
+  for (int i = 0; i < 20; ++i) {
+    b.t.push_back(0.05 + 0.2 * i);
+    b.grade.push_back(0.06);
+    b.grade_var.push_back(1e-3);
+    b.speed.push_back(10.0);
+    b.s.push_back(0.5 + 2.0 * i);
+  }
+  const GradeTrack fused = fuse_tracks_time({a, b});
+  ASSERT_EQ(fused.size(), a.size());
+  // Equal variance -> midpoint.
+  EXPECT_NEAR(fused.grade[20], 0.04, 1e-9);
+}
+
+TEST(FuseDistance, OverlappingRange) {
+  auto a = make_track("a", 100, 0.1, 0.03, 1e-3);  // s: 0..99
+  auto b = make_track("b", 100, 0.1, 0.05, 1e-3);
+  for (auto& s : b.s) s += 20.0;  // s: 20..119
+  FusionConfig cfg;
+  cfg.distance_step_m = 2.0;
+  const GradeTrack fused = fuse_tracks_distance({a, b}, cfg);
+  ASSERT_FALSE(fused.s.empty());
+  EXPECT_GE(fused.s.front(), 20.0);
+  EXPECT_LE(fused.s.back(), 99.0 + 1e-9);
+  EXPECT_NEAR(fused.grade.front(), 0.04, 1e-9);
+}
+
+TEST(FuseDistance, NoOverlapThrows) {
+  auto a = make_track("a", 10, 0.1, 0.0, 1e-3);  // s: 0..9
+  auto b = make_track("b", 10, 0.1, 0.0, 1e-3);
+  for (auto& s : b.s) s += 100.0;  // s: 100..109
+  EXPECT_THROW(fuse_tracks_distance({a, b}), std::invalid_argument);
+  EXPECT_THROW(fuse_tracks_distance({}), std::invalid_argument);
+}
+
+TEST(FuseDistance, MultiVehicleCloudScenario) {
+  // Three "vehicles" with different per-trip biases; cloud fusion averages
+  // them down.
+  math::Rng rng(9);
+  const double truth = 0.02;
+  std::vector<GradeTrack> tracks;
+  for (int k = 0; k < 3; ++k) {
+    GradeTrack tr = make_track("veh" + std::to_string(k), 200, 0.1, 0.0,
+                               4e-4);
+    const double bias = rng.gaussian(0.0, 0.01);
+    for (auto& g : tr.grade) g = truth + bias + rng.gaussian(0.0, 0.02);
+    tracks.push_back(std::move(tr));
+  }
+  const GradeTrack fused = fuse_tracks_distance(tracks);
+  std::vector<double> truth_series(fused.grade.size(), truth);
+  EXPECT_LT(math::mae(fused.grade, truth_series),
+            math::mae(tracks[0].grade,
+                      std::vector<double>(tracks[0].grade.size(), truth)));
+}
+
+// Parameterized: fused variance is 1/N of per-track variance for equal
+// tracks.
+class FusionVariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusionVariance, ScalesInversely) {
+  const int n = GetParam();
+  std::vector<GradeTrack> tracks;
+  for (int k = 0; k < n; ++k) {
+    tracks.push_back(make_track("t" + std::to_string(k), 10, 0.1, 0.01,
+                                2e-3));
+  }
+  const GradeTrack fused = fuse_tracks_time(tracks);
+  EXPECT_NEAR(fused.grade_var[5], 2e-3 / n, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FusionVariance,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace rge::core

@@ -1,0 +1,217 @@
+// Unit tests for the trip simulator.
+#include "vehicle/trip.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+#include "road/network.hpp"
+
+namespace rge::vehicle {
+namespace {
+
+using math::deg2rad;
+
+road::Road two_lane_road() {
+  road::RoadBuilder b("two-lane");
+  b.add_straight(3000.0, deg2rad(1.0), 2);
+  return b.build();
+}
+
+TEST(Trip, ConfigValidation) {
+  const road::Road r = two_lane_road();
+  TripConfig c;
+  c.sample_rate_hz = 0.0;
+  EXPECT_THROW(simulate_trip(r, c), std::invalid_argument);
+  c = TripConfig{};
+  c.max_accel = -1.0;
+  EXPECT_THROW(simulate_trip(r, c), std::invalid_argument);
+  c = TripConfig{};
+  c.lane_changes_per_km = -1.0;
+  EXPECT_THROW(simulate_trip(r, c), std::invalid_argument);
+}
+
+TEST(Trip, CoversWholeRoad) {
+  const road::Road r = two_lane_road();
+  TripConfig c;
+  c.seed = 1;
+  const Trip trip = simulate_trip(r, c);
+  ASSERT_FALSE(trip.states.empty());
+  EXPECT_GE(trip.distance_m(), r.length_m() - 1.0);
+  EXPECT_NEAR(trip.dt, 1.0 / c.sample_rate_hz, 1e-12);
+  // Timestamps advance uniformly.
+  for (std::size_t i = 1; i < 100; ++i) {
+    EXPECT_NEAR(trip.states[i].t - trip.states[i - 1].t, trip.dt, 1e-9);
+  }
+}
+
+TEST(Trip, SpeedStaysWithinBounds) {
+  const road::Road r = two_lane_road();
+  TripConfig c;
+  c.seed = 2;
+  const Trip trip = simulate_trip(r, c);
+  for (const auto& st : trip.states) {
+    EXPECT_GE(st.speed, 0.0);
+    EXPECT_LE(st.speed, c.cruise_speed_mps + 6.0 * c.target_speed_sigma);
+    EXPECT_GE(st.accel, c.max_decel - 1e-9);
+    EXPECT_LE(st.accel, c.max_accel + 1e-9);
+  }
+}
+
+TEST(Trip, Deterministic) {
+  const road::Road r = two_lane_road();
+  TripConfig c;
+  c.seed = 3;
+  const Trip a = simulate_trip(r, c);
+  const Trip b = simulate_trip(r, c);
+  ASSERT_EQ(a.states.size(), b.states.size());
+  EXPECT_DOUBLE_EQ(a.states.back().speed, b.states.back().speed);
+  EXPECT_EQ(a.lane_changes.size(), b.lane_changes.size());
+}
+
+TEST(Trip, LaneChangesHappenOnMultiLaneRoad) {
+  const road::Road r = two_lane_road();
+  TripConfig c;
+  c.seed = 4;
+  c.lane_changes_per_km = 5.0;
+  const Trip trip = simulate_trip(r, c);
+  EXPECT_GE(trip.lane_changes.size(), 2u);
+  for (const auto& lc : trip.lane_changes) {
+    EXPECT_GT(lc.end_t, lc.start_t);
+    EXPECT_GE(lc.peak_rate, 0.1);
+    EXPECT_GT(lc.speed, 0.0);
+  }
+  // Lane index stays within the two lanes.
+  for (const auto& st : trip.states) {
+    EXPECT_GE(st.lane, 0);
+    EXPECT_LE(st.lane, 1);
+  }
+}
+
+TEST(Trip, NoLaneChangesOnSingleLaneRoad) {
+  road::RoadBuilder b("one-lane");
+  b.add_straight(2000.0, 0.0, 1);
+  TripConfig c;
+  c.seed = 5;
+  c.lane_changes_per_km = 10.0;
+  const Trip trip = simulate_trip(b.build(), c);
+  EXPECT_TRUE(trip.lane_changes.empty());
+  for (const auto& st : trip.states) {
+    EXPECT_DOUBLE_EQ(st.steer_rate, 0.0);
+    EXPECT_EQ(st.lane, 0);
+  }
+}
+
+TEST(Trip, LaneChangesCanBeDisabled) {
+  const road::Road r = two_lane_road();
+  TripConfig c;
+  c.seed = 6;
+  c.allow_lane_changes = false;
+  const Trip trip = simulate_trip(r, c);
+  EXPECT_TRUE(trip.lane_changes.empty());
+}
+
+TEST(Trip, AlphaReturnsToZeroAfterLaneChange) {
+  const road::Road r = two_lane_road();
+  TripConfig c;
+  c.seed = 7;
+  c.lane_changes_per_km = 5.0;
+  const Trip trip = simulate_trip(r, c);
+  ASSERT_FALSE(trip.lane_changes.empty());
+  const auto& lc = trip.lane_changes.front();
+  // Find a state shortly after the maneuver end.
+  for (const auto& st : trip.states) {
+    if (st.t > lc.end_t + 0.5 && st.t < lc.end_t + 1.0) {
+      EXPECT_NEAR(st.alpha, 0.0, 1e-6);
+      EXPECT_FALSE(st.in_lane_change);
+    }
+  }
+}
+
+TEST(Trip, LateralOffsetMovesOneLane) {
+  const road::Road r = two_lane_road();
+  TripConfig c;
+  c.seed = 8;
+  c.lane_changes_per_km = 4.0;
+  const Trip trip = simulate_trip(r, c);
+  ASSERT_FALSE(trip.lane_changes.empty());
+  const auto& lc = trip.lane_changes.front();
+  double before = 0.0;
+  double after = 0.0;
+  for (const auto& st : trip.states) {
+    if (st.t <= lc.start_t) before = st.lateral_offset;
+    if (st.t <= lc.end_t + 0.1) after = st.lateral_offset;
+  }
+  const double moved = std::abs(after - before);
+  EXPECT_NEAR(moved, kLaneWidthM, 0.4);
+}
+
+TEST(Trip, GradeMatchesRoad) {
+  road::RoadBuilder b("graded");
+  b.add_straight(500.0, deg2rad(4.0));
+  b.add_straight(500.0, deg2rad(-2.0));
+  const road::Road r = b.build();
+  TripConfig c;
+  c.seed = 9;
+  const Trip trip = simulate_trip(r, c);
+  for (const auto& st : trip.states) {
+    EXPECT_NEAR(st.grade, r.grade_at(st.s), 1e-9);
+    EXPECT_NEAR(st.altitude, r.elevation_at(st.s), 1e-9);
+  }
+}
+
+TEST(Trip, YawRateReflectsCurvature) {
+  road::RoadBuilder b("curve");
+  b.add_section(road::SectionSpec{600.0, 0.0, 0.0, deg2rad(90.0), 1});
+  const road::Road r = b.build();
+  TripConfig c;
+  c.seed = 10;
+  c.allow_lane_changes = false;
+  const Trip trip = simulate_trip(r, c);
+  // In steady state yaw rate = curvature * speed.
+  const auto& mid = trip.states[trip.states.size() / 2];
+  EXPECT_NEAR(mid.yaw_rate, r.curvature_at(mid.s) * mid.speed, 1e-6);
+}
+
+TEST(Trip, StopsWhenConfigured) {
+  const road::Road r = two_lane_road();
+  TripConfig c;
+  c.seed = 11;
+  c.stops_per_km = 3.0;
+  c.allow_lane_changes = false;
+  const Trip trip = simulate_trip(r, c);
+  bool stopped_at_least_once = false;
+  for (const auto& st : trip.states) {
+    if (st.stopped) {
+      stopped_at_least_once = true;
+      EXPECT_DOUBLE_EQ(st.speed, 0.0);
+    }
+  }
+  EXPECT_TRUE(stopped_at_least_once);
+  EXPECT_GE(trip.distance_m(), r.length_m() - 1.0);  // still finishes
+}
+
+TEST(Trip, LongitudinalSpeedProjection) {
+  VehicleState st;
+  st.speed = 10.0;
+  st.alpha = deg2rad(10.0);
+  EXPECT_NEAR(st.longitudinal_speed(), 10.0 * std::cos(deg2rad(10.0)),
+              1e-12);
+}
+
+TEST(Trip, CruiseSpeedRoughlyTracked) {
+  road::RoadBuilder b("flat");
+  b.add_straight(5000.0, 0.0, 1);
+  TripConfig c;
+  c.seed = 12;
+  c.cruise_speed_mps = 14.0;
+  const Trip trip = simulate_trip(b.build(), c);
+  double mean_v = 0.0;
+  for (const auto& st : trip.states) mean_v += st.speed;
+  mean_v /= static_cast<double>(trip.states.size());
+  EXPECT_NEAR(mean_v, 14.0, 2.0);
+}
+
+}  // namespace
+}  // namespace rge::vehicle

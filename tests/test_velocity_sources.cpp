@@ -1,0 +1,162 @@
+// Unit tests for the velocity measurement sources and the Eq. 2 adjustment.
+#include "core/velocity_sources.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/angles.hpp"
+#include "math/stats.hpp"
+#include "road/road.hpp"
+#include "sensors/smartphone.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::core {
+namespace {
+
+using math::deg2rad;
+
+struct Scenario {
+  road::Road road;
+  vehicle::Trip trip;
+  sensors::SensorTrace trace;
+};
+
+Scenario make_scenario(double grade_deg, std::uint64_t seed = 1) {
+  road::RoadBuilder b("vs-road");
+  b.add_straight(2500.0, deg2rad(grade_deg), 1);
+  Scenario sc{b.build(), {}, {}};
+  vehicle::TripConfig tc;
+  tc.seed = seed;
+  tc.allow_lane_changes = false;
+  sc.trip = vehicle::simulate_trip(sc.road, tc);
+  sensors::SmartphoneConfig pc;
+  pc.seed = seed + 1000;
+  sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                       vehicle::VehicleParams{}, pc);
+  return sc;
+}
+
+double truth_speed_at(const vehicle::Trip& trip, double t) {
+  for (const auto& st : trip.states) {
+    if (st.t >= t) return st.speed;
+  }
+  return trip.states.back().speed;
+}
+
+TEST(VelocitySources, GpsSkipsInvalidFixes) {
+  Scenario sc = make_scenario(0.0);
+  sensors::SmartphoneConfig pc;
+  pc.seed = 77;
+  pc.gps_outages = {{20.0, 40.0}};
+  sc.trace = sensors::simulate_sensors(sc.trip, sc.road.anchor(),
+                                       vehicle::VehicleParams{}, pc);
+  const auto meas = velocity_from_gps(sc.trace);
+  for (const auto& m : meas) {
+    EXPECT_FALSE(m.t >= 20.0 && m.t < 40.0);
+  }
+  EXPECT_FALSE(meas.empty());
+}
+
+TEST(VelocitySources, AccuracyOrdering) {
+  // On flat ground the CAN-bus stream is the cleanest; on a hill the
+  // dead-reckoned IMU stream is the worst (gravity misread as
+  // acceleration between GPS blends).
+  const Scenario flat = make_scenario(0.0, 3);
+  auto err = [](const Scenario& sc,
+                const std::vector<VelocityMeasurement>& ms) {
+    double acc = 0.0;
+    for (const auto& m : ms) {
+      acc += std::abs(m.v - truth_speed_at(sc.trip, m.t));
+    }
+    return acc / static_cast<double>(ms.size());
+  };
+  EXPECT_LT(err(flat, velocity_from_canbus(flat.trace)),
+            err(flat, velocity_from_speedometer(flat.trace)));
+  const Scenario hill = make_scenario(4.0, 4);
+  EXPECT_LT(err(hill, velocity_from_canbus(hill.trace)),
+            err(hill, velocity_from_imu(hill.trace)));
+  EXPECT_LT(err(hill, velocity_from_speedometer(hill.trace)),
+            err(hill, velocity_from_imu(hill.trace)));
+  // Declared variances reflect the ordering.
+  VelocitySourceConfig cfg;
+  EXPECT_LT(cfg.canbus_variance, cfg.speedometer_variance);
+  EXPECT_LT(cfg.speedometer_variance, cfg.imu_variance);
+}
+
+TEST(VelocitySources, ImuStreamDriftsUphillWithoutCorrection) {
+  // On a hill the flat-road dead reckoning misreads gravity as
+  // acceleration; with the GPS blend disabled the error grows.
+  const Scenario sc = make_scenario(4.0, 5);
+  VelocitySourceConfig cfg;
+  cfg.imu_gps_blend_per_s = 0.0;
+  const auto imu = velocity_from_imu(sc.trace, cfg);
+  ASSERT_GT(imu.size(), 100u);
+  const auto& last = imu.back();
+  const double err = last.v - truth_speed_at(sc.trip, last.t);
+  EXPECT_GT(std::abs(err), 5.0);  // unbounded drift
+  // With the blend the error stays bounded.
+  const auto blended = velocity_from_imu(sc.trace);
+  const double err_b =
+      blended.back().v - truth_speed_at(sc.trip, blended.back().t);
+  EXPECT_LT(std::abs(err_b), 3.0);
+}
+
+TEST(VelocitySources, RatesAndTimestamps) {
+  const Scenario sc = make_scenario(0.0, 7);
+  const auto can = velocity_from_canbus(sc.trace);
+  ASSERT_GT(can.size(), 10u);
+  for (std::size_t i = 1; i < can.size(); ++i) {
+    EXPECT_GT(can[i].t, can[i - 1].t);
+  }
+  const auto imu = velocity_from_imu(sc.trace);
+  // Emitted near 10 Hz.
+  const double dur = imu.back().t - imu.front().t;
+  EXPECT_NEAR(static_cast<double>(imu.size()) / dur, 10.0, 1.0);
+}
+
+TEST(Eq2Adjustment, ScalesInsideWindowOnly) {
+  // Synthetic steering profile: constant alpha ramp inside one window.
+  std::vector<double> imu_t;
+  std::vector<double> w;
+  for (double t = 0.0; t <= 20.0; t += 0.1) {
+    imu_t.push_back(t);
+    // 0.1 rad/s for t in [5, 7): alpha reaches 0.2 rad.
+    w.push_back(t >= 5.0 && t < 7.0 ? 0.1 : 0.0);
+  }
+  std::vector<VelocityMeasurement> meas;
+  for (double t = 0.0; t <= 20.0; t += 0.5) {
+    meas.push_back(VelocityMeasurement{t, 10.0, 0.01});
+  }
+  DetectedLaneChange lc;
+  lc.t_start = 5.0;
+  lc.t_end = 8.0;
+  const auto adjusted =
+      apply_lane_change_adjustment(meas, imu_t, w, {lc});
+  ASSERT_EQ(adjusted.size(), meas.size());
+  for (std::size_t i = 0; i < adjusted.size(); ++i) {
+    if (adjusted[i].t < 5.0 || adjusted[i].t > 8.0) {
+      EXPECT_DOUBLE_EQ(adjusted[i].v, 10.0);
+    }
+  }
+  // At t=7.5 alpha ~= 0.2 rad: v_L = 10 cos(0.2).
+  for (const auto& m : adjusted) {
+    if (std::abs(m.t - 7.5) < 1e-9) {
+      EXPECT_NEAR(m.v, 10.0 * std::cos(0.2), 0.05);
+    }
+  }
+}
+
+TEST(Eq2Adjustment, Validation) {
+  std::vector<VelocityMeasurement> meas{{0.0, 10.0, 0.01}};
+  EXPECT_THROW(apply_lane_change_adjustment(meas, std::vector<double>{0.0},
+                                            std::vector<double>{}, {}),
+               std::invalid_argument);
+  // No changes: identity.
+  const auto out = apply_lane_change_adjustment(
+      meas, std::vector<double>{0.0}, std::vector<double>{0.0}, {});
+  EXPECT_DOUBLE_EQ(out[0].v, 10.0);
+}
+
+}  // namespace
+}  // namespace rge::core
