@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cloud_fusion"
+  "../bench/bench_cloud_fusion.pdb"
+  "CMakeFiles/bench_cloud_fusion.dir/bench_cloud_fusion.cpp.o"
+  "CMakeFiles/bench_cloud_fusion.dir/bench_cloud_fusion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cloud_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_fuel_emissions"
+  "../bench/bench_fig10_fuel_emissions.pdb"
+  "CMakeFiles/bench_fig10_fuel_emissions.dir/bench_fig10_fuel_emissions.cpp.o"
+  "CMakeFiles/bench_fig10_fuel_emissions.dir/bench_fig10_fuel_emissions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_fuel_emissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

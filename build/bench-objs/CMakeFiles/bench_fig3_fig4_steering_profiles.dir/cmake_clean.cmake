@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_fig4_steering_profiles"
+  "../bench/bench_fig3_fig4_steering_profiles.pdb"
+  "CMakeFiles/bench_fig3_fig4_steering_profiles.dir/bench_fig3_fig4_steering_profiles.cpp.o"
+  "CMakeFiles/bench_fig3_fig4_steering_profiles.dir/bench_fig3_fig4_steering_profiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fig4_steering_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_lane_change_vs_scurve"
+  "../bench/bench_fig5_lane_change_vs_scurve.pdb"
+  "CMakeFiles/bench_fig5_lane_change_vs_scurve.dir/bench_fig5_lane_change_vs_scurve.cpp.o"
+  "CMakeFiles/bench_fig5_lane_change_vs_scurve.dir/bench_fig5_lane_change_vs_scurve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lane_change_vs_scurve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_lane_change_vs_scurve.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8a_small_scale_error"
+  "../bench/bench_fig8a_small_scale_error.pdb"
+  "CMakeFiles/bench_fig8a_small_scale_error.dir/bench_fig8a_small_scale_error.cpp.o"
+  "CMakeFiles/bench_fig8a_small_scale_error.dir/bench_fig8a_small_scale_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_small_scale_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8a_small_scale_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8b_track_fusion_cdf"
+  "../bench/bench_fig8b_track_fusion_cdf.pdb"
+  "CMakeFiles/bench_fig8b_track_fusion_cdf.dir/bench_fig8b_track_fusion_cdf.cpp.o"
+  "CMakeFiles/bench_fig8b_track_fusion_cdf.dir/bench_fig8b_track_fusion_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_track_fusion_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

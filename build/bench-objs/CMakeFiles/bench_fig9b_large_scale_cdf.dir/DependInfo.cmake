@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9b_large_scale_cdf.cpp" "bench-objs/CMakeFiles/bench_fig9b_large_scale_cdf.dir/bench_fig9b_large_scale_cdf.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_fig9b_large_scale_cdf.dir/bench_fig9b_large_scale_cdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-objs/CMakeFiles/rge_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rge_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/planning/CMakeFiles/rge_planning.dir/DependInfo.cmake"
+  "/root/repo/build/src/emissions/CMakeFiles/rge_emissions.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/rge_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/rge_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/rge_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/rge_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

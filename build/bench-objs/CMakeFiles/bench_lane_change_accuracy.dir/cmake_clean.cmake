@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lane_change_accuracy"
+  "../bench/bench_lane_change_accuracy.pdb"
+  "CMakeFiles/bench_lane_change_accuracy.dir/bench_lane_change_accuracy.cpp.o"
+  "CMakeFiles/bench_lane_change_accuracy.dir/bench_lane_change_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lane_change_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

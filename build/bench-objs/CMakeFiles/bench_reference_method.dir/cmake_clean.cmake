@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reference_method"
+  "../bench/bench_reference_method.pdb"
+  "CMakeFiles/bench_reference_method.dir/bench_reference_method.cpp.o"
+  "CMakeFiles/bench_reference_method.dir/bench_reference_method.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reference_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_reference_method.
+# This may be replaced when dependencies are built.

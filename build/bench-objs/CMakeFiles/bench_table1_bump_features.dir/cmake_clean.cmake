@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_bump_features"
+  "../bench/bench_table1_bump_features.pdb"
+  "CMakeFiles/bench_table1_bump_features.dir/bench_table1_bump_features.cpp.o"
+  "CMakeFiles/bench_table1_bump_features.dir/bench_table1_bump_features.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_bump_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

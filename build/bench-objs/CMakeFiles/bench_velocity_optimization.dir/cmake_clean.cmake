@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_velocity_optimization"
+  "../bench/bench_velocity_optimization.pdb"
+  "CMakeFiles/bench_velocity_optimization.dir/bench_velocity_optimization.cpp.o"
+  "CMakeFiles/bench_velocity_optimization.dir/bench_velocity_optimization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_velocity_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

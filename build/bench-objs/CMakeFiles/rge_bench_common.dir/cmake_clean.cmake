@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rge_bench_common.dir/common.cpp.o"
+  "CMakeFiles/rge_bench_common.dir/common.cpp.o.d"
+  "librge_bench_common.a"
+  "librge_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rge_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

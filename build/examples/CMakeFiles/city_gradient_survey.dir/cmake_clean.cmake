@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_gradient_survey.dir/city_gradient_survey.cpp.o"
+  "CMakeFiles/city_gradient_survey.dir/city_gradient_survey.cpp.o.d"
+  "city_gradient_survey"
+  "city_gradient_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_gradient_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

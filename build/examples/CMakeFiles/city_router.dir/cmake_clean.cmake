@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_router.dir/city_router.cpp.o"
+  "CMakeFiles/city_router.dir/city_router.cpp.o.d"
+  "city_router"
+  "city_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

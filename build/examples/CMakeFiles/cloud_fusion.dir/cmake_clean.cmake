@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_fusion.dir/cloud_fusion.cpp.o"
+  "CMakeFiles/cloud_fusion.dir/cloud_fusion.cpp.o.d"
+  "cloud_fusion"
+  "cloud_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_recorder.dir/drive_recorder.cpp.o"
+  "CMakeFiles/drive_recorder.dir/drive_recorder.cpp.o.d"
+  "drive_recorder"
+  "drive_recorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

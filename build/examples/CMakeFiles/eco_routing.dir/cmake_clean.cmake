@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_routing.dir/eco_routing.cpp.o"
+  "CMakeFiles/eco_routing.dir/eco_routing.cpp.o.d"
+  "eco_routing"
+  "eco_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velocity_planner.dir/velocity_planner.cpp.o"
+  "CMakeFiles/velocity_planner.dir/velocity_planner.cpp.o.d"
+  "velocity_planner"
+  "velocity_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velocity_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ann_grade.cpp" "src/baselines/CMakeFiles/rge_baselines.dir/ann_grade.cpp.o" "gcc" "src/baselines/CMakeFiles/rge_baselines.dir/ann_grade.cpp.o.d"
+  "/root/repo/src/baselines/ekf_altitude.cpp" "src/baselines/CMakeFiles/rge_baselines.dir/ekf_altitude.cpp.o" "gcc" "src/baselines/CMakeFiles/rge_baselines.dir/ekf_altitude.cpp.o.d"
+  "/root/repo/src/baselines/mlp.cpp" "src/baselines/CMakeFiles/rge_baselines.dir/mlp.cpp.o" "gcc" "src/baselines/CMakeFiles/rge_baselines.dir/mlp.cpp.o.d"
+  "/root/repo/src/baselines/static_grade.cpp" "src/baselines/CMakeFiles/rge_baselines.dir/static_grade.cpp.o" "gcc" "src/baselines/CMakeFiles/rge_baselines.dir/static_grade.cpp.o.d"
+  "/root/repo/src/baselines/torque_grade.cpp" "src/baselines/CMakeFiles/rge_baselines.dir/torque_grade.cpp.o" "gcc" "src/baselines/CMakeFiles/rge_baselines.dir/torque_grade.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/rge_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/rge_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/rge_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/rge_road.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rge_baselines.dir/ann_grade.cpp.o"
+  "CMakeFiles/rge_baselines.dir/ann_grade.cpp.o.d"
+  "CMakeFiles/rge_baselines.dir/ekf_altitude.cpp.o"
+  "CMakeFiles/rge_baselines.dir/ekf_altitude.cpp.o.d"
+  "CMakeFiles/rge_baselines.dir/mlp.cpp.o"
+  "CMakeFiles/rge_baselines.dir/mlp.cpp.o.d"
+  "CMakeFiles/rge_baselines.dir/static_grade.cpp.o"
+  "CMakeFiles/rge_baselines.dir/static_grade.cpp.o.d"
+  "CMakeFiles/rge_baselines.dir/torque_grade.cpp.o"
+  "CMakeFiles/rge_baselines.dir/torque_grade.cpp.o.d"
+  "librge_baselines.a"
+  "librge_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rge_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alignment.cpp" "src/core/CMakeFiles/rge_core.dir/alignment.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/alignment.cpp.o.d"
+  "/root/repo/src/core/bump.cpp" "src/core/CMakeFiles/rge_core.dir/bump.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/bump.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/rge_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/grade_ekf.cpp" "src/core/CMakeFiles/rge_core.dir/grade_ekf.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/grade_ekf.cpp.o.d"
+  "/root/repo/src/core/lane_change_detector.cpp" "src/core/CMakeFiles/rge_core.dir/lane_change_detector.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/lane_change_detector.cpp.o.d"
+  "/root/repo/src/core/map_matching.cpp" "src/core/CMakeFiles/rge_core.dir/map_matching.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/map_matching.cpp.o.d"
+  "/root/repo/src/core/mount_calibration.cpp" "src/core/CMakeFiles/rge_core.dir/mount_calibration.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/mount_calibration.cpp.o.d"
+  "/root/repo/src/core/online_estimator.cpp" "src/core/CMakeFiles/rge_core.dir/online_estimator.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/online_estimator.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/rge_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/track_fusion.cpp" "src/core/CMakeFiles/rge_core.dir/track_fusion.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/track_fusion.cpp.o.d"
+  "/root/repo/src/core/track_io.cpp" "src/core/CMakeFiles/rge_core.dir/track_io.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/track_io.cpp.o.d"
+  "/root/repo/src/core/velocity_sources.cpp" "src/core/CMakeFiles/rge_core.dir/velocity_sources.cpp.o" "gcc" "src/core/CMakeFiles/rge_core.dir/velocity_sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/rge_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/rge_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/rge_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/rge_road.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

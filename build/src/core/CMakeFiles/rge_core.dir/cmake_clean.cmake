@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rge_core.dir/alignment.cpp.o"
+  "CMakeFiles/rge_core.dir/alignment.cpp.o.d"
+  "CMakeFiles/rge_core.dir/bump.cpp.o"
+  "CMakeFiles/rge_core.dir/bump.cpp.o.d"
+  "CMakeFiles/rge_core.dir/evaluation.cpp.o"
+  "CMakeFiles/rge_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/rge_core.dir/grade_ekf.cpp.o"
+  "CMakeFiles/rge_core.dir/grade_ekf.cpp.o.d"
+  "CMakeFiles/rge_core.dir/lane_change_detector.cpp.o"
+  "CMakeFiles/rge_core.dir/lane_change_detector.cpp.o.d"
+  "CMakeFiles/rge_core.dir/map_matching.cpp.o"
+  "CMakeFiles/rge_core.dir/map_matching.cpp.o.d"
+  "CMakeFiles/rge_core.dir/mount_calibration.cpp.o"
+  "CMakeFiles/rge_core.dir/mount_calibration.cpp.o.d"
+  "CMakeFiles/rge_core.dir/online_estimator.cpp.o"
+  "CMakeFiles/rge_core.dir/online_estimator.cpp.o.d"
+  "CMakeFiles/rge_core.dir/pipeline.cpp.o"
+  "CMakeFiles/rge_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/rge_core.dir/track_fusion.cpp.o"
+  "CMakeFiles/rge_core.dir/track_fusion.cpp.o.d"
+  "CMakeFiles/rge_core.dir/track_io.cpp.o"
+  "CMakeFiles/rge_core.dir/track_io.cpp.o.d"
+  "CMakeFiles/rge_core.dir/velocity_sources.cpp.o"
+  "CMakeFiles/rge_core.dir/velocity_sources.cpp.o.d"
+  "librge_core.a"
+  "librge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rge_emissions.dir/emissions.cpp.o"
+  "CMakeFiles/rge_emissions.dir/emissions.cpp.o.d"
+  "CMakeFiles/rge_emissions.dir/vsp.cpp.o"
+  "CMakeFiles/rge_emissions.dir/vsp.cpp.o.d"
+  "librge_emissions.a"
+  "librge_emissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rge_emissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/geodesy.cpp" "src/math/CMakeFiles/rge_math.dir/geodesy.cpp.o" "gcc" "src/math/CMakeFiles/rge_math.dir/geodesy.cpp.o.d"
+  "/root/repo/src/math/interp.cpp" "src/math/CMakeFiles/rge_math.dir/interp.cpp.o" "gcc" "src/math/CMakeFiles/rge_math.dir/interp.cpp.o.d"
+  "/root/repo/src/math/kalman.cpp" "src/math/CMakeFiles/rge_math.dir/kalman.cpp.o" "gcc" "src/math/CMakeFiles/rge_math.dir/kalman.cpp.o.d"
+  "/root/repo/src/math/loess.cpp" "src/math/CMakeFiles/rge_math.dir/loess.cpp.o" "gcc" "src/math/CMakeFiles/rge_math.dir/loess.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/rge_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/rge_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/rng.cpp" "src/math/CMakeFiles/rge_math.dir/rng.cpp.o" "gcc" "src/math/CMakeFiles/rge_math.dir/rng.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/math/CMakeFiles/rge_math.dir/stats.cpp.o" "gcc" "src/math/CMakeFiles/rge_math.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

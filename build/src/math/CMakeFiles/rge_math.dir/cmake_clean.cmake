@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rge_math.dir/geodesy.cpp.o"
+  "CMakeFiles/rge_math.dir/geodesy.cpp.o.d"
+  "CMakeFiles/rge_math.dir/interp.cpp.o"
+  "CMakeFiles/rge_math.dir/interp.cpp.o.d"
+  "CMakeFiles/rge_math.dir/kalman.cpp.o"
+  "CMakeFiles/rge_math.dir/kalman.cpp.o.d"
+  "CMakeFiles/rge_math.dir/loess.cpp.o"
+  "CMakeFiles/rge_math.dir/loess.cpp.o.d"
+  "CMakeFiles/rge_math.dir/matrix.cpp.o"
+  "CMakeFiles/rge_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/rge_math.dir/rng.cpp.o"
+  "CMakeFiles/rge_math.dir/rng.cpp.o.d"
+  "CMakeFiles/rge_math.dir/stats.cpp.o"
+  "CMakeFiles/rge_math.dir/stats.cpp.o.d"
+  "librge_math.a"
+  "librge_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rge_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

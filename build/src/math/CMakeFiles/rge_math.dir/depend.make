@@ -1,0 +1,2 @@
+# Empty dependencies file for rge_math.
+# This may be replaced when dependencies are built.

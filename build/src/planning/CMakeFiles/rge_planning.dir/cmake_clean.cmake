@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rge_planning.dir/route_graph.cpp.o"
+  "CMakeFiles/rge_planning.dir/route_graph.cpp.o.d"
+  "CMakeFiles/rge_planning.dir/velocity_optimizer.cpp.o"
+  "CMakeFiles/rge_planning.dir/velocity_optimizer.cpp.o.d"
+  "librge_planning.a"
+  "librge_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rge_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

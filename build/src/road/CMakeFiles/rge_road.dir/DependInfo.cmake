@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/road/geometry_io.cpp" "src/road/CMakeFiles/rge_road.dir/geometry_io.cpp.o" "gcc" "src/road/CMakeFiles/rge_road.dir/geometry_io.cpp.o.d"
+  "/root/repo/src/road/network.cpp" "src/road/CMakeFiles/rge_road.dir/network.cpp.o" "gcc" "src/road/CMakeFiles/rge_road.dir/network.cpp.o.d"
+  "/root/repo/src/road/reference_profile.cpp" "src/road/CMakeFiles/rge_road.dir/reference_profile.cpp.o" "gcc" "src/road/CMakeFiles/rge_road.dir/reference_profile.cpp.o.d"
+  "/root/repo/src/road/road.cpp" "src/road/CMakeFiles/rge_road.dir/road.cpp.o" "gcc" "src/road/CMakeFiles/rge_road.dir/road.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/rge_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rge_road.dir/geometry_io.cpp.o"
+  "CMakeFiles/rge_road.dir/geometry_io.cpp.o.d"
+  "CMakeFiles/rge_road.dir/network.cpp.o"
+  "CMakeFiles/rge_road.dir/network.cpp.o.d"
+  "CMakeFiles/rge_road.dir/reference_profile.cpp.o"
+  "CMakeFiles/rge_road.dir/reference_profile.cpp.o.d"
+  "CMakeFiles/rge_road.dir/road.cpp.o"
+  "CMakeFiles/rge_road.dir/road.cpp.o.d"
+  "librge_road.a"
+  "librge_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rge_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rge_road.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/smartphone.cpp" "src/sensors/CMakeFiles/rge_sensors.dir/smartphone.cpp.o" "gcc" "src/sensors/CMakeFiles/rge_sensors.dir/smartphone.cpp.o.d"
+  "/root/repo/src/sensors/trace.cpp" "src/sensors/CMakeFiles/rge_sensors.dir/trace.cpp.o" "gcc" "src/sensors/CMakeFiles/rge_sensors.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/rge_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/rge_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/rge_road.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

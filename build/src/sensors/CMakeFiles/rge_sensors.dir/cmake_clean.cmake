@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rge_sensors.dir/smartphone.cpp.o"
+  "CMakeFiles/rge_sensors.dir/smartphone.cpp.o.d"
+  "CMakeFiles/rge_sensors.dir/trace.cpp.o"
+  "CMakeFiles/rge_sensors.dir/trace.cpp.o.d"
+  "librge_sensors.a"
+  "librge_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rge_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

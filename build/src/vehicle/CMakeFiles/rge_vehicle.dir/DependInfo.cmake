@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vehicle/dynamics.cpp" "src/vehicle/CMakeFiles/rge_vehicle.dir/dynamics.cpp.o" "gcc" "src/vehicle/CMakeFiles/rge_vehicle.dir/dynamics.cpp.o.d"
+  "/root/repo/src/vehicle/lane_change.cpp" "src/vehicle/CMakeFiles/rge_vehicle.dir/lane_change.cpp.o" "gcc" "src/vehicle/CMakeFiles/rge_vehicle.dir/lane_change.cpp.o.d"
+  "/root/repo/src/vehicle/powertrain.cpp" "src/vehicle/CMakeFiles/rge_vehicle.dir/powertrain.cpp.o" "gcc" "src/vehicle/CMakeFiles/rge_vehicle.dir/powertrain.cpp.o.d"
+  "/root/repo/src/vehicle/trip.cpp" "src/vehicle/CMakeFiles/rge_vehicle.dir/trip.cpp.o" "gcc" "src/vehicle/CMakeFiles/rge_vehicle.dir/trip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/rge_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/rge_road.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

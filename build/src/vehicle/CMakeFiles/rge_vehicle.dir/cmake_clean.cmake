@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rge_vehicle.dir/dynamics.cpp.o"
+  "CMakeFiles/rge_vehicle.dir/dynamics.cpp.o.d"
+  "CMakeFiles/rge_vehicle.dir/lane_change.cpp.o"
+  "CMakeFiles/rge_vehicle.dir/lane_change.cpp.o.d"
+  "CMakeFiles/rge_vehicle.dir/powertrain.cpp.o"
+  "CMakeFiles/rge_vehicle.dir/powertrain.cpp.o.d"
+  "CMakeFiles/rge_vehicle.dir/trip.cpp.o"
+  "CMakeFiles/rge_vehicle.dir/trip.cpp.o.d"
+  "librge_vehicle.a"
+  "librge_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rge_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

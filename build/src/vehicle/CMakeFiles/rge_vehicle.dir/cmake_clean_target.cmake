@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librge_vehicle.a"
+)

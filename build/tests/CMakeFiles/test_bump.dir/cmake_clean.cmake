@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bump.dir/test_bump.cpp.o"
+  "CMakeFiles/test_bump.dir/test_bump.cpp.o.d"
+  "test_bump"
+  "test_bump.pdb"
+  "test_bump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emissions.dir/test_emissions.cpp.o"
+  "CMakeFiles/test_emissions.dir/test_emissions.cpp.o.d"
+  "test_emissions"
+  "test_emissions.pdb"
+  "test_emissions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

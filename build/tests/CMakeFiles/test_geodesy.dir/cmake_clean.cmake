@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geodesy.dir/test_geodesy.cpp.o"
+  "CMakeFiles/test_geodesy.dir/test_geodesy.cpp.o.d"
+  "test_geodesy"
+  "test_geodesy.pdb"
+  "test_geodesy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geodesy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

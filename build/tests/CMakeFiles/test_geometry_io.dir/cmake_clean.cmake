@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_io.dir/test_geometry_io.cpp.o"
+  "CMakeFiles/test_geometry_io.dir/test_geometry_io.cpp.o.d"
+  "test_geometry_io"
+  "test_geometry_io.pdb"
+  "test_geometry_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grade_ekf.dir/test_grade_ekf.cpp.o"
+  "CMakeFiles/test_grade_ekf.dir/test_grade_ekf.cpp.o.d"
+  "test_grade_ekf"
+  "test_grade_ekf.pdb"
+  "test_grade_ekf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grade_ekf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

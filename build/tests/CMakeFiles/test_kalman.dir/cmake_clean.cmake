@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kalman.dir/test_kalman.cpp.o"
+  "CMakeFiles/test_kalman.dir/test_kalman.cpp.o.d"
+  "test_kalman"
+  "test_kalman.pdb"
+  "test_kalman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kalman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lane_change_detector.dir/test_lane_change_detector.cpp.o"
+  "CMakeFiles/test_lane_change_detector.dir/test_lane_change_detector.cpp.o.d"
+  "test_lane_change_detector"
+  "test_lane_change_detector.pdb"
+  "test_lane_change_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lane_change_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

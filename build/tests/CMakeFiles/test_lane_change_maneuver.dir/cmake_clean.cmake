@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lane_change_maneuver.dir/test_lane_change_maneuver.cpp.o"
+  "CMakeFiles/test_lane_change_maneuver.dir/test_lane_change_maneuver.cpp.o.d"
+  "test_lane_change_maneuver"
+  "test_lane_change_maneuver.pdb"
+  "test_lane_change_maneuver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lane_change_maneuver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loess.dir/test_loess.cpp.o"
+  "CMakeFiles/test_loess.dir/test_loess.cpp.o.d"
+  "test_loess"
+  "test_loess.pdb"
+  "test_loess[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

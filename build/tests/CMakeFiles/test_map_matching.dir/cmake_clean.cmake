@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_map_matching.dir/test_map_matching.cpp.o"
+  "CMakeFiles/test_map_matching.dir/test_map_matching.cpp.o.d"
+  "test_map_matching"
+  "test_map_matching.pdb"
+  "test_map_matching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_map_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_estimator.dir/test_online_estimator.cpp.o"
+  "CMakeFiles/test_online_estimator.dir/test_online_estimator.cpp.o.d"
+  "test_online_estimator"
+  "test_online_estimator.pdb"
+  "test_online_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powertrain.dir/test_powertrain.cpp.o"
+  "CMakeFiles/test_powertrain.dir/test_powertrain.cpp.o.d"
+  "test_powertrain"
+  "test_powertrain.pdb"
+  "test_powertrain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powertrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

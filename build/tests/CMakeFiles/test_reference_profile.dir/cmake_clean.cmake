@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_profile.dir/test_reference_profile.cpp.o"
+  "CMakeFiles/test_reference_profile.dir/test_reference_profile.cpp.o.d"
+  "test_reference_profile"
+  "test_reference_profile.pdb"
+  "test_reference_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

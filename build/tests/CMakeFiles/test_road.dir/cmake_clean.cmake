@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_road.dir/test_road.cpp.o"
+  "CMakeFiles/test_road.dir/test_road.cpp.o.d"
+  "test_road"
+  "test_road.pdb"
+  "test_road[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_road_invariants.dir/test_road_invariants.cpp.o"
+  "CMakeFiles/test_road_invariants.dir/test_road_invariants.cpp.o.d"
+  "test_road_invariants"
+  "test_road_invariants.pdb"
+  "test_road_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_road_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

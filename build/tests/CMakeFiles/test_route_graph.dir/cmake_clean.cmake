@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_graph.dir/test_route_graph.cpp.o"
+  "CMakeFiles/test_route_graph.dir/test_route_graph.cpp.o.d"
+  "test_route_graph"
+  "test_route_graph.pdb"
+  "test_route_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

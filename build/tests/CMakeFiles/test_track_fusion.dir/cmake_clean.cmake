@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_track_fusion.dir/test_track_fusion.cpp.o"
+  "CMakeFiles/test_track_fusion.dir/test_track_fusion.cpp.o.d"
+  "test_track_fusion"
+  "test_track_fusion.pdb"
+  "test_track_fusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_track_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_track_io.dir/test_track_io.cpp.o"
+  "CMakeFiles/test_track_io.dir/test_track_io.cpp.o.d"
+  "test_track_io"
+  "test_track_io.pdb"
+  "test_track_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_track_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trip.dir/test_trip.cpp.o"
+  "CMakeFiles/test_trip.dir/test_trip.cpp.o.d"
+  "test_trip"
+  "test_trip.pdb"
+  "test_trip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_velocity_optimizer.dir/test_velocity_optimizer.cpp.o"
+  "CMakeFiles/test_velocity_optimizer.dir/test_velocity_optimizer.cpp.o.d"
+  "test_velocity_optimizer"
+  "test_velocity_optimizer.pdb"
+  "test_velocity_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_velocity_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_velocity_sources.dir/test_velocity_sources.cpp.o"
+  "CMakeFiles/test_velocity_sources.dir/test_velocity_sources.cpp.o.d"
+  "test_velocity_sources"
+  "test_velocity_sources.pdb"
+  "test_velocity_sources[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_velocity_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_velocity_sources.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vsp.dir/test_vsp.cpp.o"
+  "CMakeFiles/test_vsp.dir/test_vsp.cpp.o.d"
+  "test_vsp"
+  "test_vsp.pdb"
+  "test_vsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
