@@ -4,6 +4,14 @@
 // this as the deployment path ("upload to the cloud ... fuse road
 // gradient results from different vehicles") without evaluating it; this
 // bench supplies the missing curve.
+//
+// The per-vehicle pipelines run through the parallel batch runtime
+// (run_pipeline_batch); the bench times the serial path against the batch
+// path at 4 threads, checks the outputs are identical, and reports the
+// runtime's per-stage metrics. (The formal bit-identity guarantee is
+// asserted in tests/test_pipeline_batch.cpp; the check here is a smoke
+// test on real workload data.)
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -15,6 +23,18 @@
 #include "math/angles.hpp"
 #include "math/stats.hpp"
 #include "road/network.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 int main() {
   using namespace rge;
@@ -24,33 +44,74 @@ int main() {
 
   const road::Road route = road::make_table3_route(2019);
   const int kVehicles = 12;
+  const std::size_t kThreads = 4;
 
-  std::vector<core::GradeTrack> uploads;
+  // ---- Simulate the fleet (seeded, before any estimation runs). -------
+  std::vector<bench::Drive> drives;
+  std::vector<sensors::SensorTrace> traces;
   for (int v = 0; v < kVehicles; ++v) {
     bench::DriveOptions opts;
     opts.trip_seed = 800 + v;
     opts.phone_seed = 900 + v;
     opts.cruise_speed_mps = 8.0 + 0.7 * v;  // traffic diversity
     opts.lane_changes_per_km = 3.0;
-    const bench::Drive d = bench::simulate_drive(route, opts);
-    // Cloud map-building is offline: use the RTS-smoothed pipeline.
-    core::PipelineConfig cfg;
-    cfg.use_rts_smoother = true;
-    auto res = core::estimate_gradient(d.trace, bench::default_vehicle(), cfg);
-    auto keyed = core::rekey_track_by_road(res.fused, route, d.trace.gps);
+    drives.push_back(bench::simulate_drive(route, opts));
+    traces.push_back(drives.back().trace);
+  }
+
+  // Cloud map-building is offline: use the RTS-smoothed pipeline.
+  core::PipelineConfig cfg;
+  cfg.use_rts_smoother = true;
+  const auto car = bench::default_vehicle();
+
+  // ---- Serial reference path. ----------------------------------------
+  const auto t_serial = std::chrono::steady_clock::now();
+  std::vector<core::PipelineResult> serial;
+  for (const auto& trace : traces) {
+    serial.push_back(core::estimate_gradient(trace, car, cfg));
+  }
+  const double serial_s = seconds_since(t_serial);
+
+  // ---- Parallel batch path (the deployment-scale runtime). ------------
+  runtime::StageMetrics metrics;
+  const auto t_batch = std::chrono::steady_clock::now();
+  const auto batch =
+      core::run_pipeline_batch(traces, car, cfg, kThreads, &metrics);
+  const double batch_s = seconds_since(t_batch);
+
+  bool identical = batch.size() == serial.size();
+  for (std::size_t i = 0; identical && i < batch.size(); ++i) {
+    identical = batch[i].fused.grade == serial[i].fused.grade &&
+                batch[i].fused.grade_var == serial[i].fused.grade_var &&
+                batch[i].fused.s == serial[i].fused.s;
+  }
+  std::printf(
+      "\nruntime: serial %.2f s, batch(%zu threads) %.2f s -> speedup "
+      "%.2fx on %u hardware threads; fused output identical: %s\n",
+      serial_s, kThreads, batch_s, serial_s / batch_s,
+      std::thread::hardware_concurrency(), identical ? "yes" : "NO");
+  std::printf("stage metrics: %s\n", metrics.summary().c_str());
+
+  // ---- Upload: re-key each fused track to map-matched road distance. --
+  std::vector<core::GradeTrack> uploads;
+  for (int v = 0; v < kVehicles; ++v) {
+    auto keyed = core::rekey_track_by_road(batch[v].fused, route,
+                                           drives[v].trace.gps);
     keyed.source = "vehicle-" + std::to_string(v);
     uploads.push_back(std::move(keyed));
   }
 
   core::FusionConfig fc;
   fc.distance_step_m = 10.0;
+  runtime::ThreadPool pool(kThreads);
   std::printf("\n%-10s %12s %14s %12s\n", "vehicles", "MAE (deg)",
               "median (deg)", "p90 (deg)");
   for (int k = 1; k <= kVehicles; ++k) {
     const std::vector<core::GradeTrack> subset(uploads.begin(),
                                                uploads.begin() + k);
     const core::GradeTrack fused =
-        k == 1 ? subset[0] : core::fuse_tracks_distance(subset, fc);
+        k == 1 ? subset[0]
+               : core::fuse_tracks_distance_batch(subset, fc, pool, &metrics);
     std::vector<double> abs_err;
     for (std::size_t i = 0; i < fused.s.size(); ++i) {
       const double s = fused.s[i];

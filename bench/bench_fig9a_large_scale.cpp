@@ -12,6 +12,7 @@
 #include "math/angles.hpp"
 #include "math/stats.hpp"
 #include "road/network.hpp"
+#include "runtime/metrics.hpp"
 
 int main() {
   using namespace rge;
@@ -30,16 +31,33 @@ int main() {
   double worst_road_mre = 0.0;
   std::string worst_road;
 
-  std::size_t idx = 0;
+  // ---- Phase 1: simulate every drive (seeded, deterministic). ---------
+  std::vector<bench::Drive> drives;
+  std::vector<sensors::SensorTrace> traces;
+  std::size_t sim_idx = 0;
   for (const auto& nr : net.roads()) {
     bench::DriveOptions opts;
-    opts.trip_seed = 1000 + idx;
-    opts.phone_seed = 2000 + idx;
+    opts.trip_seed = 1000 + sim_idx;
+    opts.phone_seed = 2000 + sim_idx;
     opts.lane_changes_per_km = 1.2;
-    opts.random_gps_outages = idx % 5 == 0 ? 1 : 0;  // occasional outages
-    const bench::Drive d = bench::simulate_drive(nr.road, opts);
-    const auto res =
-        core::estimate_gradient(d.trace, bench::default_vehicle());
+    opts.random_gps_outages = sim_idx % 5 == 0 ? 1 : 0;  // occasional outages
+    drives.push_back(bench::simulate_drive(nr.road, opts));
+    traces.push_back(drives.back().trace);
+    ++sim_idx;
+  }
+
+  // ---- Phase 2: estimate all trips on the parallel batch runtime. -----
+  runtime::StageMetrics metrics;
+  const auto results = core::run_pipeline_batch(
+      traces, bench::default_vehicle(), {}, /*n_threads=*/0, &metrics);
+  std::printf("batch runtime over %zu trips: %s\n", results.size(),
+              metrics.summary().c_str());
+
+  // ---- Phase 3: evaluate against ground truth. ------------------------
+  std::size_t idx = 0;
+  for (const auto& nr : net.roads()) {
+    const bench::Drive& d = drives[idx];
+    const auto& res = results[idx];
     const auto st = core::evaluate_track(res.fused, d.trip);
 
     // Matched truth series for the evaluated samples: reconstruct from the

@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "common.hpp"
+#include "core/pipeline.hpp"
 #include "math/angles.hpp"
 #include "road/network.hpp"
+#include "runtime/metrics.hpp"
 
 int main() {
   using namespace rge;
@@ -54,14 +56,28 @@ int main() {
   double mre_num[3] = {0, 0, 0};
   double mre_den[3] = {0, 0, 0};
 
-  std::size_t idx = 0;
+  // Simulate all evaluation drives, then run the OPS estimations through
+  // the parallel batch runtime; the two baselines run per drive below.
+  std::vector<bench::Drive> drives;
+  std::vector<rge::sensors::SensorTrace> traces;
+  std::size_t sim_idx = 0;
   for (const auto& nr : net.roads()) {
     bench::DriveOptions opts;
-    opts.trip_seed = 3000 + idx;
-    opts.phone_seed = 4000 + idx;
+    opts.trip_seed = 3000 + sim_idx;
+    opts.phone_seed = 4000 + sim_idx;
     opts.lane_changes_per_km = 1.2;
-    const bench::Drive d = bench::simulate_drive(nr.road, opts);
-    const auto results = bench::compare_methods(d, ann);
+    drives.push_back(bench::simulate_drive(nr.road, opts));
+    traces.push_back(drives.back().trace);
+    ++sim_idx;
+  }
+  rge::runtime::StageMetrics metrics;
+  const auto ops_results = core::run_pipeline_batch(
+      traces, bench::default_vehicle(), {}, /*n_threads=*/0, &metrics);
+  std::printf("OPS batch runtime: %s\n", metrics.summary().c_str());
+
+  for (std::size_t idx = 0; idx < drives.size(); ++idx) {
+    const bench::Drive& d = drives[idx];
+    const auto results = bench::compare_methods(d, ann, ops_results[idx]);
     for (std::size_t m = 0; m < results.size(); ++m) {
       const auto& st = results[m].stats;
       auto& sink = m == 0 ? errs_ops : (m == 1 ? errs_ekf : errs_ann);
@@ -72,7 +88,6 @@ int main() {
           rge::core::truth_grade_at_distances(d.trip, st.positions_m);
       for (double g : truth) mre_den[m] += std::abs(g);
     }
-    ++idx;
   }
 
   std::printf("\nCDF rows: P(|error| <= x) at x = 0.0 .. 1.0 deg\n");

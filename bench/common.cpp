@@ -51,11 +51,19 @@ baselines::AnnGradeEstimator train_ann_on(const road::Road& road,
 std::vector<MethodResult> compare_methods(
     const Drive& drive, baselines::AnnGradeEstimator& trained_ann,
     const core::PipelineConfig& ops_cfg) {
+  const auto ops = core::estimate_gradient(drive.trace, default_vehicle(),
+                                           ops_cfg);
+  return compare_methods(drive, trained_ann, ops);
+}
+
+std::vector<MethodResult> compare_methods(
+    const Drive& drive, baselines::AnnGradeEstimator& trained_ann,
+    const core::PipelineResult& precomputed_ops) {
   std::vector<MethodResult> out;
   const auto vehicle = default_vehicle();
 
-  const auto ops = core::estimate_gradient(drive.trace, vehicle, ops_cfg);
-  out.push_back({"OPS", core::evaluate_track(ops.fused, drive.trip)});
+  out.push_back(
+      {"OPS", core::evaluate_track(precomputed_ops.fused, drive.trip)});
 
   const auto ekf = baselines::run_altitude_ekf(drive.trace, vehicle);
   out.push_back({"EKF", core::evaluate_track(ekf, drive.trip)});

@@ -55,6 +55,13 @@ std::vector<MethodResult> compare_methods(
     const Drive& drive, baselines::AnnGradeEstimator& trained_ann,
     const core::PipelineConfig& ops_cfg = {});
 
+/// Same comparison, but with the OPS pipeline result already computed
+/// (e.g. by run_pipeline_batch over the whole drive set) so only the two
+/// baselines run here.
+std::vector<MethodResult> compare_methods(
+    const Drive& drive, baselines::AnnGradeEstimator& trained_ann,
+    const core::PipelineResult& precomputed_ops);
+
 // ------------------------------ printing ------------------------------
 
 /// Print a section header in a consistent style.

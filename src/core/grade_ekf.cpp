@@ -20,6 +20,27 @@ Mat initial_cov(const GradeEkfConfig& cfg) {
 
 }  // namespace
 
+void GradeTrack::validate() const {
+  const auto fail = [this](const char* what) {
+    throw std::logic_error("GradeTrack[" + source + "]: " + what);
+  };
+  const std::size_t n = t.size();
+  if (grade.size() != n || grade_var.size() != n || speed.size() != n ||
+      s.size() != n) {
+    fail("parallel arrays disagree in size");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(t[i]) || !std::isfinite(grade[i]) ||
+        !std::isfinite(grade_var[i]) || !std::isfinite(speed[i]) ||
+        !std::isfinite(s[i])) {
+      fail("non-finite sample");
+    }
+    if (grade_var[i] < 0.0) fail("negative grade variance");
+    if (i > 0 && t[i] < t[i - 1]) fail("t not non-decreasing");
+    if (i > 0 && s[i] < s[i - 1]) fail("s not non-decreasing");
+  }
+}
+
 GradeEkf::GradeEkf(const vehicle::VehicleParams& params,
                    const GradeEkfConfig& cfg, double initial_speed,
                    double initial_grade)

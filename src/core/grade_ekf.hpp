@@ -57,6 +57,14 @@ struct GradeTrack {
   std::vector<double> s;          ///< odometry integral of speed (m)
 
   std::size_t size() const { return t.size(); }
+
+  /// Debug invariant check: all five parallel arrays share size(), every
+  /// value is finite, variances are non-negative, and both keys (t, s) are
+  /// non-decreasing. Fusion and the batch runtime call this on their
+  /// outputs so a malformed track (e.g. placeholder speeds) fails loudly
+  /// at the producer instead of feeding garbage to evaluation/track_io.
+  /// @throws std::logic_error naming the source and the violated invariant.
+  void validate() const;
 };
 
 /// Incremental interface (useful for streaming / examples).

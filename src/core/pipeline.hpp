@@ -17,6 +17,7 @@
 #include "core/track_fusion.hpp"
 #include "core/velocity_sources.hpp"
 #include "math/loess.hpp"
+#include "runtime/metrics.hpp"
 #include "sensors/trace.hpp"
 #include "vehicle/params.hpp"
 
@@ -85,5 +86,25 @@ struct PipelineResult {
 PipelineResult estimate_gradient(const sensors::SensorTrace& trace,
                                  const vehicle::VehicleParams& params,
                                  const PipelineConfig& config = {});
+
+/// Batch driver of the parallel runtime: run the full pipeline over many
+/// traces on a thread pool of `n_threads` workers (0 picks the hardware
+/// concurrency). Trips fan out across the pool, and within each trip the
+/// per-source EKF/RTS tracks run concurrently as nested tasks.
+///
+/// Determinism guarantee: results[i] is bit-identical to
+/// `estimate_gradient(traces[i], params, config)` — every per-trip
+/// computation is independent, writes only its own result slot, and uses
+/// the same arithmetic in the same order regardless of thread count or
+/// scheduling. Per-trip randomness (if any) lives in the traces, which are
+/// produced before the batch call, so seeds are untouched.
+///
+/// Per-stage wall time (align/detect/ekf/fuse) is accumulated into
+/// *metrics when non-null; see runtime/metrics.hpp for the report format.
+/// @throws whatever estimate_gradient throws for the first failing trace.
+std::vector<PipelineResult> run_pipeline_batch(
+    const std::vector<sensors::SensorTrace>& traces,
+    const vehicle::VehicleParams& params, const PipelineConfig& config = {},
+    std::size_t n_threads = 0, runtime::StageMetrics* metrics = nullptr);
 
 }  // namespace rge::core

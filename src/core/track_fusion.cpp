@@ -5,7 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
-#include "math/interp.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace rge::core {
 
@@ -27,6 +28,28 @@ std::pair<double, double> convex_combine(std::span<const double> thetas,
 
 namespace {
 
+/// Locate q in the sorted key array; returns {lo, hi, fraction} for linear
+/// interpolation, clamped at the ends.
+struct InterpPos {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  double f = 0.0;
+};
+
+InterpPos locate(const std::vector<double>& keys, double q) {
+  if (q <= keys.front()) return {0, 0, 0.0};
+  if (q >= keys.back()) return {keys.size() - 1, keys.size() - 1, 0.0};
+  const auto it = std::upper_bound(keys.begin(), keys.end(), q);
+  const std::size_t hi = static_cast<std::size_t>(it - keys.begin());
+  const std::size_t lo = hi - 1;
+  const double denom = keys[hi] - keys[lo];
+  return {lo, hi, denom > 0.0 ? (q - keys[lo]) / denom : 0.0};
+}
+
+double lerp_at(const InterpPos& p, const std::vector<double>& vals) {
+  return vals[p.lo] * (1.0 - p.f) + vals[p.hi] * p.f;
+}
+
 /// Interpolate a track's grade and variance at time (or distance) q using
 /// the given key array; clamped at the ends.
 std::pair<double, double> sample_track(const GradeTrack& track,
@@ -35,15 +58,103 @@ std::pair<double, double> sample_track(const GradeTrack& track,
   if (keys.empty()) {
     throw std::invalid_argument("sample_track: empty track");
   }
-  if (q <= keys.front()) return {track.grade.front(), track.grade_var.front()};
-  if (q >= keys.back()) return {track.grade.back(), track.grade_var.back()};
-  const auto it = std::upper_bound(keys.begin(), keys.end(), q);
-  const std::size_t hi = static_cast<std::size_t>(it - keys.begin());
-  const std::size_t lo = hi - 1;
-  const double denom = keys[hi] - keys[lo];
-  const double t = denom > 0.0 ? (q - keys[lo]) / denom : 0.0;
-  return {track.grade[lo] * (1.0 - t) + track.grade[hi] * t,
-          track.grade_var[lo] * (1.0 - t) + track.grade_var[hi] * t};
+  const InterpPos p = locate(keys, q);
+  return {lerp_at(p, track.grade), lerp_at(p, track.grade_var)};
+}
+
+/// Integer-indexed resampling grid over [lo, hi]. Samples sit at
+/// lo + i*step with the final sample pinned exactly to hi, so long routes
+/// neither drift (no floating-point accumulation) nor silently drop the
+/// overlap endpoint.
+struct DistanceGrid {
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 0.0;
+  std::size_t n = 0;
+
+  double at(std::size_t i) const {
+    return i + 1 == n ? hi : lo + static_cast<double>(i) * step;
+  }
+};
+
+DistanceGrid make_overlap_grid(const std::vector<GradeTrack>& tracks,
+                               const FusionConfig& cfg) {
+  if (tracks.empty()) {
+    throw std::invalid_argument("fuse_tracks_distance: no tracks");
+  }
+  if (!(cfg.distance_step_m > 0.0)) {
+    throw std::invalid_argument(
+        "fuse_tracks_distance: distance_step_m must be positive");
+  }
+  DistanceGrid grid;
+  grid.lo = -std::numeric_limits<double>::infinity();
+  grid.hi = std::numeric_limits<double>::infinity();
+  for (const auto& tr : tracks) {
+    if (tr.s.empty()) {
+      throw std::invalid_argument("fuse_tracks_distance: track without s");
+    }
+    grid.lo = std::max(grid.lo, tr.s.front());
+    grid.hi = std::min(grid.hi, tr.s.back());
+  }
+  if (!(grid.hi > grid.lo)) {
+    throw std::invalid_argument(
+        "fuse_tracks_distance: tracks do not overlap in distance");
+  }
+  grid.step = cfg.distance_step_m;
+  const auto whole_steps = static_cast<std::size_t>(
+      std::floor((grid.hi - grid.lo) / grid.step));
+  // Regular samples lo + {0..whole_steps}*step, plus hi when the span is
+  // not an exact multiple of step. If it is (within fp slack), the last
+  // regular sample is replaced by exact hi via DistanceGrid::at.
+  const bool exact =
+      grid.lo + static_cast<double>(whole_steps) * grid.step >=
+      grid.hi - 1e-9 * grid.step;
+  grid.n = whole_steps + 1 + (exact ? 0 : 1);
+  return grid;
+}
+
+/// Fill fused sample i on the grid. Writes only slot i, so the serial and
+/// pool-parallel entry points produce bit-identical tracks.
+void fuse_distance_sample(const std::vector<GradeTrack>& tracks,
+                          const FusionConfig& cfg, const DistanceGrid& grid,
+                          std::size_t i, GradeTrack& fused) {
+  const double s = grid.at(i);
+  const std::size_t n_tracks = tracks.size();
+  double weight_sum = 0.0;
+  double grade_sum = 0.0;
+  double speed_sum = 0.0;
+  double t_sum = 0.0;
+  for (std::size_t k = 0; k < n_tracks; ++k) {
+    const GradeTrack& tr = tracks[k];
+    const InterpPos pos = locate(tr.s, s);
+    const double p = std::max(cfg.min_variance, lerp_at(pos, tr.grade_var));
+    const double w = 1.0 / p;
+    weight_sum += w;
+    grade_sum += lerp_at(pos, tr.grade) * w;
+    // Speed is a real kinematic signal: interpolate it from the members
+    // with the same inverse-variance weights as the grade (satisfies the
+    // GradeTrack invariant instead of the old 0.0 placeholder).
+    speed_sum += lerp_at(pos, tr.speed) * w;
+    // Mean traversal time across contributing trips. Unweighted, so the
+    // sum of per-track non-decreasing t(s) stays non-decreasing.
+    t_sum += lerp_at(pos, tr.t);
+  }
+  fused.s[i] = s;
+  fused.grade[i] = grade_sum / weight_sum;
+  fused.grade_var[i] = 1.0 / weight_sum;
+  fused.speed[i] = speed_sum / weight_sum;
+  fused.t[i] = t_sum / static_cast<double>(n_tracks);
+}
+
+GradeTrack make_fused_shell(std::size_t n) {
+  GradeTrack fused;
+  fused.source = "fused-distance";
+  fused.t.resize(n);
+  fused.grade.resize(n);
+  fused.grade_var.resize(n);
+  fused.speed.resize(n);
+  fused.s.resize(n);
+  return fused;
 }
 
 }  // namespace
@@ -80,47 +191,37 @@ GradeTrack fuse_tracks_time(const std::vector<GradeTrack>& tracks,
     fused.grade.push_back(gbar);
     fused.grade_var.push_back(pbar);
   }
+  fused.validate();
   return fused;
 }
 
 GradeTrack fuse_tracks_distance(const std::vector<GradeTrack>& tracks,
                                 const FusionConfig& cfg) {
-  if (tracks.empty()) {
-    throw std::invalid_argument("fuse_tracks_distance: no tracks");
+  const DistanceGrid grid = make_overlap_grid(tracks, cfg);
+  GradeTrack fused = make_fused_shell(grid.n);
+  for (std::size_t i = 0; i < grid.n; ++i) {
+    fuse_distance_sample(tracks, cfg, grid, i, fused);
   }
-  // Overlapping odometry range.
-  double lo = -std::numeric_limits<double>::infinity();
-  double hi = std::numeric_limits<double>::infinity();
-  for (const auto& tr : tracks) {
-    if (tr.s.empty()) {
-      throw std::invalid_argument("fuse_tracks_distance: track without s");
-    }
-    lo = std::max(lo, tr.s.front());
-    hi = std::min(hi, tr.s.back());
-  }
-  if (!(hi > lo)) {
-    throw std::invalid_argument(
-        "fuse_tracks_distance: tracks do not overlap in distance");
-  }
+  fused.validate();
+  return fused;
+}
 
-  GradeTrack fused;
-  fused.source = "fused-distance";
-  std::vector<double> thetas(tracks.size());
-  std::vector<double> variances(tracks.size());
-  for (double s = lo; s <= hi; s += cfg.distance_step_m) {
-    for (std::size_t k = 0; k < tracks.size(); ++k) {
-      const auto [g, p] = sample_track(tracks[k], tracks[k].s, s);
-      thetas[k] = g;
-      variances[k] = p;
-    }
-    const auto [gbar, pbar] =
-        convex_combine(thetas, variances, cfg.min_variance);
-    fused.s.push_back(s);
-    fused.grade.push_back(gbar);
-    fused.grade_var.push_back(pbar);
-    fused.t.push_back(s);  // distance-domain tracks are keyed by s
-    fused.speed.push_back(0.0);
-  }
+GradeTrack fuse_tracks_distance_batch(const std::vector<GradeTrack>& tracks,
+                                      const FusionConfig& cfg,
+                                      runtime::ThreadPool& pool,
+                                      runtime::StageMetrics* metrics) {
+  const runtime::ScopedTimer timer(metrics ? &metrics->fuse_ns : nullptr);
+  const DistanceGrid grid = make_overlap_grid(tracks, cfg);
+  GradeTrack fused = make_fused_shell(grid.n);
+  // Coarse chunks keep the atomic-cursor overhead negligible relative to
+  // the per-sample interpolation work.
+  const std::size_t grain =
+      std::max<std::size_t>(64, grid.n / (8 * pool.size() + 1));
+  runtime::parallel_for(
+      pool, grid.n,
+      [&](std::size_t i) { fuse_distance_sample(tracks, cfg, grid, i, fused); },
+      grain);
+  fused.validate();
   return fused;
 }
 

@@ -16,12 +16,17 @@
 
 #include "core/grade_ekf.hpp"
 
+namespace rge::runtime {
+class ThreadPool;
+struct StageMetrics;
+}  // namespace rge::runtime
+
 namespace rge::core {
 
 struct FusionConfig {
   /// Variance floor to keep near-zero covariances from dominating (rad^2).
   double min_variance = 1e-8;
-  /// Resampling step for distance-domain fusion (m).
+  /// Resampling step for distance-domain fusion (m); must be positive.
   double distance_step_m = 5.0;
 };
 
@@ -33,9 +38,24 @@ GradeTrack fuse_tracks_time(const std::vector<GradeTrack>& tracks,
                             const FusionConfig& cfg = {});
 
 /// Fuse tracks on a common arc-length grid spanning the overlap of all
-/// tracks' odometry ranges. Useful for multi-vehicle cloud fusion.
+/// tracks' odometry ranges. Useful for multi-vehicle cloud fusion. The
+/// grid is integer-indexed (sample i sits at lo + i*step) and the final
+/// sample is pinned exactly to the overlap end, so long routes neither
+/// accumulate floating-point drift nor drop the endpoint. Fused speed and
+/// time are interpolated from the member tracks (inverse-variance weighted
+/// speed; mean traversal time), keeping GradeTrack invariants intact.
 GradeTrack fuse_tracks_distance(const std::vector<GradeTrack>& tracks,
                                 const FusionConfig& cfg = {});
+
+/// Cloud-fusion entry point of the batch runtime: same grid and arithmetic
+/// as fuse_tracks_distance but grid samples are filled in parallel on the
+/// pool. Output is bit-identical to the serial function (each sample
+/// writes only its own slot). Elapsed wall time is added to
+/// metrics->fuse_ns when metrics is non-null.
+GradeTrack fuse_tracks_distance_batch(const std::vector<GradeTrack>& tracks,
+                                      const FusionConfig& cfg,
+                                      runtime::ThreadPool& pool,
+                                      runtime::StageMetrics* metrics = nullptr);
 
 /// Scalar Eq. 6 helper: inverse-variance weighted mean. Returns
 /// {theta_bar, fused_variance}. Sizes must match and be nonzero.

@@ -1,0 +1,136 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace rge::runtime {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  // notify_all, not notify_one: both idle workers and threads blocked in
+  // help_until wait on cv_, and a task must never sit in the queue while
+  // only the "wrong" kind of waiter was woken.
+  cv_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::help_until(const std::function<bool()>& done) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return done() || !queue_.empty(); });
+      if (done()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::notify_waiters() {
+  // Acquiring the mutex orders this notification after any waiter's
+  // predicate check, closing the missed-wakeup window.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_all();
+}
+
+namespace {
+
+/// Shared state of one parallel_for call. Helpers and the caller claim
+/// chunk start indices from `next`; the caller blocks until every helper
+/// task has returned, which also guarantees the loop body outlives them.
+struct LoopState {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> helpers_pending{0};
+  std::mutex mu;
+  std::exception_ptr error;  // first failure, guarded by mu
+};
+
+void drain(LoopState& st, std::size_t n, std::size_t grain,
+           const std::function<void(std::size_t)>& body) {
+  for (;;) {
+    const std::size_t begin = st.next.fetch_add(grain);
+    if (begin >= n) return;
+    const std::size_t end = std::min(n, begin + grain);
+    try {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(st.mu);
+      if (!st.error) st.error = std::current_exception();
+      st.next.store(n);  // abandon unclaimed work
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+
+  const std::size_t n_chunks = (n + grain - 1) / grain;
+  // The caller runs chunks too, so at most n_chunks - 1 helpers are useful.
+  const std::size_t n_helpers = std::min(pool.size(), n_chunks - 1);
+
+  auto st = std::make_shared<LoopState>();
+  st->helpers_pending.store(n_helpers);
+  for (std::size_t h = 0; h < n_helpers; ++h) {
+    pool.submit([st, n, grain, &body, &pool] {
+      drain(*st, n, grain, body);
+      st->helpers_pending.fetch_sub(1);
+      pool.notify_waiters();
+    });
+  }
+
+  drain(*st, n, grain, body);
+  // Work-executing wait: while our helpers are still pending (possibly not
+  // yet dequeued), run other queued tasks on this thread. This is what
+  // makes nested parallel_for deadlock-free even when every worker is
+  // blocked in an inner wait of its own.
+  pool.help_until([&] { return st->helpers_pending.load() == 0; });
+
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+}  // namespace rge::runtime

@@ -1,0 +1,71 @@
+// Minimal fixed-size thread pool for the batch-estimation runtime.
+//
+// Design goals, in order: determinism, nesting safety, simplicity. There is
+// no work stealing — a single FIFO queue guarded by a mutex is plenty for
+// the coarse tasks this repo schedules (whole trips, per-source EKF runs,
+// fusion grid chunks), and it keeps the execution model easy to reason
+// about under ThreadSanitizer.
+//
+// `parallel_for` is the only coordination primitive built on top of the
+// pool. The calling thread participates in executing loop bodies (claiming
+// indices from the same atomic cursor as the workers), which makes nested
+// parallel_for calls deadlock-free: even if every worker is busy with outer
+// loop bodies, the inner loop completes on the caller's own thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rge::runtime {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not block waiting on later-submitted tasks
+  /// (use parallel_for, whose caller participation keeps nesting safe).
+  void submit(std::function<void()> task);
+
+  /// Run queued tasks on the calling thread until done() returns true,
+  /// blocking on the pool's condition variable while the queue is empty.
+  /// This is parallel_for's completion wait; executing other tasks while
+  /// waiting is what keeps nested loops deadlock-free. done() is called
+  /// under the pool mutex and must be cheap and side-effect free.
+  void help_until(const std::function<bool()>& done);
+
+  /// Wake every thread blocked in help_until so it can re-check done().
+  void notify_waiters();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Run body(i) for every i in [0, n), distributing indices across the pool
+/// in contiguous chunks of `grain`. Blocks until all indices complete and
+/// rethrows the first exception a body threw (remaining indices are then
+/// skipped). Which thread runs which index is scheduling-dependent, but as
+/// long as body(i) writes only to slot i the overall result is bit-identical
+/// to the serial loop `for (i = 0; i < n; ++i) body(i)`.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace rge::runtime

@@ -149,6 +149,133 @@ TEST(FuseDistance, NoOverlapThrows) {
   EXPECT_THROW(fuse_tracks_distance({}), std::invalid_argument);
 }
 
+TEST(FuseDistance, NoOverlapThrowMessageNamesTheProblem) {
+  auto a = make_track("a", 10, 0.1, 0.0, 1e-3);  // s: 0..9
+  auto b = make_track("b", 10, 0.1, 0.0, 1e-3);
+  for (auto& s : b.s) s += 100.0;  // s: 100..109
+  try {
+    fuse_tracks_distance({a, b});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("do not overlap"),
+              std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(FuseDistance, BadStepThrows) {
+  const auto a = make_track("a", 10, 0.1, 0.0, 1e-3);
+  FusionConfig cfg;
+  cfg.distance_step_m = 0.0;  // would loop forever on the old grid
+  EXPECT_THROW(fuse_tracks_distance({a}, cfg), std::invalid_argument);
+  cfg.distance_step_m = -1.0;
+  EXPECT_THROW(fuse_tracks_distance({a}, cfg), std::invalid_argument);
+}
+
+TEST(FuseDistance, LastSampleLandsExactlyOnOverlapEnd) {
+  // Regression: the old `for (s = lo; s <= hi; s += step)` loop never
+  // sampled hi unless the span was an exact step multiple (and fp drift
+  // broke even that). The overlap here is [20, 99] with step 2.5 — not a
+  // multiple — and the final sample must still be exactly 99.
+  auto a = make_track("a", 100, 0.1, 0.03, 1e-3);  // s: 0..99
+  auto b = make_track("b", 100, 0.1, 0.05, 1e-3);
+  for (auto& s : b.s) s += 20.0;  // s: 20..119 -> overlap [20, 99]
+  FusionConfig cfg;
+  cfg.distance_step_m = 2.5;
+  const GradeTrack fused = fuse_tracks_distance({a, b}, cfg);
+  EXPECT_DOUBLE_EQ(fused.s.front(), 20.0);
+  EXPECT_DOUBLE_EQ(fused.s.back(), 99.0);
+
+  // Exact-multiple span: overlap length 79 is not a multiple of 2.5, but
+  // with step 1.0 it is; the endpoint must be included exactly once.
+  cfg.distance_step_m = 1.0;
+  const GradeTrack fused2 = fuse_tracks_distance({a, b}, cfg);
+  EXPECT_DOUBLE_EQ(fused2.s.back(), 99.0);
+  ASSERT_GE(fused2.s.size(), 2u);
+  EXPECT_LT(fused2.s[fused2.s.size() - 2], 99.0);
+  EXPECT_EQ(fused2.s.size(), 80u);  // 20..99 inclusive at 1 m
+}
+
+TEST(FuseDistance, GridIsIntegerIndexedWithoutDrift) {
+  // Regression: accumulating `s += step` drifts over long routes (10 km at
+  // 0.1 m is 100k additions). The integer-indexed grid must give
+  // s[i] == lo + i*step bit-exactly, with the final sample pinned to hi.
+  GradeTrack a;
+  a.source = "long-route";
+  for (std::size_t i = 0; i <= 10000; ++i) {
+    a.t.push_back(static_cast<double>(i) * 0.1);
+    a.grade.push_back(0.02);
+    a.grade_var.push_back(1e-3);
+    a.speed.push_back(10.0);
+    a.s.push_back(static_cast<double>(i));  // exact integer odometry, 10 km
+  }
+  FusionConfig cfg;
+  cfg.distance_step_m = 0.1;
+  const GradeTrack fused = fuse_tracks_distance({a}, cfg);
+  ASSERT_EQ(fused.s.size(), 100001u);
+  for (std::size_t i : {0u, 1u, 33333u, 99999u}) {
+    EXPECT_EQ(fused.s[i], static_cast<double>(i) * 0.1);
+  }
+  EXPECT_EQ(fused.s.back(), 10000.0);  // exactly hi, bit for bit
+}
+
+TEST(FuseDistance, SpeedAndTimeInterpolatedFromMembers) {
+  // Regression: speed used to be a 0.0 placeholder and t an alias of s,
+  // violating GradeTrack invariants for downstream consumers.
+  auto a = make_track("a", 100, 0.1, 0.03, 1e-3);  // speed 10, t = i*0.1
+  auto b = make_track("b", 100, 0.1, 0.05, 1e-3);
+  for (auto& v : b.speed) v = 14.0;
+  FusionConfig cfg;
+  cfg.distance_step_m = 5.0;
+  const GradeTrack fused = fuse_tracks_distance({a, b}, cfg);
+  EXPECT_NO_THROW(fused.validate());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    // Equal variances -> plain mean of member speeds.
+    EXPECT_NEAR(fused.speed[i], 12.0, 1e-9) << "sample " << i;
+    // t is the mean traversal time, not an alias of s.
+    EXPECT_NEAR(fused.t[i], fused.s[i] / 10.0, 1e-9) << "sample " << i;
+  }
+}
+
+TEST(FuseTime, SingleTrackRenamePreservesPayload) {
+  const auto tr = make_track("solo", 12, 0.1, 0.07, 5e-3);
+  const GradeTrack fused = fuse_tracks_time({tr});
+  EXPECT_EQ(fused.source, "fused");
+  EXPECT_EQ(fused.t, tr.t);
+  EXPECT_EQ(fused.s, tr.s);
+  EXPECT_EQ(fused.speed, tr.speed);
+  ASSERT_EQ(fused.grade.size(), tr.grade.size());
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fused.grade[i], tr.grade[i]);
+  }
+  EXPECT_NO_THROW(fused.validate());
+}
+
+TEST(GradeTrackValidate, AcceptsWellFormedAndRejectsBrokenTracks) {
+  GradeTrack good = make_track("good", 10, 0.1, 0.02, 1e-3);
+  EXPECT_NO_THROW(good.validate());
+
+  GradeTrack short_speed = good;
+  short_speed.speed.pop_back();
+  EXPECT_THROW(short_speed.validate(), std::logic_error);
+
+  GradeTrack nan_grade = good;
+  nan_grade.grade[3] = std::nan("");
+  EXPECT_THROW(nan_grade.validate(), std::logic_error);
+
+  GradeTrack neg_var = good;
+  neg_var.grade_var[2] = -1e-9;
+  EXPECT_THROW(neg_var.validate(), std::logic_error);
+
+  GradeTrack backwards_t = good;
+  backwards_t.t[5] = backwards_t.t[4] - 1.0;
+  EXPECT_THROW(backwards_t.validate(), std::logic_error);
+
+  GradeTrack backwards_s = good;
+  backwards_s.s[5] = backwards_s.s[4] - 1.0;
+  EXPECT_THROW(backwards_s.validate(), std::logic_error);
+}
+
 TEST(FuseDistance, MultiVehicleCloudScenario) {
   // Three "vehicles" with different per-trip biases; cloud fusion averages
   // them down.
