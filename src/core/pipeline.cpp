@@ -43,16 +43,31 @@ PipelineResult estimate_gradient_impl(const sensors::SensorTrace& trace,
 
   PipelineResult result;
 
-  // ---- 0/1. Mount auto-calibration + alignment -----------------------
+  // ---- 0. Input sanitization ------------------------------------------
+  // Clean traces pass through untouched (one scan, no copy); dirty traces
+  // are copied once with the poisoned samples dropped. Reject cleanly if
+  // nothing usable remains.
   const sensors::SensorTrace* active = &trace;
+  sensors::SensorTrace sanitized;
+  if (config.sanitize_input && !sensors::trace_is_finite(trace)) {
+    sanitized = trace;
+    sensors::sanitize_trace(sanitized);
+    if (sanitized.imu.empty()) {
+      throw std::invalid_argument(
+          "estimate_gradient: no finite IMU samples after sanitization");
+    }
+    active = &sanitized;
+  }
+
+  // ---- 0/1. Mount auto-calibration + alignment -----------------------
   sensors::SensorTrace corrected;
   {
     const runtime::ScopedTimer timer(metrics ? &metrics->align_ns : nullptr);
     if (config.auto_calibrate_mount) {
-      result.mount = calibrate_mount(trace, config.mount);
+      result.mount = calibrate_mount(*active, config.mount);
       if (result.mount.reliable &&
           std::abs(result.mount.yaw_rad) > 0.005) {
-        corrected = derotate_imu(trace, result.mount.yaw_rad);
+        corrected = derotate_imu(*active, result.mount.yaw_rad);
         active = &corrected;
       }
     }

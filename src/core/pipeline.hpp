@@ -48,6 +48,12 @@ struct PipelineConfig {
   /// (standard drainage crown ~2%).
   double assumed_road_crown = 0.02;
 
+  /// Drop non-finite samples (NaN/Inf timestamps or payloads) from the
+  /// trace before processing. Real logging stacks emit them on glitches;
+  /// without this a single NaN accelerometer sample poisons the EKF state
+  /// and every grade after it. Costs one finiteness scan on clean traces.
+  bool sanitize_input = true;
+
   /// Estimate and undo the phone's mount-yaw misalignment from the trace
   /// before alignment (see core/mount_calibration.hpp). Cheap; only
   /// applied when the calibration is reliable.

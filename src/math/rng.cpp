@@ -1,12 +1,20 @@
 #include "math/rng.hpp"
 
 #include <cmath>
-#include <functional>
 
 namespace rge::math {
 
 Rng Rng::fork(std::string_view tag) const {
-  return fork(std::hash<std::string_view>{}(tag));
+  // FNV-1a 64-bit: a fixed, implementation-independent hash. std::hash is
+  // deterministic only within one standard library, which would make every
+  // forked noise stream — and hence every simulated trace and every golden
+  // accuracy baseline — silently platform-dependent.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return fork(h);
 }
 
 double DriftProcess::step(double dt, Rng& rng) {

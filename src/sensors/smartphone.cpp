@@ -74,6 +74,12 @@ SensorTrace simulate_sensors(const vehicle::Trip& trip,
     throw std::invalid_argument("simulate_sensors: empty trip");
   }
 
+  // Every stochastic effect draws from its own stream forked off the
+  // per-trace seed. No stream may be shared between effects: toggling one
+  // config knob (e.g. random_outage_count) must never shift the draws of an
+  // unrelated effect, or "identical configs replay identical traces"
+  // silently weakens into "identical configs replay identical traces unless
+  // you also changed ...". See SensorSim.* determinism regression tests.
   Rng root(config.seed);
   Rng rng_accel = root.fork("accel");
   Rng rng_gyro = root.fork("gyro");
@@ -83,6 +89,7 @@ SensorTrace simulate_sensors(const vehicle::Trip& trip,
   Rng rng_baro = root.fork("barometer");
   Rng rng_dist = root.fork("disturbance");
   Rng rng_torque = root.fork("engine-torque");
+  Rng rng_outage = root.fork("gps-outage");
 
   const double duration = trip.duration_s();
   const double dt = trip.dt;
@@ -112,11 +119,14 @@ SensorTrace simulate_sensors(const vehicle::Trip& trip,
                                     config.disturbance_decay_s,
                                     config.disturbance_freq_hz);
 
-  // GPS outage windows (configured + random).
+  // GPS outage windows (configured + random). Random windows draw from the
+  // dedicated outage stream, not rng_gps, so enabling them leaves the GPS
+  // noise sequence bit-identical (only fix validity changes).
   std::vector<std::pair<double, double>> outages = config.gps_outages;
   for (int i = 0; i < config.random_outage_count; ++i) {
-    const double start = rng_gps.uniform(0.0, std::max(1.0, duration - 20.0));
-    outages.emplace_back(start, start + rng_gps.uniform(5.0, 20.0));
+    const double start =
+        rng_outage.uniform(0.0, std::max(1.0, duration - 20.0));
+    outages.emplace_back(start, start + rng_outage.uniform(5.0, 20.0));
   }
 
   const math::LocalTangentPlane ltp(anchor);

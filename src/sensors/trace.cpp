@@ -2,6 +2,7 @@
 
 #include <array>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -21,6 +22,63 @@ double SensorTrace::duration_s() const {
   if (!engine_torque.empty()) end = std::max(end, engine_torque.back().t);
   if (!active_gear.empty()) end = std::max(end, active_gear.back().t);
   return end;
+}
+
+namespace {
+
+bool finite_imu(const ImuSample& s) {
+  return std::isfinite(s.t) && std::isfinite(s.accel_forward) &&
+         std::isfinite(s.accel_lateral) && std::isfinite(s.accel_vertical) &&
+         std::isfinite(s.gyro_z);
+}
+
+bool finite_gps(const GpsFix& f) {
+  return std::isfinite(f.t) && std::isfinite(f.position.latitude_deg) &&
+         std::isfinite(f.position.longitude_deg) &&
+         std::isfinite(f.position.altitude_m) && std::isfinite(f.speed_mps) &&
+         std::isfinite(f.heading_rad);
+}
+
+bool finite_scalar(const ScalarSample& s) {
+  return std::isfinite(s.t) && std::isfinite(s.value);
+}
+
+template <typename T, typename Pred>
+std::size_t drop_unless(std::vector<T>& xs, Pred keep) {
+  const std::size_t before = xs.size();
+  std::erase_if(xs, [&](const T& x) { return !keep(x); });
+  return before - xs.size();
+}
+
+}  // namespace
+
+bool trace_is_finite(const SensorTrace& trace) {
+  for (const auto& s : trace.imu) {
+    if (!finite_imu(s)) return false;
+  }
+  for (const auto& f : trace.gps) {
+    if (!finite_gps(f)) return false;
+  }
+  for (const auto* stream :
+       {&trace.speedometer, &trace.canbus_speed, &trace.barometer_alt,
+        &trace.engine_torque, &trace.active_gear}) {
+    for (const auto& s : *stream) {
+      if (!finite_scalar(s)) return false;
+    }
+  }
+  return true;
+}
+
+SanitizeReport sanitize_trace(SensorTrace& trace) {
+  SanitizeReport report;
+  report.dropped_imu = drop_unless(trace.imu, finite_imu);
+  report.dropped_gps = drop_unless(trace.gps, finite_gps);
+  for (auto* stream :
+       {&trace.speedometer, &trace.canbus_speed, &trace.barometer_alt,
+        &trace.engine_torque, &trace.active_gear}) {
+    report.dropped_scalar += drop_unless(*stream, finite_scalar);
+  }
+  return report;
 }
 
 namespace {

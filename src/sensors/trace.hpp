@@ -55,6 +55,28 @@ struct SensorTrace {
   bool empty() const { return imu.empty(); }
 };
 
+/// Counts of samples removed by sanitize_trace, per stream family.
+struct SanitizeReport {
+  std::size_t dropped_imu = 0;
+  std::size_t dropped_gps = 0;
+  std::size_t dropped_scalar = 0;  ///< across all scalar streams
+
+  std::size_t total() const {
+    return dropped_imu + dropped_gps + dropped_scalar;
+  }
+};
+
+/// True if every field of every sample in every stream is finite.
+bool trace_is_finite(const SensorTrace& trace);
+
+/// Drop samples that would poison downstream filters: any sample whose
+/// timestamp or payload is NaN/Inf (logging glitches, wire corruption,
+/// saturated-to-Inf readings). Kept samples are untouched, so a clean
+/// trace passes through bit-identically. The pipeline applies this
+/// automatically (PipelineConfig::sanitize_input); it is exposed for
+/// tools that ingest third-party traces directly.
+SanitizeReport sanitize_trace(SensorTrace& trace);
+
 /// Serialize a trace to a simple line-oriented CSV:
 ///   stream,t,fields...
 /// e.g. "imu,0.020000,0.1,0.0,9.8,0.01". Deterministic formatting with

@@ -1,0 +1,188 @@
+#include "testing/fault_injection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "math/rng.hpp"
+
+namespace rge::testing {
+
+namespace {
+
+using math::Rng;
+using sensors::ScalarSample;
+using sensors::SensorTrace;
+
+void inject_gps_outage(SensorTrace& trace, const FaultSpec& spec) {
+  const double dur = trace.duration_s();
+  const double t0 = spec.outage_start_frac * dur;
+  const double t1 = t0 + spec.outage_duration_s;
+  for (auto& fix : trace.gps) {
+    if (fix.t >= t0 && fix.t < t1) fix.valid = false;
+  }
+}
+
+void inject_baro_step(SensorTrace& trace, const FaultSpec& spec) {
+  const double t0 = spec.baro_step_frac * trace.duration_s();
+  for (auto& s : trace.barometer_alt) {
+    if (s.t >= t0) s.value += spec.baro_step_m;
+  }
+}
+
+void inject_imu_dropout(SensorTrace& trace, const FaultSpec& spec) {
+  const double dur = trace.duration_s();
+  Rng rng = Rng(spec.seed).fork("imu-dropout");
+  std::vector<std::pair<double, double>> holes;
+  holes.reserve(static_cast<std::size_t>(std::max(0, spec.dropout_blocks)));
+  for (int i = 0; i < spec.dropout_blocks; ++i) {
+    // Keep the first seconds intact so filters can still initialize; a
+    // dropout at t=0 is the truncation fault's job.
+    const double start =
+        rng.uniform(5.0, std::max(6.0, dur - spec.dropout_duration_s));
+    holes.emplace_back(start, start + spec.dropout_duration_s);
+  }
+  std::erase_if(trace.imu, [&](const sensors::ImuSample& s) {
+    for (const auto& [a, b] : holes) {
+      if (s.t >= a && s.t < b) return true;
+    }
+    return false;
+  });
+}
+
+void inject_imu_saturation(SensorTrace& trace, const FaultSpec& spec) {
+  const double fa = spec.accel_full_scale;
+  const double fg = spec.gyro_full_scale;
+  for (auto& s : trace.imu) {
+    s.accel_forward = std::clamp(s.accel_forward, -fa, fa);
+    s.accel_lateral = std::clamp(s.accel_lateral, -fa, fa);
+    s.gyro_z = std::clamp(s.gyro_z, -fg, fg);
+    // Vertical axis sits near +g; clip around gravity, not zero.
+    s.accel_vertical = std::clamp(s.accel_vertical, 9.81 - fa, 9.81 + fa);
+  }
+}
+
+template <typename T>
+void truncate_stream(std::vector<T>& xs, double t_cut) {
+  std::erase_if(xs, [&](const T& s) { return s.t > t_cut; });
+}
+
+void inject_truncation(SensorTrace& trace, const FaultSpec& spec) {
+  const double t_cut = spec.truncate_keep_frac * trace.duration_s();
+  truncate_stream(trace.imu, t_cut);
+  truncate_stream(trace.gps, t_cut);
+  truncate_stream(trace.speedometer, t_cut);
+  truncate_stream(trace.canbus_speed, t_cut);
+  truncate_stream(trace.barometer_alt, t_cut);
+  truncate_stream(trace.engine_torque, t_cut);
+  truncate_stream(trace.active_gear, t_cut);
+}
+
+void spike_scalars(std::vector<ScalarSample>& xs, int count, Rng& rng) {
+  if (xs.empty()) return;
+  constexpr double kBad[] = {std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity()};
+  for (int i = 0; i < count; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(xs.size()) - 1));
+    xs[idx].value = kBad[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+  }
+}
+
+void inject_nan_spikes(SensorTrace& trace, const FaultSpec& spec) {
+  Rng rng = Rng(spec.seed).fork("nan-spikes");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  if (!trace.imu.empty()) {
+    for (int i = 0; i < spec.spikes_per_stream; ++i) {
+      auto& s = trace.imu[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(trace.imu.size()) - 1))];
+      switch (rng.uniform_int(0, 3)) {
+        case 0: s.accel_forward = nan; break;
+        case 1: s.gyro_z = inf; break;
+        case 2: s.accel_lateral = -inf; break;
+        default: s.t = nan; break;
+      }
+    }
+  }
+  if (!trace.gps.empty()) {
+    for (int i = 0; i < spec.spikes_per_stream; ++i) {
+      auto& f = trace.gps[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(trace.gps.size()) - 1))];
+      switch (rng.uniform_int(0, 2)) {
+        case 0: f.speed_mps = nan; break;
+        case 1: f.position.latitude_deg = nan; break;
+        default: f.heading_rad = inf; break;
+      }
+    }
+  }
+  spike_scalars(trace.speedometer, spec.spikes_per_stream, rng);
+  spike_scalars(trace.canbus_speed, spec.spikes_per_stream, rng);
+  spike_scalars(trace.barometer_alt, spec.spikes_per_stream, rng);
+}
+
+void inject_duplicate_block(SensorTrace& trace, const FaultSpec& spec) {
+  if (trace.imu.empty()) return;
+  Rng rng = Rng(spec.seed).fork("dup-block");
+  const auto n = static_cast<std::int64_t>(trace.imu.size());
+  const auto block = std::min<std::int64_t>(50, n);
+  const auto start =
+      static_cast<std::size_t>(rng.uniform_int(0, n - block));
+  // Re-append the block at the end, timestamps and all — exactly what a
+  // flushed-twice log buffer looks like.
+  for (std::int64_t i = 0; i < block; ++i) {
+    trace.imu.push_back(trace.imu[start + static_cast<std::size_t>(i)]);
+  }
+  std::stable_sort(trace.imu.begin(), trace.imu.end(),
+                   [](const auto& a, const auto& b) { return a.t < b.t; });
+}
+
+}  // namespace
+
+std::vector<FaultKind> standard_fault_modes() {
+  return {FaultKind::kGpsOutage,     FaultKind::kBaroBiasStep,
+          FaultKind::kImuDropout,    FaultKind::kImuSaturation,
+          FaultKind::kTruncateTrip,  FaultKind::kNanSpikes,
+          FaultKind::kDuplicateImuBlock};
+}
+
+std::string fault_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kGpsOutage: return "gps_outage";
+    case FaultKind::kBaroBiasStep: return "baro_bias_step";
+    case FaultKind::kImuDropout: return "imu_dropout";
+    case FaultKind::kImuSaturation: return "imu_saturation";
+    case FaultKind::kTruncateTrip: return "truncate_trip";
+    case FaultKind::kNanSpikes: return "nan_spikes";
+    case FaultKind::kDuplicateImuBlock: return "duplicate_imu_block";
+  }
+  return "unknown";
+}
+
+FaultSpec make_fault(FaultKind kind, std::uint64_t seed) {
+  FaultSpec spec;
+  spec.kind = kind;
+  spec.seed = seed;
+  return spec;
+}
+
+void apply_fault(sensors::SensorTrace& trace, const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kNone: return;
+    case FaultKind::kGpsOutage: inject_gps_outage(trace, spec); return;
+    case FaultKind::kBaroBiasStep: inject_baro_step(trace, spec); return;
+    case FaultKind::kImuDropout: inject_imu_dropout(trace, spec); return;
+    case FaultKind::kImuSaturation: inject_imu_saturation(trace, spec); return;
+    case FaultKind::kTruncateTrip: inject_truncation(trace, spec); return;
+    case FaultKind::kNanSpikes: inject_nan_spikes(trace, spec); return;
+    case FaultKind::kDuplicateImuBlock:
+      inject_duplicate_block(trace, spec);
+      return;
+  }
+  throw std::invalid_argument("apply_fault: unknown fault kind");
+}
+
+}  // namespace rge::testing

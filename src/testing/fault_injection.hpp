@@ -1,0 +1,75 @@
+// Fault injection beyond the sensor model (regression-harness layer).
+//
+// SmartphoneConfig already models the *statistical* error families the
+// paper discusses (white noise, drift, outage windows). This layer instead
+// perturbs an already-recorded SensorTrace the way real deployments break:
+// receivers losing fixes mid-drive, barometers re-referencing after a
+// pressure door event, logging stacks dropping or duplicating IMU blocks,
+// MEMS ranges saturating, apps dying mid-trip, and NaN/Inf wire corruption.
+// The harness asserts the pipeline either degrades gracefully or rejects
+// cleanly under every mode — never crashes, never emits non-finite grades.
+//
+// Every fault is deterministic: all randomness flows from FaultSpec::seed
+// through the same rge::math::Rng streams as the rest of the repo.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sensors/trace.hpp"
+
+namespace rge::testing {
+
+enum class FaultKind {
+  kNone,              ///< control: trace untouched
+  kGpsOutage,         ///< a long mid-drive outage window (fixes invalidated)
+  kBaroBiasStep,      ///< barometer re-references: altitude step at t0
+  kImuDropout,        ///< logging stack drops whole IMU blocks
+  kImuSaturation,     ///< accel/gyro clipped to a tight full-scale range
+  kTruncateTrip,      ///< app killed mid-trip: every stream cut at t_cut
+  kNanSpikes,         ///< NaN/Inf corruption scattered across all streams
+  kDuplicateImuBlock, ///< logging hiccup repeats a block of IMU samples
+};
+
+/// The fault modes the scenario matrix runs (everything except kNone).
+std::vector<FaultKind> standard_fault_modes();
+
+/// Stable lowercase identifier ("gps_outage", ...) used in reports.
+std::string fault_name(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t seed = 97;
+
+  // kGpsOutage: window start as a fraction of trace duration + length.
+  double outage_start_frac = 0.35;
+  double outage_duration_s = 30.0;
+
+  // kBaroBiasStep: step time (fraction of duration) and magnitude.
+  double baro_step_frac = 0.5;
+  double baro_step_m = 35.0;
+
+  // kImuDropout: number of dropped blocks and per-block length.
+  int dropout_blocks = 6;
+  double dropout_duration_s = 1.5;
+
+  // kImuSaturation: symmetric clip ranges.
+  double accel_full_scale = 1.8;  ///< m/s^2
+  double gyro_full_scale = 0.12;  ///< rad/s
+
+  // kTruncateTrip: fraction of the trace kept.
+  double truncate_keep_frac = 0.4;
+
+  // kNanSpikes: corrupted samples per stream.
+  int spikes_per_stream = 12;
+};
+
+/// Convenience: a spec of the given kind with default knobs.
+FaultSpec make_fault(FaultKind kind, std::uint64_t seed = 97);
+
+/// Apply `spec` to `trace` in place. kNone is a no-op. Idempotence is not
+/// guaranteed (dropout twice drops twice); apply to a fresh copy per run.
+void apply_fault(sensors::SensorTrace& trace, const FaultSpec& spec);
+
+}  // namespace rge::testing

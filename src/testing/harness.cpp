@@ -1,0 +1,196 @@
+#include "testing/harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+
+#include "runtime/metrics.hpp"
+#include "testing/json.hpp"
+#include "testing/scenario.hpp"
+
+namespace rge::testing {
+
+namespace {
+
+bool tracks_bit_identical(const core::GradeTrack& a,
+                          const core::GradeTrack& b) {
+  return a.t == b.t && a.grade == b.grade && a.grade_var == b.grade_var &&
+         a.speed == b.speed && a.s == b.s;
+}
+
+double ns_to_ms(std::int64_t ns) { return static_cast<double>(ns) * 1e-6; }
+
+class Reporter {
+ public:
+  explicit Reporter(std::ostream& log) : log_(log) {}
+
+  void pass(const std::string& scenario, const std::string& what) {
+    log_ << "[ ok ] " << scenario << ": " << what << "\n";
+  }
+  void fail(const std::string& scenario, const std::string& what) {
+    ++failures_;
+    log_ << "[FAIL] " << scenario << ": " << what << "\n";
+  }
+  void note(const std::string& line) { log_ << "       " << line << "\n"; }
+
+  int failures() const { return failures_; }
+
+ private:
+  std::ostream& log_;
+  int failures_ = 0;
+};
+
+}  // namespace
+
+int run_harness(const HarnessOptions& opts, std::ostream& log) {
+  Reporter report(log);
+  Json::Array bench_rows;
+
+  std::vector<ScenarioSpec> matrix = scenario_matrix();
+  if (!opts.scenarios.empty()) {
+    std::erase_if(matrix, [&](const ScenarioSpec& s) {
+      return std::find(opts.scenarios.begin(), opts.scenarios.end(),
+                       s.name) == opts.scenarios.end();
+    });
+    if (matrix.empty()) {
+      log << "[FAIL] no scenario matches the requested names\n";
+      return 1;
+    }
+  }
+
+  const FaultSpec clean = make_fault(FaultKind::kNone);
+
+  for (const ScenarioSpec& spec : matrix) {
+    const ScenarioWorld world = build_world(spec);
+
+    // ---- clean run (timed, stage-broken-down) -------------------------
+    runtime::StageMetrics stages;
+    const auto t0 = std::chrono::steady_clock::now();
+    ScenarioRun base;
+    try {
+      base = run_scenario(spec, world, clean, 1, &stages);
+    } catch (const std::exception& e) {
+      report.fail(spec.name, std::string("clean run threw: ") + e.what());
+      continue;
+    }
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (base.rejected) {
+      report.fail(spec.name, "clean run rejected: " + base.reject_reason);
+      continue;
+    }
+    report.pass(spec.name, "clean run");
+
+    {
+      Json row;
+      row["scenario"] = Json(spec.name);
+      row["wall_ms"] = Json(wall_ms);
+      row["trips"] = Json(static_cast<double>(world.traces.size()));
+      row["imu_samples"] =
+          Json(static_cast<double>(world.traces.front().imu.size() *
+                                   world.traces.size()));
+      Json stages_json;
+      stages_json["align_ms"] = Json(ns_to_ms(stages.align_ns.load()));
+      stages_json["detect_ms"] = Json(ns_to_ms(stages.detect_ns.load()));
+      stages_json["ekf_ms"] = Json(ns_to_ms(stages.ekf_ns.load()));
+      stages_json["fuse_ms"] = Json(ns_to_ms(stages.fuse_ns.load()));
+      row["stages"] = stages_json;
+      row["metrics"] = base.metrics.to_json();
+      bench_rows.push_back(std::move(row));
+    }
+
+    // ---- determinism: rerun + thread sweep ----------------------------
+    bool deterministic = true;
+    for (const std::size_t threads : opts.thread_counts) {
+      ScenarioRun again = run_scenario(spec, world, clean, threads);
+      if (again.rejected || !tracks_bit_identical(base.fused, again.fused) ||
+          !base.metrics.bit_identical(again.metrics)) {
+        deterministic = false;
+        report.fail(spec.name,
+                    "not bit-identical at threads=" + std::to_string(threads));
+      }
+    }
+    if (deterministic) {
+      std::string counts;
+      for (const std::size_t threads : opts.thread_counts) {
+        counts += (counts.empty() ? "" : "/") + std::to_string(threads);
+      }
+      report.pass(spec.name, "bit-identical across threads " + counts);
+    }
+
+    // ---- golden comparison --------------------------------------------
+    if (!opts.goldens_dir.empty()) {
+      const std::string path = opts.goldens_dir + "/" + spec.name + ".json";
+      if (opts.update_goldens) {
+        write_json_file(golden_to_json(spec.name, base.metrics,
+                                       default_tolerances(base.metrics)),
+                        path);
+        report.pass(spec.name, "golden updated -> " + path);
+      } else {
+        try {
+          const Json golden = read_json_file(path);
+          const GoldenComparison cmp =
+              compare_to_golden(base.metrics, golden);
+          if (cmp.ok) {
+            report.pass(spec.name, "metrics within golden tolerance");
+          } else {
+            report.fail(spec.name, "metrics outside golden tolerance");
+            for (const auto& f : cmp.failures) report.note(f);
+          }
+        } catch (const std::exception& e) {
+          report.fail(spec.name, std::string("golden unreadable: ") +
+                                     e.what() +
+                                     " (run --update-goldens to create)");
+        }
+      }
+    }
+
+    // ---- fault-injection column ---------------------------------------
+    if (opts.run_faults) {
+      for (const FaultKind kind : standard_fault_modes()) {
+        const std::string label = "fault " + fault_name(kind);
+        try {
+          const ScenarioRun faulted =
+              run_scenario(spec, world, make_fault(kind), 1);
+          if (faulted.rejected) {
+            report.pass(spec.name, label + ": rejected cleanly (" +
+                                       faulted.reject_reason + ")");
+            continue;
+          }
+          // run_scenario already validate()d the fused track (finite,
+          // monotone keys); also require the per-source tracks to hold
+          // the invariants and the output to retain real coverage.
+          for (const auto& track : faulted.tracks) track.validate();
+          if (faulted.fused.size() == 0) {
+            report.fail(spec.name, label + ": empty fused track");
+          } else if (!std::isfinite(faulted.metrics.grade_rmse_deg)) {
+            report.fail(spec.name, label + ": non-finite metrics");
+          } else {
+            report.pass(spec.name, label + ": degraded gracefully");
+          }
+        } catch (const std::exception& e) {
+          report.fail(spec.name, label + ": threw " + e.what());
+        }
+      }
+    }
+  }
+
+  if (!opts.bench_out.empty()) {
+    Json doc;
+    doc["schema"] = Json("rge-bench-scenarios-v1");
+    doc["rows"] = Json(std::move(bench_rows));
+    write_json_file(doc, opts.bench_out);
+    log << "bench report -> " << opts.bench_out << "\n";
+  }
+
+  log << (report.failures() == 0 ? "SCENARIO MATRIX OK"
+                                 : "SCENARIO MATRIX FAILED")
+      << " (" << matrix.size() << " scenarios, " << report.failures()
+      << " failures)\n";
+  return report.failures();
+}
+
+}  // namespace rge::testing

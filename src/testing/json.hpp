@@ -1,0 +1,81 @@
+// Minimal JSON value type for the regression harness: golden accuracy
+// baselines (tests/golden/*.json) and the BENCH_scenarios.json perf report.
+//
+// Deliberately tiny — objects, arrays, numbers, strings, bools, null — with
+// deterministic output: object keys are kept in sorted order (std::map) and
+// numbers print with %.17g so doubles round-trip bit-exactly through a
+// golden file. Not a general-purpose JSON library; no unicode escapes
+// beyond pass-through, no streaming.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace rge::testing {
+
+class Json {
+ public:
+  using Object = std::map<std::string, Json>;
+  using Array = std::vector<Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t n) : value_(static_cast<double>(n)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Object o) : value_(std::move(o)) {}
+  Json(Array a) : value_(std::move(a)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Object& as_object() const;
+  const Array& as_array() const;
+  Object& as_object();
+  Array& as_array();
+
+  /// Object member lookup. The const overload throws on a missing key;
+  /// `get` returns a fallback instead.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  double get_number(const std::string& key, double fallback) const;
+
+  /// Mutable object member access (creates the member, like std::map).
+  Json& operator[](const std::string& key);
+
+  /// Serialize. indent > 0 pretty-prints with that many spaces per level;
+  /// indent == 0 emits compact one-line JSON. Trailing newline included
+  /// when pretty-printing (files diff cleanly).
+  std::string dump(int indent = 2) const;
+
+  /// Parse a complete JSON document. Throws std::runtime_error with a
+  /// byte offset on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Object, Array>
+      value_;
+};
+
+/// Read/write helpers (std::runtime_error on IO failure).
+Json read_json_file(const std::string& path);
+void write_json_file(const Json& value, const std::string& path);
+
+}  // namespace rge::testing

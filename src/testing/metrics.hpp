@@ -1,0 +1,96 @@
+// Golden accuracy metrics for the scenario matrix.
+//
+// The paper's claims are end-to-end numbers — gradient error against the
+// Section III-D surveyed reference profile (Figs. 8-9) and fuel/emission
+// error through the VSP model (Figs. 10-11) — so those are the quantities
+// the regression harness freezes into tests/golden/. Each metric carries a
+// tolerance band in the golden file; a PR that silently degrades pipeline
+// accuracy fails `ctest -L scenario` even when every unit test stays green.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/grade_ekf.hpp"
+#include "road/reference_profile.hpp"
+#include "testing/json.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::testing {
+
+struct ScenarioMetrics {
+  double grade_rmse_deg = 0.0;    ///< vs. the surveyed reference profile
+  double grade_mae_deg = 0.0;
+  double grade_median_abs_deg = 0.0;
+  double grade_mre = 0.0;         ///< mean(|err|)/mean(|ref|), DESIGN.md
+  double coverage_frac = 0.0;     ///< fused odometry span / route length
+  double fuel_error_rel = 0.0;    ///< signed VSP fuel error vs. true grades
+  double n_samples = 0.0;         ///< evaluated fused samples
+
+  /// Exact equality — the determinism checks demand bit-identical metrics
+  /// across reruns and thread counts, not "close".
+  bool bit_identical(const ScenarioMetrics& other) const;
+
+  Json to_json() const;
+  static ScenarioMetrics from_json(const Json& j);
+};
+
+/// Evaluate a fused track against the surveyed reference profile of the
+/// route that produced it.
+///
+/// `time_domain` selects how fused samples are located on the road:
+///  - true  (single-trip tracks): sample time -> truth arc length via the
+///    trip's ground-truth states, then reference grade at that arc length;
+///  - false (distance-domain cloud fusion): the track's own s grid is the
+///    road arc length.
+/// The first `skip_initial_s` seconds are excluded (filter convergence),
+/// matching evaluate_track / the paper's plots.
+ScenarioMetrics compute_scenario_metrics(const core::GradeTrack& fused,
+                                         const road::ReferenceProfile& ref,
+                                         const vehicle::Trip& trip,
+                                         double route_length_m,
+                                         bool time_domain,
+                                         double skip_initial_s = 15.0);
+
+/// VSP fuel along `trip` with grades read from the estimate vs. from the
+/// simulator truth; returns (estimated - truth) / truth. Exposed for the
+/// fuel-error column of BENCH_scenarios.json and for tests.
+double vsp_fuel_error_rel(const core::GradeTrack& fused,
+                          const vehicle::Trip& trip, bool time_domain,
+                          double skip_initial_s = 15.0);
+
+// ------------------------- golden baselines ---------------------------
+
+/// One metric's tolerance band: |measured - golden| <= tol passes.
+struct ToleranceBands {
+  double grade_rmse_deg = 0.06;
+  double grade_mae_deg = 0.05;
+  double grade_median_abs_deg = 0.05;
+  double grade_mre = 0.08;
+  double coverage_frac = 0.02;
+  double fuel_error_rel = 0.02;
+  double n_samples = 0.0;  ///< sample count must match exactly
+};
+
+/// Bands stored when (re)writing a golden: a floor plus a relative margin
+/// so small legitimate drift passes review-free while real regressions
+/// trip. Callers can widen per scenario before writing.
+ToleranceBands default_tolerances(const ScenarioMetrics& golden);
+
+struct GoldenComparison {
+  bool ok = true;
+  /// Human-readable per-metric failures ("grade_rmse_deg: 0.31 vs golden
+  /// 0.12 (tol 0.06)").
+  std::vector<std::string> failures;
+};
+
+/// Golden file round-trip. Format:
+///   { "scenario": name, "metrics": {...}, "tolerances": {...} }
+Json golden_to_json(const std::string& scenario_name,
+                    const ScenarioMetrics& metrics,
+                    const ToleranceBands& tol);
+GoldenComparison compare_to_golden(const ScenarioMetrics& measured,
+                                   const Json& golden_doc);
+
+}  // namespace rge::testing

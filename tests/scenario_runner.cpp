@@ -1,0 +1,85 @@
+// CLI driver for the scenario-matrix regression harness (ctest label
+// "scenario"). Exit code = number of failed checks.
+//
+//   scenario_runner [--scenario NAME]... [--goldens DIR] [--update-goldens]
+//                   [--bench-out FILE] [--threads 1,2,8] [--no-faults]
+//                   [--list]
+//
+// Typical invocations:
+//   ctest -L scenario                          # what CI runs
+//   scenario_runner --goldens tests/golden --update-goldens
+//                                              # re-baseline after a
+//                                              # legitimate accuracy change
+// See EXPERIMENTS.md ("Scenario matrix") for how to read a golden diff.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "testing/harness.hpp"
+#include "testing/scenario.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scenario NAME]... [--goldens DIR] "
+               "[--update-goldens] [--bench-out FILE] [--threads a,b,c] "
+               "[--no-faults] [--list]\n",
+               argv0);
+  return 2;
+}
+
+std::vector<std::size_t> parse_thread_counts(const std::string& arg) {
+  std::vector<std::size_t> out;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::string tok =
+        arg.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!tok.empty()) out.push_back(static_cast<std::size_t>(std::stoul(tok)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rge::testing::HarnessOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      opts.scenarios.emplace_back(next());
+    } else if (arg == "--goldens") {
+      opts.goldens_dir = next();
+    } else if (arg == "--update-goldens") {
+      opts.update_goldens = true;
+    } else if (arg == "--bench-out") {
+      opts.bench_out = next();
+    } else if (arg == "--threads") {
+      opts.thread_counts = parse_thread_counts(next());
+      if (opts.thread_counts.empty()) return usage(argv[0]);
+    } else if (arg == "--no-faults") {
+      opts.run_faults = false;
+    } else if (arg == "--list") {
+      for (const auto& spec : rge::testing::scenario_matrix()) {
+        std::printf("%s\n", spec.name.c_str());
+      }
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  return rge::testing::run_harness(opts, std::cout);
+}

@@ -11,6 +11,7 @@
 #include "math/angles.hpp"
 #include "road/network.hpp"
 #include "sensors/smartphone.hpp"
+#include "testing/fault_injection.hpp"
 #include "vehicle/trip.hpp"
 
 namespace rge::core {
@@ -135,13 +136,48 @@ TEST(FailureInjection, LargeMountMisalignment) {
 
 TEST(FailureInjection, DuplicateTimestampsInTrace) {
   Scenario sc = make_scenario(9);
-  // Duplicate a block of IMU samples (e.g. a logging hiccup).
-  const std::size_t n = sc.trace.imu.size();
-  for (std::size_t i = 0; i < 50 && i < n; ++i) {
-    sc.trace.imu.push_back(sc.trace.imu[n - 1]);
-  }
+  // A logging hiccup that replays a block of IMU samples out of order.
+  testing::apply_fault(
+      sc.trace, testing::make_fault(testing::FaultKind::kDuplicateImuBlock));
   const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
   expect_finite(res.fused);
+}
+
+// Every standard fault mode from the scenario harness, against the full
+// pipeline: the contract is "reject cleanly or degrade gracefully" — a
+// clean std::invalid_argument is acceptable, but anything the pipeline
+// does return must pass GradeTrack::validate() on the fused track AND
+// every per-source track, with finite grades throughout.
+TEST(FailureInjection, EveryFaultModeValidatesOrRejects) {
+  for (const testing::FaultKind kind : testing::standard_fault_modes()) {
+    SCOPED_TRACE(testing::fault_name(kind));
+    Scenario sc = make_scenario(40 + static_cast<std::uint64_t>(kind));
+    testing::apply_fault(sc.trace, testing::make_fault(kind));
+    try {
+      const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+      EXPECT_NO_THROW(res.fused.validate());
+      expect_finite(res.fused);
+      EXPECT_FALSE(res.fused.t.empty());
+      for (const auto& track : res.tracks) {
+        EXPECT_NO_THROW(track.validate());
+        expect_finite(track);
+      }
+    } catch (const std::invalid_argument&) {
+      // Clean rejection of an unusable trace is a valid outcome.
+    }
+  }
+}
+
+TEST(FailureInjection, NanSpikesRejectedWhenSanitizerDisabled) {
+  Scenario sc = make_scenario(12);
+  testing::apply_fault(sc.trace,
+                       testing::make_fault(testing::FaultKind::kNanSpikes));
+  ASSERT_FALSE(sensors::trace_is_finite(sc.trace));
+  // With sanitization on (the default) the poisoned samples are dropped
+  // and the estimate stays finite and useful.
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  expect_finite(res.fused);
+  EXPECT_LT(evaluate_track(res.fused, sc.trip).median_abs_deg, 0.8);
 }
 
 TEST(FailureInjection, VeryShortTrace) {

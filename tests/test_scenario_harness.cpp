@@ -1,0 +1,280 @@
+// Unit tests for the scenario-matrix harness library itself: the JSON
+// round-trip the goldens depend on, the fault injector's contracts, the
+// metric extractor, and the committed matrix's shape.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "testing/fault_injection.hpp"
+#include "testing/json.hpp"
+#include "testing/metrics.hpp"
+#include "testing/scenario.hpp"
+
+namespace rge::testing {
+namespace {
+
+// ------------------------------- JSON ----------------------------------
+
+TEST(Json, RoundTripsDoublesBitExactly) {
+  Json::Object obj;
+  obj["pi"] = Json(3.141592653589793);
+  obj["tiny"] = Json(5e-324);
+  obj["neg"] = Json(-0.1);
+  obj["n"] = Json(12345.0);
+  const std::string text = Json(obj).dump();
+  const Json back = Json::parse(text);
+  EXPECT_EQ(back.at("pi").as_number(), 3.141592653589793);
+  EXPECT_EQ(back.at("tiny").as_number(), 5e-324);
+  EXPECT_EQ(back.at("neg").as_number(), -0.1);
+  EXPECT_EQ(back.at("n").as_number(), 12345.0);
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Json v = Json::parse(
+      R"({"a": [1, 2, {"b": true, "c": null}], "s": "hi\nthere"})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(v.at("a").as_array()[2].at("b").as_bool());
+  EXPECT_TRUE(v.at("a").as_array()[2].at("c").is_null());
+  EXPECT_EQ(v.at("s").as_string(), "hi\nthere");
+}
+
+TEST(Json, DeterministicOutputSortsKeys) {
+  Json a;
+  a["zebra"] = Json(1.0);
+  a["alpha"] = Json(2.0);
+  Json b;
+  b["alpha"] = Json(2.0);
+  b["zebra"] = Json(1.0);
+  EXPECT_EQ(a.dump(), b.dump());
+  EXPECT_LT(a.dump().find("alpha"), a.dump().find("zebra"));
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{} garbage"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nul"), std::runtime_error);
+}
+
+TEST(Json, RefusesNonFiniteNumbers) {
+  const Json v(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(v.dump(), std::runtime_error);
+}
+
+// --------------------------- fault injection ----------------------------
+
+sensors::SensorTrace tiny_trace() {
+  sensors::SensorTrace trace;
+  trace.imu_rate_hz = 50.0;
+  for (int i = 0; i < 5000; ++i) {
+    sensors::ImuSample s;
+    s.t = 0.02 * i;
+    s.accel_forward = 0.1;
+    s.accel_vertical = 9.81;
+    trace.imu.push_back(s);
+    if (i % 50 == 0) {
+      sensors::GpsFix f;
+      f.t = s.t;
+      f.speed_mps = 10.0;
+      trace.gps.push_back(f);
+    }
+    if (i % 5 == 0) {
+      trace.speedometer.push_back({s.t, 10.0});
+      trace.canbus_speed.push_back({s.t, 10.0});
+      trace.barometer_alt.push_back({s.t, 100.0});
+    }
+  }
+  return trace;
+}
+
+TEST(FaultInjection, StandardModesCoverAtLeastFive) {
+  EXPECT_GE(standard_fault_modes().size(), 5u);
+  for (const FaultKind kind : standard_fault_modes()) {
+    EXPECT_NE(fault_name(kind), "none");
+    EXPECT_NE(fault_name(kind), "unknown");
+  }
+}
+
+TEST(FaultInjection, GpsOutageOnlyFlipsValidity) {
+  sensors::SensorTrace trace = tiny_trace();
+  const auto before = trace.gps;
+  apply_fault(trace, make_fault(FaultKind::kGpsOutage));
+  ASSERT_EQ(trace.gps.size(), before.size());
+  int invalid = 0;
+  for (std::size_t i = 0; i < trace.gps.size(); ++i) {
+    EXPECT_EQ(trace.gps[i].speed_mps, before[i].speed_mps);
+    invalid += trace.gps[i].valid ? 0 : 1;
+  }
+  EXPECT_GT(invalid, 0);
+}
+
+TEST(FaultInjection, TruncationCutsEveryStream) {
+  sensors::SensorTrace trace = tiny_trace();
+  const double dur = trace.duration_s();
+  FaultSpec spec = make_fault(FaultKind::kTruncateTrip);
+  apply_fault(trace, spec);
+  EXPECT_LT(trace.duration_s(), spec.truncate_keep_frac * dur + 1.0);
+  EXPECT_FALSE(trace.imu.empty());
+  for (const auto& s : trace.speedometer) {
+    EXPECT_LE(s.t, spec.truncate_keep_frac * dur);
+  }
+}
+
+TEST(FaultInjection, NanSpikesAreDeterministicPerSeed) {
+  sensors::SensorTrace a = tiny_trace();
+  sensors::SensorTrace b = tiny_trace();
+  apply_fault(a, make_fault(FaultKind::kNanSpikes, 7));
+  apply_fault(b, make_fault(FaultKind::kNanSpikes, 7));
+  ASSERT_EQ(a.imu.size(), b.imu.size());
+  bool any_nan = false;
+  for (std::size_t i = 0; i < a.imu.size(); ++i) {
+    // NaN != NaN, so compare bit patterns via isnan agreement + values.
+    EXPECT_EQ(std::isnan(a.imu[i].accel_forward),
+              std::isnan(b.imu[i].accel_forward));
+    if (!std::isnan(a.imu[i].accel_forward)) {
+      EXPECT_EQ(a.imu[i].accel_forward, b.imu[i].accel_forward);
+    }
+    any_nan = any_nan || std::isnan(a.imu[i].accel_forward) ||
+              std::isinf(a.imu[i].gyro_z);
+  }
+  EXPECT_TRUE(any_nan);
+  sensors::SensorTrace c = tiny_trace();
+  apply_fault(c, make_fault(FaultKind::kNanSpikes, 8));
+  EXPECT_FALSE(trace_is_finite(c));
+}
+
+TEST(FaultInjection, SaturationBoundsSignals) {
+  sensors::SensorTrace trace = tiny_trace();
+  trace.imu[100].accel_forward = 25.0;
+  trace.imu[200].gyro_z = -9.0;
+  FaultSpec spec = make_fault(FaultKind::kImuSaturation);
+  apply_fault(trace, spec);
+  for (const auto& s : trace.imu) {
+    EXPECT_LE(std::abs(s.accel_forward), spec.accel_full_scale);
+    EXPECT_LE(std::abs(s.gyro_z), spec.gyro_full_scale);
+  }
+}
+
+TEST(FaultInjection, DropoutRemovesImuOnly) {
+  sensors::SensorTrace trace = tiny_trace();
+  const std::size_t gps_before = trace.gps.size();
+  const std::size_t imu_before = trace.imu.size();
+  apply_fault(trace, make_fault(FaultKind::kImuDropout));
+  EXPECT_LT(trace.imu.size(), imu_before);
+  EXPECT_EQ(trace.gps.size(), gps_before);
+}
+
+// ------------------------------ sanitization ----------------------------
+
+TEST(Sanitize, DropsExactlyTheNonFiniteSamples) {
+  sensors::SensorTrace trace = tiny_trace();
+  const std::size_t imu_before = trace.imu.size();
+  trace.imu[10].accel_forward = std::numeric_limits<double>::quiet_NaN();
+  trace.imu[20].t = std::numeric_limits<double>::infinity();
+  trace.speedometer[3].value = -std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(trace_is_finite(trace));
+  const sensors::SanitizeReport report = sensors::sanitize_trace(trace);
+  EXPECT_EQ(report.dropped_imu, 2u);
+  EXPECT_EQ(report.dropped_scalar, 1u);
+  EXPECT_EQ(report.total(), 3u);
+  EXPECT_EQ(trace.imu.size(), imu_before - 2);
+  EXPECT_TRUE(trace_is_finite(trace));
+  // Idempotent on a clean trace.
+  EXPECT_EQ(sensors::sanitize_trace(trace).total(), 0u);
+}
+
+// ------------------------------- metrics --------------------------------
+
+TEST(Metrics, PerfectTrackScoresZeroError) {
+  // A synthetic "estimate" that reads grades straight off the reference
+  // profile must score ~zero on every error metric and full coverage.
+  const road::Road road = build_route(RoutePreset::kHillySteep);
+  const road::ReferenceProfile ref = road::survey_reference_profile(road);
+  vehicle::TripConfig tc;
+  tc.seed = 5;
+  const vehicle::Trip trip = vehicle::simulate_trip(road, tc);
+
+  core::GradeTrack track;
+  track.source = "oracle";
+  for (const auto& st : trip.states) {
+    track.t.push_back(st.t);
+    track.s.push_back(st.s);
+    track.grade.push_back(ref.grade_at(st.s));
+    track.grade_var.push_back(1e-6);
+    track.speed.push_back(st.speed);
+  }
+  const ScenarioMetrics m = compute_scenario_metrics(
+      track, ref, trip, road.length_m(), /*time_domain=*/true);
+  EXPECT_LT(m.grade_rmse_deg, 1e-6);
+  EXPECT_LT(m.grade_mae_deg, 1e-6);
+  EXPECT_NEAR(m.coverage_frac, 1.0, 0.03);
+  // The fuel metric is referenced to the trip's exact road grade, while the
+  // track above reads the *surveyed* profile — they differ by survey error,
+  // so the fuel error is small but not zero.
+  EXPECT_LT(std::abs(m.fuel_error_rel), 0.02);
+  EXPECT_GT(m.n_samples, 100.0);
+
+  // Swapping in the exact trip grades makes the fuel error vanish.
+  core::GradeTrack truth = track;
+  for (std::size_t i = 0; i < trip.states.size(); ++i) {
+    truth.grade[i] = trip.states[i].grade;
+  }
+  EXPECT_NEAR(vsp_fuel_error_rel(truth, trip, /*time_domain=*/true), 0.0,
+              1e-12);
+}
+
+TEST(Metrics, GoldenRoundTripAndToleranceBands) {
+  ScenarioMetrics m;
+  m.grade_rmse_deg = 0.21;
+  m.grade_mae_deg = 0.15;
+  m.grade_median_abs_deg = 0.12;
+  m.grade_mre = 0.2;
+  m.coverage_frac = 0.98;
+  m.fuel_error_rel = -0.01;
+  m.n_samples = 1800.0;
+  const Json doc = golden_to_json("demo", m, default_tolerances(m));
+  const Json parsed = Json::parse(doc.dump());
+  EXPECT_TRUE(
+      ScenarioMetrics::from_json(parsed.at("metrics")).bit_identical(m));
+  EXPECT_TRUE(compare_to_golden(m, parsed).ok);
+
+  ScenarioMetrics worse = m;
+  worse.grade_rmse_deg = m.grade_rmse_deg + 1.0;  // way outside the band
+  const GoldenComparison cmp = compare_to_golden(worse, parsed);
+  EXPECT_FALSE(cmp.ok);
+  ASSERT_EQ(cmp.failures.size(), 1u);
+  EXPECT_NE(cmp.failures[0].find("grade_rmse_deg"), std::string::npos);
+}
+
+// ------------------------------- matrix ---------------------------------
+
+TEST(ScenarioMatrix, HasAtLeastTenUniquelyNamedScenarios) {
+  const auto matrix = scenario_matrix();
+  EXPECT_GE(matrix.size(), 10u);
+  std::vector<std::string> names;
+  bool has_multi_trip = false;
+  for (const auto& spec : matrix) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_EQ(std::count(names.begin(), names.end(), spec.name), 0)
+        << "duplicate scenario name " << spec.name;
+    names.push_back(spec.name);
+    has_multi_trip = has_multi_trip || spec.n_trips > 1;
+  }
+  EXPECT_TRUE(has_multi_trip) << "matrix must cover multi-trip fusion";
+}
+
+TEST(ScenarioMatrix, WorldBuildingIsDeterministic) {
+  const auto matrix = scenario_matrix();
+  const ScenarioSpec& spec = matrix.front();
+  const ScenarioWorld a = build_world(spec);
+  const ScenarioWorld b = build_world(spec);
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  ASSERT_EQ(a.traces[0].imu.size(), b.traces[0].imu.size());
+  EXPECT_EQ(a.traces[0].imu.back().accel_forward,
+            b.traces[0].imu.back().accel_forward);
+  EXPECT_EQ(a.trips[0].states.back().s, b.trips[0].states.back().s);
+}
+
+}  // namespace
+}  // namespace rge::testing
