@@ -14,10 +14,6 @@ namespace {
 
 constexpr double kMaxGradeRad = 0.35;  // ~20 degrees, physical sanity clamp
 
-Mat initial_cov(const GradeEkfConfig& cfg) {
-  return Mat{{cfg.initial_speed_var, 0.0}, {0.0, cfg.initial_grade_var}};
-}
-
 }  // namespace
 
 void GradeTrack::validate() const {
@@ -46,7 +42,15 @@ GradeEkf::GradeEkf(const vehicle::VehicleParams& params,
                    double initial_grade)
     : params_(params),
       cfg_(cfg),
-      ekf_(Vec{initial_speed, initial_grade}, initial_cov(cfg)) {}
+      v_(initial_speed),
+      th_(initial_grade),
+      p00_(cfg.initial_speed_var),
+      p01_(0.0),
+      p11_(cfg.initial_grade_var) {}
+
+// The expressions below are the generic-EKF computation unrolled for this
+// 2-state model; association order matches Mat::operator* accumulation so
+// the results are bit-identical (see the hpp note).
 
 void GradeEkf::predict(double specific_force, double dt) {
   if (dt <= 0.0) return;
@@ -54,48 +58,80 @@ void GradeEkf::predict(double specific_force, double dt) {
   // rho * A_f * C_d / m  (Eq. 4 coefficient; drag_k = rho*A_f*C_d/2)
   const double c = 2.0 * params_.drag_k() / params_.mass_kg;
   const bool drift = cfg_.use_paper_drift_term;
+  const double f_hat = specific_force;
+  const double v = v_;
+  const double theta = th_;
 
-  math::ProcessModel model;
-  model.f = [=](const Vec& x, const Vec& u) {
-    const double v = x[0];
-    const double theta = x[1];
-    const double f_hat = u[0];
-    double v_next = v + (f_hat - g * std::sin(theta)) * dt;
-    v_next = std::max(0.0, v_next);
-    double theta_next = theta;
-    if (drift) {
-      theta_next += c * v * f_hat * dt / (g * std::cos(theta));
-    }
-    theta_next = std::clamp(theta_next, -kMaxGradeRad, kMaxGradeRad);
-    return Vec{v_next, theta_next};
-  };
-  model.jacobian = [=](const Vec& x, const Vec& u) {
-    const double v = x[0];
-    const double theta = x[1];
-    const double f_hat = u[0];
-    const double cth = std::cos(theta);
-    Mat f_jac = Mat::identity(2);
-    f_jac(0, 1) = -g * cth * dt;
-    if (drift) {
-      f_jac(1, 0) = c * f_hat * dt / (g * cth);
-      f_jac(1, 1) = 1.0 + c * v * f_hat * dt * std::sin(theta) /
-                              (g * cth * cth);
-    }
-    return f_jac;
-  };
+  // Jacobian, evaluated at the pre-propagation state.
+  const double cth = std::cos(theta);
+  const double j01 = -g * cth * dt;
+  double j10 = 0.0;
+  double j11 = 1.0;
+  if (drift) {
+    j10 = c * f_hat * dt / (g * cth);
+    j11 = 1.0 + c * v * f_hat * dt * std::sin(theta) / (g * cth * cth);
+  }
+
+  // State propagation (paper Eq. 4/5).
+  double v_next = v + (f_hat - g * std::sin(theta)) * dt;
+  v_next = std::max(0.0, v_next);
+  double theta_next = theta;
+  if (drift) {
+    theta_next += c * v * f_hat * dt / (g * std::cos(theta));
+  }
+  theta_next = std::clamp(theta_next, -kMaxGradeRad, kMaxGradeRad);
+  v_ = v_next;
+  th_ = theta_next;
+
+  // P <- F P F^T + Q with F = [[1, j01], [j10, j11]].
+  const double a00 = 1.0 * p00_ + j01 * p01_;
+  const double a01 = 1.0 * p01_ + j01 * p11_;
+  const double a10 = j10 * p00_ + j11 * p01_;
+  const double a11 = j10 * p01_ + j11 * p11_;
+  const double b00 = a00 * 1.0 + a01 * j01;
+  const double b01 = a00 * j10 + a01 * j11;
+  const double b10 = a10 * 1.0 + a11 * j01;
+  const double b11 = a10 * j10 + a11 * j11;
   const double qv = cfg_.accel_sigma * cfg_.accel_sigma * dt * dt;
-  model.q = Mat{{qv, 0.0}, {0.0, cfg_.grade_process_psd * dt}};
-
-  ekf_.predict(model, Vec{specific_force});
+  p00_ = b00 + qv;
+  p11_ = b11 + cfg_.grade_process_psd * dt;
+  p01_ = 0.5 * (b01 + b10);  // symmetrize
 }
 
 bool GradeEkf::update_velocity(double v_meas, double variance) {
-  math::MeasurementModel model;
-  model.h = [](const Vec& x) { return Vec{x[0]}; };
-  model.jacobian = [](const Vec&) { return Mat{{1.0, 0.0}}; };
-  model.r = Mat{{variance}};
-  const auto res = ekf_.update(model, Vec{v_meas}, cfg_.gate_nis);
-  return res.accepted;
+  // H = [1, 0], so S = p00 + R and the innovation is scalar.
+  const double y = v_meas - v_;
+  const double s = p00_ + variance;
+  if (std::abs(s) < 1e-300) {
+    throw math::SingularMatrixError("Mat::inverse: singular matrix");
+  }
+  const double s_inv = 1.0 / s;
+  const double nis = y * (s_inv * y);
+  if (cfg_.gate_nis > 0.0 && nis > cfg_.gate_nis) return false;
+
+  const double k0 = p00_ * s_inv;
+  const double k1 = p01_ * s_inv;
+  v_ = v_ + k0 * y;
+  th_ = th_ + k1 * y;
+
+  // Joseph form: P <- (I-KH) P (I-KH)^T + K R K^T, with
+  // I-KH = [[1-k0, 0], [-k1, 1]].
+  const double i00 = 1.0 - k0;
+  const double i10 = 0.0 - k1;
+  const double a00 = i00 * p00_;
+  const double a01 = i00 * p01_;
+  const double a10 = i10 * p00_ + 1.0 * p01_;
+  const double a11 = i10 * p01_ + 1.0 * p11_;
+  const double b00 = a00 * i00;
+  const double b01 = a00 * i10 + a01;
+  const double b10 = a10 * i00;
+  const double b11 = a10 * i10 + a11;
+  const double c0 = k0 * variance;
+  const double c1 = k1 * variance;
+  p00_ = b00 + c0 * k0;
+  p11_ = b11 + c1 * k1;
+  p01_ = 0.5 * ((b01 + c0 * k1) + (b10 + c1 * k0));  // symmetrize
+  return true;
 }
 
 GradeTrack run_grade_ekf(const std::string& source_name,

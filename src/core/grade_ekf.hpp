@@ -68,6 +68,14 @@ struct GradeTrack {
 };
 
 /// Incremental interface (useful for streaming / examples).
+///
+/// The 2-state filter is hand-rolled (state and covariance unpacked into
+/// five doubles) so one predict+update costs zero heap allocations: the
+/// online estimator runs it per 50 Hz IMU push. Every expression mirrors
+/// what math::ExtendedKalmanFilter computes for this model, in the same
+/// association order, so results are bit-identical to the generic filter
+/// (pinned by test_grade_ekf.MatchesGenericEkfBitExact) and the batch
+/// pipeline goldens are unaffected.
 class GradeEkf {
  public:
   GradeEkf(const vehicle::VehicleParams& params, const GradeEkfConfig& cfg,
@@ -78,15 +86,19 @@ class GradeEkf {
   /// Fuse one velocity measurement; returns false if gated out.
   bool update_velocity(double v_meas, double variance);
 
-  double speed() const { return ekf_.state()[0]; }
-  double grade() const { return ekf_.state()[1]; }
-  double grade_variance() const { return ekf_.covariance()(1, 1); }
-  double speed_variance() const { return ekf_.covariance()(0, 0); }
+  double speed() const { return v_; }
+  double grade() const { return th_; }
+  double grade_variance() const { return p11_; }
+  double speed_variance() const { return p00_; }
 
  private:
   vehicle::VehicleParams params_;
   GradeEkfConfig cfg_;
-  math::ExtendedKalmanFilter ekf_;
+  double v_ = 0.0;    ///< state: longitudinal velocity (m/s)
+  double th_ = 0.0;   ///< state: road gradient (rad)
+  double p00_ = 0.0;  ///< covariance (symmetric; p10 == p01)
+  double p01_ = 0.0;
+  double p11_ = 0.0;
 };
 
 /// Batch runner: walk an IMU-rate accelerometer series, interleaving the

@@ -4,17 +4,79 @@
 #include <cmath>
 
 #include "math/angles.hpp"
-#include "math/interp.hpp"
+#include "obs/obs.hpp"
 
 namespace rge::core {
 
+namespace {
+
+std::size_t ring_capacity(const OnlineEstimatorConfig& cfg,
+                          std::size_t smoothing_half) {
+  const double per_buffer =
+      std::max(1.0, cfg.detector_buffer_s * cfg.detector_rate_hz);
+  return static_cast<std::size_t>(per_buffer) + 2 * smoothing_half + 8;
+}
+
+std::size_t smoothing_half_samples(const OnlineEstimatorConfig& cfg) {
+  return static_cast<std::size_t>(
+      std::max(1.0, cfg.smoothing_half_window_s * cfg.detector_rate_hz));
+}
+
+/// extract_bumps' zero-band sign classification of a smoothed sample.
+int sign_class(double w, double zero_band) {
+  return w > zero_band ? 1 : (w < -zero_band ? -1 : 0);
+}
+
+}  // namespace
+
+void OnlineGradientEstimator::DetectionRing::grow() {
+  const std::size_t new_cap = cap_ * 2;
+  std::vector<double> t(new_cap), w_raw(new_cap), w_smooth(new_cap), v(new_cap);
+  for (std::size_t abs = first_abs_; abs < first_abs_ + size_; ++abs) {
+    const std::size_t from = slot(abs);
+    const std::size_t to = abs % new_cap;
+    t[to] = t_[from];
+    w_raw[to] = w_raw_[from];
+    w_smooth[to] = w_smooth_[from];
+    v[to] = v_[from];
+  }
+  t_ = std::move(t);
+  w_raw_ = std::move(w_raw);
+  w_smooth_ = std::move(w_smooth);
+  v_ = std::move(v);
+  cap_ = new_cap;
+}
+
 OnlineGradientEstimator::OnlineGradientEstimator(
     const vehicle::VehicleParams& params, const OnlineEstimatorConfig& config)
-    : params_(params), cfg_(config) {}
+    : params_(params),
+      cfg_(config),
+      smoothing_half_(smoothing_half_samples(config)),
+      det_(ring_capacity(config, smoothing_half_samples(config))) {
+  // Reference-mode windows are bounded by the ring size; reserving here
+  // keeps the per-tick re-scan allocation-free too (its inner calls into
+  // detect_lane_changes still allocate — that's the mode's cost).
+  const std::size_t cap = ring_capacity(config, smoothing_half_);
+  scratch_t_.reserve(cap);
+  scratch_w_.reserve(cap);
+  scratch_v_.reserve(cap);
+}
+
+bool OnlineGradientEstimator::accept_measurement_time(SourceFilter& src,
+                                                      double t) {
+  if (src.has_t && t <= src.last_t) return false;
+  src.last_t = t;
+  src.has_t = true;
+  return true;
+}
 
 void OnlineGradientEstimator::push_gps(const sensors::GpsFix& fix) {
   if (!fix.valid) {
     have_prev_fix_ = false;
+    return;
+  }
+  if (!accept_measurement_time(gps_, fix.t)) {
+    OBS_COUNT("online.rejected_nonmonotonic", 1);
     return;
   }
   if (have_prev_fix_ && fix.t - prev_fix_t_ <= 3.0 && fix.t > prev_fix_t_) {
@@ -37,7 +99,10 @@ void OnlineGradientEstimator::push_gps(const sensors::GpsFix& fix) {
 }
 
 void OnlineGradientEstimator::push_speedometer(double t, double speed_mps) {
-  (void)t;
+  if (!accept_measurement_time(speedometer_, t)) {
+    OBS_COUNT("online.rejected_nonmonotonic", 1);
+    return;
+  }
   if (!speedometer_.ekf) {
     speedometer_.variance = 0.16;
     speedometer_.ekf.emplace(params_, cfg_.ekf, speed_mps, 0.0);
@@ -48,7 +113,10 @@ void OnlineGradientEstimator::push_speedometer(double t, double speed_mps) {
 }
 
 void OnlineGradientEstimator::push_canbus(double t, double speed_mps) {
-  (void)t;
+  if (!accept_measurement_time(canbus_, t)) {
+    OBS_COUNT("online.rejected_nonmonotonic", 1);
+    return;
+  }
   if (!canbus_.ekf) {
     canbus_.variance = 0.01;
     canbus_.ekf.emplace(params_, cfg_.ekf, speed_mps, 0.0);
@@ -62,8 +130,32 @@ double OnlineGradientEstimator::current_alpha(double t) const {
   return alpha_active_ && t <= alpha_until_ ? alpha_ : 0.0;
 }
 
+double OnlineGradientEstimator::fused_speed() const {
+  // Speed of the lowest-grade-variance filter, matching estimate()'s
+  // selection (first source wins ties, in gps/speedometer/canbus order)
+  // without the allocating convex fusion.
+  double best_var = 0.0;
+  double speed = 0.0;
+  bool any = false;
+  for (const SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
+    if (!src->ekf) continue;
+    const double var = src->ekf->grade_variance();
+    if (!any || var < best_var) {
+      any = true;
+      best_var = var;
+      speed = src->ekf->speed();
+    }
+  }
+  return speed;
+}
+
 void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
-  const double dt = have_imu_ ? std::max(0.0, sample.t - last_imu_t_) : 0.0;
+  if (have_imu_ && sample.t <= last_imu_t_) {
+    OBS_COUNT("online.rejected_nonmonotonic", 1);
+    return;
+  }
+  const std::int64_t obs_t0 = obs::enabled() ? obs::trace_now_ns() : -1;
+  const double dt = have_imu_ ? sample.t - last_imu_t_ : 0.0;
   last_imu_t_ = sample.t;
   have_imu_ = true;
 
@@ -109,72 +201,292 @@ void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
     for (SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
       if (src->ekf) src->ekf->predict(f, dt);
     }
-    odometry_ += estimate().speed_mps * dt;
+    odometry_ += fused_speed() * dt;
   }
 
   // ---- detection buffer at the detector rate -----------------------
   if (sample.t >= next_det_t_) {
     next_det_t_ = sample.t + 1.0 / cfg_.detector_rate_hz;
-    det_t_.push_back(sample.t);
-    det_w_.push_back(steer);
-    det_v_.push_back(latest_speed_meas_);
-    while (!det_t_.empty() &&
-           sample.t - det_t_.front() > cfg_.detector_buffer_s) {
-      det_t_.pop_front();
-      det_w_.pop_front();
-      det_v_.pop_front();
+    det_.push_back(sample.t, steer, latest_speed_meas_);
+    // Evict by age, but never a sample the detection machine still
+    // references: the active excursion, and a pending bump that can
+    // still pair (its gap deadline has not passed, or an excursion that
+    // started inside the deadline is still unfolding). Without this the
+    // sliding window clips a live bump mid-excursion — the displacement
+    // integral of a rejected S-curve then shrinks tick by tick until it
+    // sneaks under the lane-change threshold (and the partial-bump
+    // ring indices would alias recycled slots).
+    std::size_t protect = det_.end();
+    if (exc_.active) protect = std::min(protect, exc_.start_abs);
+    if (pair_pending_.valid) {
+      const double deadline =
+          pair_pending_.t_end + cfg_.detector.max_bump_gap_s;
+      const bool alive =
+          sample.t <= deadline ||
+          (exc_.active && det_.t(exc_.start_abs) <= deadline);
+      if (alive) protect = std::min(protect, pair_pending_.start_abs);
     }
-    process_detection_buffer(sample.t);
+    while (!det_.empty() && det_.first() < protect &&
+           sample.t - det_.t(det_.first()) > cfg_.detector_buffer_s) {
+      const std::size_t f = det_.first();
+      evicted_class_ =
+          f < next_finalize_abs_
+              ? sign_class(det_.w_smooth(f), cfg_.detector.bump.zero_band)
+              : 0;
+      det_.pop_front();
+    }
+    // A pathologically short buffer could evict not-yet-finalized
+    // samples; never let the finalize cursor point before the ring.
+    next_finalize_abs_ = std::max(next_finalize_abs_, det_.first());
+    on_detector_tick(sample.t);
+  }
+
+  if (obs_t0 >= 0) {
+    OBS_OBSERVE("online.push_imu_us",
+                static_cast<double>(obs::trace_now_ns() - obs_t0) / 1000.0,
+                obs::latency_bounds_us());
   }
 }
 
-void OnlineGradientEstimator::process_detection_buffer(double now) {
-  const std::size_t n = det_t_.size();
-  if (n < 8) return;
+void OnlineGradientEstimator::on_detector_tick(double now) {
+  OBS_COUNT("online.det_ticks", 1);
+  const std::size_t newest = det_.end() - 1;
 
-  // Copy + smooth (centered moving average; the end of the buffer is
-  // effectively causal with half-window latency).
-  std::vector<double> t(det_t_.begin(), det_t_.end());
-  std::vector<double> w(det_w_.begin(), det_w_.end());
-  std::vector<double> v(det_v_.begin(), det_v_.end());
-  const auto half = static_cast<std::size_t>(
-      std::max(1.0, cfg_.smoothing_half_window_s * cfg_.detector_rate_hz));
-  const std::vector<double> smoothed = math::moving_average(w, half);
-
-  // Confirmed maneuvers: the standard Algorithm 1 over the buffer.
-  const auto detected = detect_lane_changes(t, smoothed, v, cfg_.detector);
-  for (const auto& lc : detected) {
-    // The buffer is re-scanned every detector tick, so the same maneuver
-    // is re-detected with slightly jittering bounds; only a maneuver that
-    // *starts* after the last confirmed one ended is genuinely new.
-    if (lc.t_start <= confirmed_until_) continue;
-    lane_changes_.push_back(lc);
-    confirmed_until_ = lc.t_end;
+  // Freeze the smoothed value of (and feed the detector) every sample
+  // whose full smoothing half-window of later samples has arrived.
+  while (next_finalize_abs_ + smoothing_half_ <= newest) {
+    finalize_sample(next_finalize_abs_);
+    ++next_finalize_abs_;
   }
 
-  // Speculative correction: if a qualified bump is pending (possible first
-  // half of a maneuver), integrate alpha from its start so the EKF inputs
-  // are corrected while the maneuver is still unfolding.
-  const auto bumps = extract_bumps(t, smoothed, cfg_.detector.bump);
-  const Bump* pending = nullptr;
-  for (const auto& b : bumps) {
-    if (!qualifies(b, cfg_.detector.bump)) continue;
-    if (b.t_start <= confirmed_until_) continue;
-    pending = &b;
+  // The trailing in-progress excursion, exactly as a full re-scan's
+  // extract_bumps would report it (end = last finalized sample).
+  BumpRec partial;
+  if (exc_.active && next_finalize_abs_ > det_.first()) {
+    partial = make_bump(exc_.start_abs, exc_.peak_abs, exc_.peak_mag,
+                        next_finalize_abs_ - 1, exc_.sign);
   }
-  if (pending != nullptr &&
-      now - pending->t_end <= cfg_.detector.max_bump_gap_s) {
-    if (!alpha_active_) {
-      // Recompute alpha over [bump start, now] from the raw buffer.
-      double acc = 0.0;
-      for (std::size_t i = pending->start_idx + 1; i < n; ++i) {
-        acc += det_w_[i] * (det_t_[i] - det_t_[i - 1]);
+
+  if (!cfg_.incremental_detection) {
+    rescan_reference();
+  } else if (partial.valid && bump_qualifies(partial)) {
+    // The re-scan also pairs against the still-unfolding second bump and
+    // can confirm a maneuver early. Simulate that against a *copy* of the
+    // pairing state: transitions caused by a partial bump must not stick
+    // (the re-scan recomputes them from scratch every tick).
+    BumpRec pending_copy = pair_pending_;
+    DetectedLaneChange lc;
+    if (pair_step(pending_copy, partial, &lc)) try_confirm(lc);
+  }
+
+  speculate(now, partial);
+}
+
+void OnlineGradientEstimator::finalize_sample(std::size_t j) {
+  // Frozen smoothed value: full centered window. The lower clamp only
+  // binds in the first half-window of the stream (and, defensively, if a
+  // short buffer evicted into the window).
+  const std::size_t lo =
+      std::max(det_.first(), j >= smoothing_half_ ? j - smoothing_half_ : 0);
+  const std::size_t hi = j + smoothing_half_;
+  double acc = 0.0;
+  for (std::size_t k = lo; k <= hi; ++k) acc += det_.w_raw(k);
+  const double w = acc / static_cast<double>(hi - lo + 1);
+  det_.set_w_smooth(j, w);
+  OBS_COUNT("online.det_samples_finalized", 1);
+
+  // Excursion tracker: extract_bumps' scan, one sample at a time.
+  const double zb = cfg_.detector.bump.zero_band;
+  const int cls = w > zb ? 1 : (w < -zb ? -1 : 0);
+  if (exc_.active) {
+    if (cls == exc_.sign) {
+      const double mag = std::abs(w);
+      if (mag > exc_.peak_mag) {
+        exc_.peak_mag = mag;
+        exc_.peak_abs = j;
       }
-      alpha_ = acc;
-      alpha_active_ = true;
+      return;
     }
-    alpha_until_ = now + cfg_.detector.max_bump_gap_s;
+    complete_excursion(j - 1);
   }
+  if (cls != 0) {
+    exc_.active = true;
+    exc_.sign = cls;
+    exc_.start_abs = j;
+    exc_.peak_abs = j;
+    exc_.peak_mag = std::abs(w);
+  }
+}
+
+void OnlineGradientEstimator::complete_excursion(std::size_t end_abs) {
+  const BumpRec b =
+      make_bump(exc_.start_abs, exc_.peak_abs, exc_.peak_mag, end_abs,
+                exc_.sign);
+  exc_.active = false;
+  if (!bump_qualifies(b)) return;
+  last_qual_ = b;
+  OBS_COUNT("online.qualified_bumps", 1);
+  DetectedLaneChange lc;
+  const bool emitted = pair_step(pair_pending_, b, &lc);
+  if (emitted && cfg_.incremental_detection) try_confirm(lc);
+}
+
+OnlineGradientEstimator::BumpRec OnlineGradientEstimator::make_bump(
+    std::size_t start_abs, std::size_t peak_abs, double peak_mag,
+    std::size_t end_abs, int sign) const {
+  BumpRec b;
+  b.valid = true;
+  b.start_abs = start_abs;
+  b.peak_abs = peak_abs;
+  b.end_abs = end_abs;
+  b.t_start = det_.t(start_abs);
+  b.t_peak = det_.t(peak_abs);
+  b.t_end = det_.t(end_abs);
+  b.delta = peak_mag;
+  b.sign = sign;
+  b.duration_above = duration_above_walk(start_abs, end_abs, peak_mag);
+  return b;
+}
+
+bool OnlineGradientEstimator::bump_qualifies(const BumpRec& b) const {
+  return b.delta >= cfg_.detector.bump.delta_min &&
+         b.duration_above >= cfg_.detector.bump.t_min;
+}
+
+double OnlineGradientEstimator::duration_above_walk(std::size_t start_abs,
+                                                    std::size_t end_abs,
+                                                    double peak_mag) const {
+  // Mirrors extract_bumps' trapezoid-half weighting exactly.
+  OBS_COUNT("online.det_scan_samples",
+            static_cast<std::int64_t>(end_abs - start_abs + 1));
+  const double level = cfg_.detector.bump.level_fraction * peak_mag;
+  double above = 0.0;
+  for (std::size_t j = start_abs; j <= end_abs; ++j) {
+    if (std::abs(det_.w_smooth(j)) >= level) {
+      const double dt_left =
+          j > start_abs ? 0.5 * (det_.t(j) - det_.t(j - 1)) : 0.0;
+      const double dt_right =
+          j < end_abs ? 0.5 * (det_.t(j + 1) - det_.t(j)) : 0.0;
+      above += dt_left + dt_right;
+    }
+  }
+  return above;
+}
+
+double OnlineGradientEstimator::displacement_walk(std::size_t i0,
+                                                  std::size_t i1) const {
+  // Mirrors horizontal_displacement (Eq. 1) exactly.
+  OBS_COUNT("online.det_scan_samples", static_cast<std::int64_t>(i1 - i0 + 1));
+  double alpha = 0.0;
+  double w = 0.0;
+  for (std::size_t i = i0; i <= i1; ++i) {
+    const double omega =
+        i > i0 ? det_.t(i) - det_.t(i - 1)
+               : (i + 1 <= i1 ? det_.t(i + 1) - det_.t(i) : 0.0);
+    alpha += det_.w_smooth(i) * omega;
+    w += det_.v(i) * omega * std::sin(alpha);
+  }
+  return w;
+}
+
+bool OnlineGradientEstimator::pair_step(BumpRec& pending, const BumpRec& b,
+                                        DetectedLaneChange* out) const {
+  // detect_lane_changes' state transition for one qualified bump. Every
+  // branch except a successful pair makes `b` the new pending bump.
+  if (!pending.valid || b.sign == pending.sign ||
+      b.t_start - pending.t_end > cfg_.detector.max_bump_gap_s) {
+    pending = b;
+    return false;
+  }
+  const double w = displacement_walk(pending.start_abs, b.end_abs);
+  if (std::abs(w) <= 3.0 * cfg_.detector.lane_width_m) {
+    out->t_start = pending.t_start;
+    out->t_end = b.t_end;
+    out->type =
+        pending.sign > 0 ? LaneChangeType::kLeft : LaneChangeType::kRight;
+    out->displacement_m = w;
+    out->peak_rate = std::max(pending.delta, b.delta);
+    pending.valid = false;
+    return true;
+  }
+  pending = b;  // S-curve geometry: keep the newer bump pending
+  return false;
+}
+
+void OnlineGradientEstimator::try_confirm(const DetectedLaneChange& lc) {
+  // The detector re-reports a maneuver with jittering bounds while its
+  // window evolves; only a maneuver that *starts* after the last
+  // confirmed one ended is genuinely new.
+  if (lc.t_start <= confirmed_until_) return;
+  lane_changes_.push_back(lc);
+  confirmed_until_ = lc.t_end;
+  OBS_COUNT("online.lane_changes_confirmed", 1);
+  // A confirmed maneuver supersedes the speculative correction: the EKF
+  // inputs from here on are post-maneuver, so retire alpha instead of
+  // letting alpha_until_ keep extending past the confirmation.
+  alpha_active_ = false;
+  alpha_ = 0.0;
+}
+
+void OnlineGradientEstimator::rescan_reference() {
+  std::size_t first = det_.first();
+  if (next_finalize_abs_ <= first) return;
+  const std::size_t last = next_finalize_abs_ - 1;
+  // If the window head is the clipped tail of an evicted excursion, skip
+  // that leading run: a truncated bump must never be re-judged (its
+  // shortened Eq. 1 integral could pass the displacement gate that the
+  // full bump failed).
+  if (evicted_class_ != 0) {
+    const double zb = cfg_.detector.bump.zero_band;
+    while (first <= last &&
+           sign_class(det_.w_smooth(first), zb) == evicted_class_) {
+      ++first;
+    }
+    if (first > last) return;
+  }
+  scratch_t_.clear();
+  scratch_w_.clear();
+  scratch_v_.clear();
+  for (std::size_t k = first; k <= last; ++k) {
+    scratch_t_.push_back(det_.t(k));
+    scratch_w_.push_back(det_.w_smooth(k));
+    scratch_v_.push_back(det_.v(k));
+  }
+  OBS_COUNT("online.det_scan_samples",
+            static_cast<std::int64_t>(last - first + 1));
+  const auto detected =
+      detect_lane_changes(scratch_t_, scratch_w_, scratch_v_, cfg_.detector);
+  for (const auto& lc : detected) try_confirm(lc);
+}
+
+void OnlineGradientEstimator::speculate(double now, const BumpRec& partial) {
+  // Speculative correction: if a qualified bump is pending (possible
+  // first half of a maneuver), integrate alpha from its start so the EKF
+  // inputs are corrected while the maneuver is still unfolding. The
+  // candidate is the last qualified bump — the trailing excursion if it
+  // already qualifies, else the most recent completed one.
+  BumpRec cand;
+  if (partial.valid && bump_qualifies(partial) &&
+      partial.t_start > confirmed_until_) {
+    cand = partial;
+  } else if (last_qual_.valid && last_qual_.t_start > confirmed_until_) {
+    cand = last_qual_;
+  }
+  if (!cand.valid) return;
+  if (now - cand.t_end > cfg_.detector.max_bump_gap_s) return;
+  if (!alpha_active_) {
+    // Recompute alpha over [bump start, now] from the raw buffer.
+    double acc = 0.0;
+    const std::size_t newest = det_.end() - 1;
+    const std::size_t begin = std::max(cand.start_abs + 1, det_.first() + 1);
+    for (std::size_t i = begin; i <= newest; ++i) {
+      acc += det_.w_raw(i) * (det_.t(i) - det_.t(i - 1));
+    }
+    alpha_ = acc;
+    alpha_active_ = true;
+    OBS_COUNT("online.alpha_activations", 1);
+  }
+  alpha_until_ = now + cfg_.detector.max_bump_gap_s;
 }
 
 OnlineEstimate OnlineGradientEstimator::estimate() const {

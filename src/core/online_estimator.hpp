@@ -5,10 +5,13 @@
 // gradient a fixed latency later. This class runs the same stages in
 // causal form:
 //   * alignment: EMA road-rate + slow gyro-bias estimate (already causal);
-//   * smoothing: centered moving average over the detection buffer, which
-//     makes the detector's view lag by half the window (the latency);
-//   * lane-change detection: Algorithm 1 state machine over the buffered
-//     profile, re-scanned incrementally;
+//   * smoothing: centered moving average over the detection buffer — each
+//     sample's smoothed value is computed once (frozen) as soon as its
+//     full half-window of later samples exists, so the detector's view
+//     lags by half the window (the latency);
+//   * lane-change detection: Algorithm 1 as an incremental state machine
+//     over the finalized profile (O(excursion) per detector tick instead
+//     of re-running the full 30 s buffer);
 //   * gradient EKFs + fusion: strictly causal, one per velocity source.
 //
 // Estimates published while a lane change is still being detected cannot
@@ -16,9 +19,13 @@
 // estimator applies the specific-force/velocity projection from the moment
 // a maneuver is *confirmed*; the tail of the correction is what the batch
 // pipeline gains over this class.
+//
+// Hot-path contract: after warm-up (detection ring at capacity, EKFs
+// seeded), push_imu performs zero heap allocations — pinned by
+// test_online_parity.SteadyStatePushImuDoesNotAllocate.
 #pragma once
 
-#include <deque>
+#include <cstddef>
 #include <optional>
 #include <vector>
 
@@ -44,6 +51,12 @@ struct OnlineEstimatorConfig {
   double detector_rate_hz = 10.0;
   /// Assumed road crown for the lane-change force projection.
   double assumed_road_crown = 0.02;
+  /// Incremental detection (default) maintains a persistent Algorithm 1
+  /// state machine and touches only newly finalized samples per tick.
+  /// false = reference mode: re-run detect_lane_changes over the whole
+  /// finalized window every tick (the pre-optimization behavior; kept for
+  /// the bit-identity equivalence tests).
+  bool incremental_detection = true;
 };
 
 /// Current output of the streaming estimator.
@@ -62,7 +75,9 @@ class OnlineGradientEstimator {
   OnlineGradientEstimator(const vehicle::VehicleParams& params,
                           const OnlineEstimatorConfig& config = {});
 
-  /// Push sensor samples in timestamp order (per stream).
+  /// Push sensor samples in timestamp order (per stream). Samples whose
+  /// timestamp does not advance their source's stream (replays,
+  /// out-of-order delivery) are rejected.
   void push_imu(const sensors::ImuSample& sample);
   void push_gps(const sensors::GpsFix& fix);
   void push_speedometer(double t, double speed_mps);
@@ -78,13 +93,99 @@ class OnlineGradientEstimator {
   }
 
  private:
+  // Fixed-capacity ring over the detection-rate samples, addressed by
+  // absolute sample number (monotonic since stream start) so detection
+  // state can reference samples stably across evictions. Grows only if a
+  // non-default config overflows the pre-sized capacity.
+  class DetectionRing {
+   public:
+    explicit DetectionRing(std::size_t capacity)
+        : t_(capacity), w_raw_(capacity), w_smooth_(capacity), v_(capacity),
+          cap_(capacity) {}
+
+    std::size_t first() const { return first_abs_; }
+    std::size_t end() const { return first_abs_ + size_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void push_back(double t, double w_raw, double v) {
+      if (size_ == cap_) grow();
+      const std::size_t s = slot(first_abs_ + size_);
+      t_[s] = t;
+      w_raw_[s] = w_raw;
+      w_smooth_[s] = 0.0;
+      v_[s] = v;
+      ++size_;
+    }
+    void pop_front() {
+      ++first_abs_;
+      --size_;
+    }
+
+    double t(std::size_t abs) const { return t_[slot(abs)]; }
+    double w_raw(std::size_t abs) const { return w_raw_[slot(abs)]; }
+    double w_smooth(std::size_t abs) const { return w_smooth_[slot(abs)]; }
+    double v(std::size_t abs) const { return v_[slot(abs)]; }
+    void set_w_smooth(std::size_t abs, double w) { w_smooth_[slot(abs)] = w; }
+
+   private:
+    std::size_t slot(std::size_t abs) const { return abs % cap_; }
+    void grow();
+
+    std::vector<double> t_, w_raw_, w_smooth_, v_;
+    std::size_t cap_;
+    std::size_t first_abs_ = 0;
+    std::size_t size_ = 0;
+  };
+
+  // Value-type bump record (extract_bumps' Bump, with absolute ring
+  // indices instead of span-relative ones).
+  struct BumpRec {
+    bool valid = false;
+    std::size_t start_abs = 0;
+    std::size_t peak_abs = 0;
+    std::size_t end_abs = 0;
+    double t_start = 0.0;
+    double t_peak = 0.0;
+    double t_end = 0.0;
+    double delta = 0.0;
+    double duration_above = 0.0;
+    int sign = 0;
+  };
+
+  // In-progress excursion of one sign (a bump being built).
+  struct Excursion {
+    bool active = false;
+    int sign = 0;
+    std::size_t start_abs = 0;
+    std::size_t peak_abs = 0;
+    double peak_mag = 0.0;
+  };
+
   struct SourceFilter {
     std::optional<GradeEkf> ekf;
     double variance = 0.1;
+    double last_t = 0.0;  ///< newest accepted measurement timestamp
+    bool has_t = false;
   };
 
-  void process_detection_buffer(double now);
+  void on_detector_tick(double now);
+  void finalize_sample(std::size_t j);
+  void complete_excursion(std::size_t end_abs);
+  BumpRec make_bump(std::size_t start_abs, std::size_t peak_abs,
+                    double peak_mag, std::size_t end_abs, int sign) const;
+  bool bump_qualifies(const BumpRec& b) const;
+  bool pair_step(BumpRec& pending, const BumpRec& b,
+                 DetectedLaneChange* out) const;
+  void try_confirm(const DetectedLaneChange& lc);
+  void rescan_reference();
+  void speculate(double now, const BumpRec& partial);
+  double duration_above_walk(std::size_t start_abs, std::size_t end_abs,
+                             double peak_mag) const;
+  double displacement_walk(std::size_t i0, std::size_t i1) const;
+  double fused_speed() const;
   double current_alpha(double t) const;
+  static bool accept_measurement_time(SourceFilter& src, double t);
 
   vehicle::VehicleParams params_;
   OnlineEstimatorConfig cfg_;
@@ -100,14 +201,32 @@ class OnlineGradientEstimator {
   double prev_fix_heading_ = 0.0;
   double prev_fix_t_ = -1e9;
 
-  // Detection buffer at detector rate: raw steering rate + speed.
-  std::deque<double> det_t_;
-  std::deque<double> det_w_;
-  std::deque<double> det_v_;
+  // Detection ring at detector rate: raw steering rate, frozen smoothed
+  // value, and speed. Samples up to (but excluding) next_finalize_abs_
+  // have their smoothed value frozen and have been fed to the detector.
+  std::size_t smoothing_half_;  ///< samples; from config at construction
+  DetectionRing det_;
+  std::size_t next_finalize_abs_ = 0;
   double next_det_t_ = 0.0;
   double latest_speed_meas_ = 0.0;
+
+  // Incremental Algorithm 1 state (maintained in both detection modes;
+  // it also drives the speculative correction).
+  Excursion exc_;
+  BumpRec pair_pending_;  ///< detect_lane_changes' `pending` bump
+  BumpRec last_qual_;     ///< most recent qualified completed bump
+  /// Zero-band sign class of the most recently evicted (finalized) sample.
+  /// A non-zero value means the ring head may be the clipped tail of an
+  /// excursion that started before the window; the reference re-scan skips
+  /// that leading run so it never re-judges a bump with a truncated
+  /// displacement integral (which can turn a rejected S-curve into a
+  /// spurious lane change as the window slides).
+  int evicted_class_ = 0;
   std::vector<DetectedLaneChange> lane_changes_;
   double confirmed_until_ = -1e9;  ///< maneuvers before this are final
+
+  // Reference-mode scratch windows (reserved once, reused per tick).
+  std::vector<double> scratch_t_, scratch_w_, scratch_v_;
 
   // Active lane-change correction state.
   double alpha_ = 0.0;

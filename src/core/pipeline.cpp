@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace rge::core {
@@ -41,6 +42,11 @@ PipelineResult estimate_gradient_impl(const sensors::SensorTrace& trace,
         "estimate_gradient: all velocity sources disabled");
   }
 
+  OBS_SPAN("pipeline.trip");
+  OBS_COUNT("pipeline.trips", 1);
+  OBS_COUNT("pipeline.imu_samples",
+            static_cast<std::int64_t>(trace.imu.size()));
+
   PipelineResult result;
 
   // ---- 0. Input sanitization ------------------------------------------
@@ -63,6 +69,7 @@ PipelineResult estimate_gradient_impl(const sensors::SensorTrace& trace,
   sensors::SensorTrace corrected;
   {
     const runtime::ScopedTimer timer(metrics ? &metrics->align_ns : nullptr);
+    OBS_SPAN("pipeline.align");
     if (config.auto_calibrate_mount) {
       result.mount = calibrate_mount(*active, config.mount);
       if (result.mount.reliable &&
@@ -79,6 +86,7 @@ PipelineResult estimate_gradient_impl(const sensors::SensorTrace& trace,
   std::vector<double> accel_for_ekf;
   {
     const runtime::ScopedTimer timer(metrics ? &metrics->detect_ns : nullptr);
+    OBS_SPAN("pipeline.detect");
     const double imu_rate =
         active->imu_rate_hz > 0 ? active->imu_rate_hz : 50.0;
     const auto decim = std::max<std::size_t>(
@@ -134,6 +142,8 @@ PipelineResult estimate_gradient_impl(const sensors::SensorTrace& trace,
     result.lane_changes =
         detect_lane_changes(result.det_t, result.det_steer_smoothed,
                             result.det_speed, config.detector);
+    OBS_COUNT("pipeline.lane_changes_detected",
+              static_cast<std::int64_t>(result.lane_changes.size()));
 
     // ---- 4. Lane-change effect elimination ----------------------------
     // Steering angle on the detection timeline, interpolated to the IMU
@@ -163,6 +173,7 @@ PipelineResult estimate_gradient_impl(const sensors::SensorTrace& trace,
   // ---- 5. Velocity sources -> per-source EKF tracks -----------------
   {
     const runtime::ScopedTimer timer(metrics ? &metrics->ekf_ns : nullptr);
+    OBS_SPAN("pipeline.ekf");
     struct SourceJob {
       const char* name;
       std::vector<VelocityMeasurement> meas;
@@ -185,6 +196,7 @@ PipelineResult estimate_gradient_impl(const sensors::SensorTrace& trace,
 
     std::vector<GradeTrack> slots(jobs.size());
     const auto run_job = [&](std::size_t j) {
+      OBS_SPAN_DYN(std::string("pipeline.ekf:") + jobs[j].name);
       std::vector<VelocityMeasurement> meas = std::move(jobs[j].meas);
       if (config.enable_lane_change_adjustment) {
         meas = apply_lane_change_adjustment(std::move(meas), result.det_t,
@@ -216,6 +228,7 @@ PipelineResult estimate_gradient_impl(const sensors::SensorTrace& trace,
   // ---- 6. Track fusion ------------------------------------------------
   {
     const runtime::ScopedTimer timer(metrics ? &metrics->fuse_ns : nullptr);
+    OBS_SPAN("pipeline.fuse");
     if (config.enable_fusion && result.tracks.size() > 1) {
       result.fused = fuse_tracks_time(result.tracks, 0, config.fusion);
     } else {

@@ -1,5 +1,7 @@
 #include "core/track_fusion.hpp"
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -161,6 +163,7 @@ GradeTrack make_fused_shell(std::size_t n) {
 
 GradeTrack fuse_tracks_time(const std::vector<GradeTrack>& tracks,
                             std::size_t reference, const FusionConfig& cfg) {
+  OBS_SPAN("fusion.time");
   if (tracks.empty()) {
     throw std::invalid_argument("fuse_tracks_time: no tracks");
   }
@@ -197,6 +200,7 @@ GradeTrack fuse_tracks_time(const std::vector<GradeTrack>& tracks,
 
 GradeTrack fuse_tracks_distance(const std::vector<GradeTrack>& tracks,
                                 const FusionConfig& cfg) {
+  OBS_SPAN("fusion.distance");
   const DistanceGrid grid = make_overlap_grid(tracks, cfg);
   GradeTrack fused = make_fused_shell(grid.n);
   for (std::size_t i = 0; i < grid.n; ++i) {
@@ -211,6 +215,7 @@ GradeTrack fuse_tracks_distance_batch(const std::vector<GradeTrack>& tracks,
                                       runtime::ThreadPool& pool,
                                       runtime::StageMetrics* metrics) {
   const runtime::ScopedTimer timer(metrics ? &metrics->fuse_ns : nullptr);
+  OBS_SPAN("fusion.distance_batch");
   const DistanceGrid grid = make_overlap_grid(tracks, cfg);
   GradeTrack fused = make_fused_shell(grid.n);
   // Coarse chunks keep the atomic-cursor overhead negligible relative to

@@ -84,14 +84,18 @@ std::vector<double> finite_difference(std::span<const double> x,
 
 std::vector<double> moving_average(std::span<const double> y,
                                    std::size_t half) {
+  // O(n) via prefix sums: window sum [lo, hi] = prefix[hi+1] - prefix[lo].
+  // (The naive per-window summation is O(n*half), which the online
+  // estimator's detector tick cannot afford at 30 s x 10 Hz buffers.)
   const std::size_t n = y.size();
   std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + y[i];
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t lo = i >= half ? i - half : 0;
     const std::size_t hi = std::min(n - 1, i + half);
-    double acc = 0.0;
-    for (std::size_t j = lo; j <= hi; ++j) acc += y[j];
-    out[i] = acc / static_cast<double>(hi - lo + 1);
+    out[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
   }
   return out;
 }

@@ -1,0 +1,335 @@
+// Entire implementation is compiled out with RGE_OBSERVABILITY=OFF; the
+// inline stubs in obs/obs.hpp take over the API surface.
+#ifndef RGE_OBS_ENABLED
+#define RGE_OBS_ENABLED 1
+#endif
+#if RGE_OBS_ENABLED
+
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace rge::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Registry& Registry::global() {
+  // Leaked on purpose: thread-local shard owners fold into the registry
+  // from thread destructors, which may run after static destruction.
+  static Registry* r = new Registry;
+  return *r;
+}
+
+// Thread-local shard lifecycle: register on first touch, fold the final
+// values into the registry's retired accumulator on thread exit.
+struct ThreadShardOwner {
+  detail::Shard shard;
+  ThreadShardOwner() {
+    auto& r = Registry::global();
+    std::lock_guard<std::mutex> lock(r.mu_);
+    r.live_shards_.push_back(&shard);
+  }
+  ~ThreadShardOwner() {
+    auto& r = Registry::global();
+    std::lock_guard<std::mutex> lock(r.mu_);
+    r.fold_retired(shard);
+    std::erase(r.live_shards_, &shard);
+  }
+};
+
+detail::Shard& Registry::local_shard() {
+  thread_local ThreadShardOwner owner;
+  return owner.shard;
+}
+
+void Registry::fold_retired(const detail::Shard& shard) {
+  for (std::size_t i = 0; i < next_int_cell_; ++i) {
+    retired_ints_[i] += shard.ints[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < next_sum_cell_; ++i) {
+    retired_sums_[i] += shard.sums[i].load(std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t Registry::register_counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    const Meta& m = metrics_[it->second];
+    if (m.kind != Kind::kCounter) {
+      throw std::logic_error("obs: metric kind mismatch for " +
+                             std::string(name));
+    }
+    return m.first_cell;
+  }
+  if (next_int_cell_ + 1 > detail::kMaxIntCells) {
+    throw std::logic_error("obs: int cell budget exhausted");
+  }
+  const std::uint32_t cell = next_int_cell_++;
+  by_name_.emplace(std::string(name), metrics_.size());
+  metrics_.push_back(Meta{std::string(name), Kind::kCounter, cell, 1, 0, {}});
+  return cell;
+}
+
+std::uint32_t Registry::register_gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    const Meta& m = metrics_[it->second];
+    if (m.kind != Kind::kGauge) {
+      throw std::logic_error("obs: metric kind mismatch for " +
+                             std::string(name));
+    }
+    return m.first_cell;
+  }
+  if (next_int_cell_ + 1 > detail::kMaxIntCells) {
+    throw std::logic_error("obs: int cell budget exhausted");
+  }
+  const std::uint32_t cell = next_int_cell_++;
+  by_name_.emplace(std::string(name), metrics_.size());
+  metrics_.push_back(Meta{std::string(name), Kind::kGauge, cell, 1, 0, {}});
+  return cell;
+}
+
+std::uint32_t Registry::register_histogram(std::string_view name,
+                                           std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    const Meta& m = metrics_[it->second];
+    if (m.kind != Kind::kHistogram) {
+      throw std::logic_error("obs: metric kind mismatch for " +
+                             std::string(name));
+    }
+    return m.first_cell;  // first registration's bounds win
+  }
+  if (!std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::logic_error("obs: histogram bounds must be ascending");
+  }
+  const std::uint32_t n_buckets = static_cast<std::uint32_t>(bounds.size()) + 1;
+  if (next_int_cell_ + n_buckets > detail::kMaxIntCells ||
+      next_sum_cell_ + 1 > detail::kMaxSumCells) {
+    throw std::logic_error("obs: cell budget exhausted");
+  }
+  const std::uint32_t first = next_int_cell_;
+  next_int_cell_ += n_buckets;
+  const std::uint32_t sum_cell = next_sum_cell_++;
+  by_name_.emplace(std::string(name), metrics_.size());
+  metrics_.push_back(Meta{std::string(name), Kind::kHistogram, first, n_buckets,
+                          sum_cell,
+                          std::vector<double>(bounds.begin(), bounds.end())});
+  return first;
+}
+
+void Registry::add(std::uint32_t cell, std::int64_t delta) {
+  local_shard().ints[cell].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::observe_registered(std::uint32_t first_cell,
+                                  std::uint32_t sum_cell,
+                                  std::uint32_t n_buckets,
+                                  std::span<const double> bounds,
+                                  double value) {
+  std::uint32_t idx = n_buckets - 1;  // overflow bucket by default
+  for (std::uint32_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) {
+      idx = i;
+      break;
+    }
+  }
+  detail::Shard& shard = local_shard();
+  shard.ints[first_cell + idx].fetch_add(1, std::memory_order_relaxed);
+  shard.sums[sum_cell].fetch_add(value, std::memory_order_relaxed);
+}
+
+Registry::HistogramLayout Registry::histogram_layout(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw std::logic_error("obs: unknown histogram " + std::string(name));
+  }
+  const Meta& m = metrics_[it->second];
+  return HistogramLayout{m.first_cell, m.sum_cell, m.n_cells};
+}
+
+std::vector<double> Registry::histogram_bounds_copy(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw std::logic_error("obs: unknown histogram " + std::string(name));
+  }
+  return metrics_[it->second].bounds;
+}
+
+MetricsSnapshot Registry::snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto int_value = [&](std::uint32_t cell) {
+    std::int64_t v = retired_ints_[cell];
+    for (const detail::Shard* s : live_shards_) {
+      v += s->ints[cell].load(std::memory_order_relaxed);
+    }
+    return v;
+  };
+  const auto sum_value = [&](std::uint32_t cell) {
+    double v = retired_sums_[cell];
+    for (const detail::Shard* s : live_shards_) {
+      v += s->sums[cell].load(std::memory_order_relaxed);
+    }
+    return v;
+  };
+
+  MetricsSnapshot out;
+  for (const Meta& m : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        out.counters[m.name] = int_value(m.first_cell);
+        break;
+      case Kind::kGauge:
+        out.gauges[m.name] = int_value(m.first_cell);
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.name = m.name;
+        h.bounds = m.bounds;
+        h.counts.resize(m.n_cells);
+        for (std::uint32_t i = 0; i < m.n_cells; ++i) {
+          h.counts[i] = int_value(m.first_cell + i);
+          h.count += h.counts[i];
+        }
+        h.sum = sum_value(m.sum_cell);
+        out.histograms.emplace(m.name, std::move(h));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_ints_.fill(0);
+  retired_sums_.fill(0.0);
+  for (detail::Shard* s : live_shards_) {
+    for (std::size_t i = 0; i < next_int_cell_; ++i) {
+      s->ints[i].store(0, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < next_sum_cell_; ++i) {
+      s->sums[i].store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Histogram::Histogram(std::string_view name, std::span<const double> bounds) {
+  auto& r = Registry::global();
+  r.register_histogram(name, bounds);
+  const auto layout = r.histogram_layout(name);
+  first_cell_ = layout.first_cell;
+  sum_cell_ = layout.sum_cell;
+  n_buckets_ = layout.n_buckets;
+  bounds_ = r.histogram_bounds_copy(name);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      append_double(out, h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.counts[i]);
+    }
+    out += "],\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    append_double(out, h.sum);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::span<const double> latency_bounds_us() {
+  static const double kBounds[] = {1.0,     2.0,      5.0,      10.0,
+                                   20.0,    50.0,     100.0,    200.0,
+                                   500.0,   1000.0,   2000.0,   5000.0,
+                                   10000.0, 20000.0,  50000.0,  100000.0,
+                                   200000.0, 500000.0, 1000000.0};
+  return {kBounds, std::size(kBounds)};
+}
+
+std::string metrics_json() { return Registry::global().snapshot().to_json(); }
+
+bool write_metrics_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << metrics_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace rge::obs
+
+#endif  // RGE_OBS_ENABLED

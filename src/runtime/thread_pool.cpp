@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <memory>
+
+#include "obs/obs.hpp"
 
 namespace rge::runtime {
 
@@ -13,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
   }
   workers_.reserve(n_threads);
   for (std::size_t i = 0; i < n_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -27,41 +30,72 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const std::int64_t ts = obs::enabled() ? obs::trace_now_ns() : -1;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueueEntry{std::move(task), ts});
   }
+  OBS_COUNT("pool.tasks_submitted", 1);
+  OBS_GAUGE_ADD("pool.queue_depth", 1);
   // notify_all, not notify_one: both idle workers and threads blocked in
   // help_until wait on cv_, and a task must never sit in the queue while
   // only the "wrong" kind of waiter was woken.
   cv_.notify_all();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::execute(QueueEntry entry, bool helped) {
+  OBS_GAUGE_ADD("pool.queue_depth", -1);
+  if (helped) {
+    OBS_COUNT("pool.tasks_helped", 1);
+  } else {
+    OBS_COUNT("pool.tasks_executed", 1);
+  }
+  std::int64_t t0 = -1;
+  if (entry.enqueue_ns >= 0) {
+    t0 = obs::trace_now_ns();
+    OBS_OBSERVE("pool.task_wait_us",
+                static_cast<double>(t0 - entry.enqueue_ns) / 1000.0,
+                obs::latency_bounds_us());
+  }
+  {
+    OBS_SPAN("pool.task");
+    entry.fn();
+  }
+  if (t0 >= 0) {
+    OBS_OBSERVE("pool.task_run_us",
+                static_cast<double>(obs::trace_now_ns() - t0) / 1000.0,
+                obs::latency_bounds_us());
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "pool-worker-%zu", index);
+  obs::set_thread_name(name);
   for (;;) {
-    std::function<void()> task;
+    QueueEntry entry;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    execute(std::move(entry), /*helped=*/false);
   }
 }
 
 void ThreadPool::help_until(const std::function<bool()>& done) {
   for (;;) {
-    std::function<void()> task;
+    QueueEntry entry;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return done() || !queue_.empty(); });
       if (done()) return;
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    execute(std::move(entry), /*helped=*/true);
   }
 }
 
@@ -108,6 +142,7 @@ void parallel_for(ThreadPool& pool, std::size_t n,
                   std::size_t grain) {
   if (n == 0) return;
   grain = std::max<std::size_t>(1, grain);
+  OBS_COUNT("pool.parallel_for_calls", 1);
 
   const std::size_t n_chunks = (n + grain - 1) / grain;
   // The caller runs chunks too, so at most n_chunks - 1 helpers are useful.

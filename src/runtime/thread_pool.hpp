@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -49,10 +50,18 @@ class ThreadPool {
   void notify_waiters();
 
  private:
-  void worker_loop();
+  // Queued task plus its submission timestamp (-1 when observability was
+  // disabled at submit time), feeding the pool.task_wait_us histogram.
+  struct QueueEntry {
+    std::function<void()> fn;
+    std::int64_t enqueue_ns = -1;
+  };
+
+  void worker_loop(std::size_t index);
+  void execute(QueueEntry entry, bool helped);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueueEntry> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "obs/obs.hpp"
 #include "runtime/metrics.hpp"
 #include "testing/json.hpp"
 #include "testing/scenario.hpp"
@@ -41,11 +42,37 @@ class Reporter {
   int failures_ = 0;
 };
 
+/// <dir>/BENCH_scenarios.json -> <dir>/BENCH_scenarios_metrics.json.
+std::string metrics_path_for(const std::string& bench_out) {
+  const std::string suffix = ".json";
+  if (bench_out.size() >= suffix.size() &&
+      bench_out.compare(bench_out.size() - suffix.size(), suffix.size(),
+                        suffix) == 0) {
+    return bench_out.substr(0, bench_out.size() - suffix.size()) +
+           "_metrics.json";
+  }
+  return bench_out + "_metrics.json";
+}
+
 }  // namespace
 
 int run_harness(const HarnessOptions& opts, std::ostream& log) {
   Reporter report(log);
   Json::Array bench_rows;
+
+  // Observability: counters whenever we are writing a report, spans only
+  // when a trace export was requested (span collection is the costly bit).
+  const bool collect_metrics =
+      obs::kCompiledIn && (!opts.bench_out.empty() || !opts.trace_out.empty());
+  const bool collect_trace = obs::kCompiledIn && !opts.trace_out.empty();
+  const bool prev_enabled = obs::enabled();
+  const bool prev_tracing = obs::tracing_enabled();
+  if (collect_metrics) {
+    obs::reset_all();
+    obs::set_enabled(true);
+    obs::set_tracing(collect_trace);
+    obs::set_thread_name("harness-main");
+  }
 
   std::vector<ScenarioSpec> matrix = scenario_matrix();
   if (!opts.scenarios.empty()) {
@@ -62,6 +89,7 @@ int run_harness(const HarnessOptions& opts, std::ostream& log) {
   const FaultSpec clean = make_fault(FaultKind::kNone);
 
   for (const ScenarioSpec& spec : matrix) {
+    OBS_SPAN_DYN("scenario." + spec.name);
     const ScenarioWorld world = build_world(spec);
 
     // ---- clean run (timed, stage-broken-down) -------------------------
@@ -184,6 +212,26 @@ int run_harness(const HarnessOptions& opts, std::ostream& log) {
     doc["rows"] = Json(std::move(bench_rows));
     write_json_file(doc, opts.bench_out);
     log << "bench report -> " << opts.bench_out << "\n";
+  }
+
+  if (collect_metrics) {
+    if (!opts.bench_out.empty()) {
+      const std::string path = metrics_path_for(opts.bench_out);
+      if (obs::write_metrics_json(path)) {
+        log << "metrics snapshot -> " << path << "\n";
+      } else {
+        report.fail("harness", "could not write metrics snapshot " + path);
+      }
+    }
+    if (!opts.trace_out.empty()) {
+      if (obs::write_chrome_trace(opts.trace_out)) {
+        log << "chrome trace -> " << opts.trace_out << "\n";
+      } else {
+        report.fail("harness", "could not write trace " + opts.trace_out);
+      }
+    }
+    obs::set_enabled(prev_enabled);
+    obs::set_tracing(prev_tracing);
   }
 
   log << (report.failures() == 0 ? "SCENARIO MATRIX OK"

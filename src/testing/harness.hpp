@@ -27,8 +27,13 @@ struct HarnessOptions {
   /// Rewrite goldens from this run instead of comparing. Only legitimate
   /// when accuracy genuinely changed — see EXPERIMENTS.md.
   bool update_goldens = false;
-  /// Path for the per-scenario perf report; empty skips it.
+  /// Path for the per-scenario perf report; empty skips it. When set, the
+  /// observability counters collected during the run are written next to
+  /// it (<bench_out stem>_metrics.json).
   std::string bench_out;
+  /// Path for a Chrome-trace (chrome://tracing / Perfetto) span export;
+  /// empty skips it. Setting this enables span collection for the run.
+  std::string trace_out;
   /// Thread counts the determinism sweep must agree across.
   std::vector<std::size_t> thread_counts = {1, 2, 8};
   /// Run the fault-injection column of the matrix.

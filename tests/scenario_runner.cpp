@@ -2,8 +2,8 @@
 // "scenario"). Exit code = number of failed checks.
 //
 //   scenario_runner [--scenario NAME]... [--goldens DIR] [--update-goldens]
-//                   [--bench-out FILE] [--threads 1,2,8] [--no-faults]
-//                   [--list]
+//                   [--bench-out FILE] [--trace-out FILE] [--threads 1,2,8]
+//                   [--no-faults] [--list]
 //
 // Typical invocations:
 //   ctest -L scenario                          # what CI runs
@@ -24,8 +24,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scenario NAME]... [--goldens DIR] "
-               "[--update-goldens] [--bench-out FILE] [--threads a,b,c] "
-               "[--no-faults] [--list]\n",
+               "[--update-goldens] [--bench-out FILE] [--trace-out FILE] "
+               "[--threads a,b,c] [--no-faults] [--list]\n",
                argv0);
   return 2;
 }
@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
       opts.update_goldens = true;
     } else if (arg == "--bench-out") {
       opts.bench_out = next();
+    } else if (arg == "--trace-out") {
+      opts.trace_out = next();
     } else if (arg == "--threads") {
       opts.thread_counts = parse_thread_counts(next());
       if (opts.thread_counts.empty()) return usage(argv[0]);

@@ -1,6 +1,7 @@
 // Unit tests for the road-gradient EKF (Eq. 5 state space + EKF).
 #include "core/grade_ekf.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -365,6 +366,123 @@ TEST_P(GradeRecovery, ConstantGrade) {
 INSTANTIATE_TEST_SUITE_P(Grades, GradeRecovery,
                          ::testing::Values(-8.0, -5.0, -2.0, -0.5, 0.0, 0.5,
                                            2.0, 5.0, 8.0));
+
+// ---- bit-exactness vs. the generic EKF --------------------------------
+// GradeEkf is a hand-unrolled 2-state specialization (zero allocations per
+// step for the online hot path). This test drives it and the generic
+// math::ExtendedKalmanFilter — with the exact process/measurement model
+// the pre-specialization implementation used — through a long randomized
+// predict/update sequence and requires every state and covariance entry
+// to match bit-for-bit.
+
+/// The grade model on top of the generic EKF, expression-for-expression
+/// the previous GradeEkf implementation.
+class GenericGradeEkf {
+ public:
+  GenericGradeEkf(const vehicle::VehicleParams& params,
+                  const GradeEkfConfig& cfg, double initial_speed,
+                  double initial_grade)
+      : params_(params),
+        cfg_(cfg),
+        ekf_(math::Vec{initial_speed, initial_grade},
+             math::Mat{{cfg.initial_speed_var, 0.0},
+                       {0.0, cfg.initial_grade_var}}) {}
+
+  void predict(double specific_force, double dt) {
+    if (dt <= 0.0) return;
+    const double g = params_.gravity;
+    const double c = 2.0 * params_.drag_k() / params_.mass_kg;
+    const bool drift = cfg_.use_paper_drift_term;
+    constexpr double kMaxGradeRad = 0.35;
+
+    math::ProcessModel model;
+    model.f = [=](const math::Vec& x, const math::Vec& u) {
+      const double v = x[0];
+      const double theta = x[1];
+      const double f_hat = u[0];
+      double v_next = v + (f_hat - g * std::sin(theta)) * dt;
+      v_next = std::max(0.0, v_next);
+      double theta_next = theta;
+      if (drift) {
+        theta_next += c * v * f_hat * dt / (g * std::cos(theta));
+      }
+      theta_next = std::clamp(theta_next, -kMaxGradeRad, kMaxGradeRad);
+      return math::Vec{v_next, theta_next};
+    };
+    model.jacobian = [=](const math::Vec& x, const math::Vec& u) {
+      const double v = x[0];
+      const double theta = x[1];
+      const double f_hat = u[0];
+      const double cth = std::cos(theta);
+      math::Mat f_jac = math::Mat::identity(2);
+      f_jac(0, 1) = -g * cth * dt;
+      if (drift) {
+        f_jac(1, 0) = c * f_hat * dt / (g * cth);
+        f_jac(1, 1) = 1.0 + c * v * f_hat * dt * std::sin(theta) /
+                                (g * cth * cth);
+      }
+      return f_jac;
+    };
+    const double qv = cfg_.accel_sigma * cfg_.accel_sigma * dt * dt;
+    model.q = math::Mat{{qv, 0.0}, {0.0, cfg_.grade_process_psd * dt}};
+    ekf_.predict(model, math::Vec{specific_force});
+  }
+
+  bool update_velocity(double v_meas, double variance) {
+    math::MeasurementModel model;
+    model.h = [](const math::Vec& x) { return math::Vec{x[0]}; };
+    model.jacobian = [](const math::Vec&) { return math::Mat{{1.0, 0.0}}; };
+    model.r = math::Mat{{variance}};
+    return ekf_.update(model, math::Vec{v_meas}, cfg_.gate_nis).accepted;
+  }
+
+  double speed() const { return ekf_.state()[0]; }
+  double grade() const { return ekf_.state()[1]; }
+  double p00() const { return ekf_.covariance()(0, 0); }
+  double p01() const { return ekf_.covariance()(0, 1); }
+  double p10() const { return ekf_.covariance()(1, 0); }
+  double p11() const { return ekf_.covariance()(1, 1); }
+
+ private:
+  vehicle::VehicleParams params_;
+  GradeEkfConfig cfg_;
+  math::ExtendedKalmanFilter ekf_;
+};
+
+TEST(GradeEkf, MatchesGenericEkfBitExact) {
+  for (const bool drift : {true, false}) {
+    GradeEkfConfig cfg;
+    cfg.use_paper_drift_term = drift;
+    const vehicle::VehicleParams params{};
+
+    GradeEkf fast(params, cfg, 12.0, 0.01);
+    GenericGradeEkf slow(params, cfg, 12.0, 0.01);
+
+    math::Rng rng(drift ? 77 : 78);
+    for (int step = 0; step < 4000; ++step) {
+      const double dt = 0.02;
+      const double f = rng.gaussian(0.3, 1.5);
+      fast.predict(f, dt);
+      slow.predict(f, dt);
+      if (step % 7 == 0) {
+        // Occasional far-out measurement exercises the NIS gate branch.
+        const double v = step % 35 == 0 ? rng.gaussian(60.0, 5.0)
+                                        : rng.gaussian(12.0, 0.5);
+        const double var = 0.04 + rng.uniform(0.0, 0.2);
+        const bool a_fast = fast.update_velocity(v, var);
+        const bool a_slow = slow.update_velocity(v, var);
+        ASSERT_EQ(a_fast, a_slow) << "gate disagreement at step " << step;
+      }
+      ASSERT_EQ(fast.speed(), slow.speed()) << "step " << step;
+      ASSERT_EQ(fast.grade(), slow.grade()) << "step " << step;
+      ASSERT_EQ(fast.speed_variance(), slow.p00()) << "step " << step;
+      ASSERT_EQ(fast.grade_variance(), slow.p11()) << "step " << step;
+      // The generic filter symmetrizes P, so its off-diagonals agree with
+      // the single p01 the specialization stores.
+      ASSERT_EQ(slow.p01(), slow.p10()) << "step " << step;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace rge::core

@@ -1,6 +1,9 @@
 // Unit tests for interpolation / resampling helpers.
 #include "math/interp.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -87,6 +90,75 @@ TEST(MovingAverage, SmoothsAndPreservesConstant) {
   EXPECT_DOUBLE_EQ(ss[2], 3.0);
   EXPECT_DOUBLE_EQ(ss[0], 0.0);
   EXPECT_DOUBLE_EQ(ss[1], 3.0);
+}
+
+namespace {
+
+/// The pre-optimization O(n*half) implementation, kept as the oracle for
+/// the prefix-sum version.
+std::vector<double> moving_average_naive(std::span<const double> y,
+                                         std::size_t half) {
+  const std::size_t n = y.size();
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(n - 1, i + half);
+    double acc = 0.0;
+    for (std::size_t k = lo; k <= hi; ++k) acc += y[k];
+    out[i] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(MovingAverage, PrefixSumMatchesNaiveExactlyOnIntegerData) {
+  // Integer-valued doubles sum exactly in both orders, so the prefix-sum
+  // rewrite must agree bit-for-bit with the per-window oracle here.
+  std::vector<double> y;
+  std::uint64_t state = 88172645463325252ull;
+  for (int i = 0; i < 500; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    y.push_back(static_cast<double>(static_cast<int>(state % 2001) - 1000));
+  }
+  for (const std::size_t half : {0u, 1u, 4u, 25u, 499u, 1000u}) {
+    const auto fast = moving_average(y, half);
+    const auto naive = moving_average_naive(y, half);
+    ASSERT_EQ(fast.size(), naive.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      ASSERT_EQ(fast[i], naive[i]) << "half=" << half << " i=" << i;
+    }
+  }
+}
+
+TEST(MovingAverage, PrefixSumMatchesNaiveTightlyOnRealData) {
+  // On arbitrary doubles the two summation orders can differ by rounding
+  // only: the results must agree to near machine precision relative to
+  // the window magnitude.
+  std::vector<double> y;
+  std::uint64_t state = 1442695040888963407ull;
+  for (int i = 0; i < 800; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double u =
+        static_cast<double>(state >> 11) / 9007199254740992.0;  // [0,1)
+    y.push_back((u - 0.5) * 2.0e3);
+  }
+  for (const std::size_t half : {1u, 7u, 63u, 400u}) {
+    const auto fast = moving_average(y, half);
+    const auto naive = moving_average_naive(y, half);
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      ASSERT_NEAR(fast[i], naive[i], 1e-9) << "half=" << half << " i=" << i;
+    }
+  }
+}
+
+TEST(MovingAverage, EmptyAndSingleElement) {
+  EXPECT_TRUE(moving_average(std::vector<double>{}, 3).empty());
+  const auto one = moving_average(std::vector<double>{5.0}, 3);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 5.0);
 }
 
 }  // namespace

@@ -1,0 +1,415 @@
+// Online-estimator parity and hot-path regression tests:
+//   * incremental lane-change detection is bit-identical to the full
+//     re-scan reference mode across the whole scenario matrix;
+//   * the fused online grade tracks the batch pipeline within a pinned
+//     RMSE band;
+//   * push_imu performs zero heap allocations at steady state;
+//   * non-monotonic timestamps are rejected per source;
+//   * the speculative lane-change correction retires when the maneuver is
+//     confirmed.
+#include "core/online_estimator.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "obs/obs.hpp"
+#include "road/network.hpp"
+#include "sensors/smartphone.hpp"
+#include "testing/scenario.hpp"
+#include "vehicle/trip.hpp"
+
+// ---- allocation counting ------------------------------------------------
+// Global operator new/delete overrides count every heap allocation made by
+// this binary; the steady-state test asserts the count does not move
+// across a push_imu measurement window.
+namespace {
+std::atomic<std::int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rge::core {
+namespace {
+
+/// Stream a trace into the estimator in timestamp order (the same
+/// interleaving the app would see).
+void stream_trace(OnlineGradientEstimator& est,
+                  const sensors::SensorTrace& trace) {
+  std::size_t gi = 0;
+  std::size_t si = 0;
+  std::size_t ci = 0;
+  for (const auto& imu : trace.imu) {
+    while (gi < trace.gps.size() && trace.gps[gi].t <= imu.t) {
+      est.push_gps(trace.gps[gi++]);
+    }
+    while (si < trace.speedometer.size() &&
+           trace.speedometer[si].t <= imu.t) {
+      est.push_speedometer(trace.speedometer[si].t,
+                           trace.speedometer[si].value);
+      ++si;
+    }
+    while (ci < trace.canbus_speed.size() &&
+           trace.canbus_speed[ci].t <= imu.t) {
+      est.push_canbus(trace.canbus_speed[ci].t,
+                      trace.canbus_speed[ci].value);
+      ++ci;
+    }
+    est.push_imu(imu);
+  }
+}
+
+bool lane_changes_identical(const std::vector<DetectedLaneChange>& a,
+                            const std::vector<DetectedLaneChange>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].t_start != b[i].t_start || a[i].t_end != b[i].t_end ||
+        a[i].type != b[i].type ||
+        a[i].displacement_m != b[i].displacement_m ||
+        a[i].peak_rate != b[i].peak_rate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- incremental vs reference bit-identity ----------------------------
+
+TEST(OnlineParity, IncrementalDetectionBitIdenticalAcrossScenarioMatrix) {
+  const auto matrix = rge::testing::scenario_matrix();
+  ASSERT_GE(matrix.size(), 10u);
+  for (const auto& spec : matrix) {
+    const auto world = rge::testing::build_world(spec);
+    ASSERT_FALSE(world.traces.empty()) << spec.name;
+    const auto& trace = world.traces.front();
+    if (trace.imu.empty()) continue;
+
+    OnlineEstimatorConfig inc_cfg;
+    inc_cfg.incremental_detection = true;
+    OnlineEstimatorConfig ref_cfg;
+    ref_cfg.incremental_detection = false;
+
+    OnlineGradientEstimator inc(vehicle::VehicleParams{}, inc_cfg);
+    OnlineGradientEstimator ref(vehicle::VehicleParams{}, ref_cfg);
+    stream_trace(inc, trace);
+    stream_trace(ref, trace);
+
+    EXPECT_TRUE(lane_changes_identical(inc.lane_changes(),
+                                       ref.lane_changes()))
+        << spec.name << ": incremental=" << inc.lane_changes().size()
+        << " reference=" << ref.lane_changes().size();
+
+    // Identical detections imply identical alpha corrections, hence
+    // bit-identical EKF inputs and fused outputs.
+    const auto ei = inc.estimate();
+    const auto er = ref.estimate();
+    EXPECT_EQ(ei.grade_rad, er.grade_rad) << spec.name;
+    EXPECT_EQ(ei.speed_mps, er.speed_mps) << spec.name;
+    EXPECT_EQ(ei.odometry_m, er.odometry_m) << spec.name;
+  }
+}
+
+#if RGE_OBS_ENABLED
+TEST(OnlineParity, IncrementalDetectionScansFarFewerSamples) {
+  const auto matrix = rge::testing::scenario_matrix();
+  const auto world = rge::testing::build_world(matrix.front());
+  const auto& trace = world.traces.front();
+
+  const auto scan_cost = [&](bool incremental) {
+    rge::obs::reset_all();
+    rge::obs::set_enabled(true);
+    OnlineEstimatorConfig cfg;
+    cfg.incremental_detection = incremental;
+    OnlineGradientEstimator est(vehicle::VehicleParams{}, cfg);
+    stream_trace(est, trace);
+    const auto snap = rge::obs::Registry::global().snapshot();
+    rge::obs::set_enabled(false);
+    rge::obs::reset_all();
+    const auto it = snap.counters.find("online.det_scan_samples");
+    return it == snap.counters.end() ? std::int64_t{0} : it->second;
+  };
+
+  const std::int64_t incremental = scan_cost(true);
+  const std::int64_t reference = scan_cost(false);
+  ASSERT_GT(reference, 0);
+  // The reference mode re-reads the whole ~300-sample window every tick;
+  // the incremental machine touches each sample O(1) times outside bump
+  // walks. An order of magnitude is the minimum we should see.
+  EXPECT_LT(incremental * 10, reference)
+      << "incremental=" << incremental << " reference=" << reference;
+}
+#endif
+
+// ---- batch-vs-online fused-grade parity -------------------------------
+
+TEST(OnlineParity, FusedGradeTracksBatchWithinBand) {
+  road::Road road = road::make_table3_route(2019);
+  vehicle::TripConfig tc;
+  tc.seed = 31;
+  tc.lane_changes_per_km = 3.0;
+  const vehicle::Trip trip = vehicle::simulate_trip(road, tc);
+  sensors::SmartphoneConfig pc;
+  pc.seed = 101;
+  const auto trace = sensors::simulate_sensors(trip, road.anchor(),
+                                               vehicle::VehicleParams{}, pc);
+
+  OnlineGradientEstimator online(vehicle::VehicleParams{});
+  std::vector<double> t_online;
+  std::vector<double> g_online;
+  {
+    std::size_t gi = 0, si = 0, ci = 0, n = 0;
+    for (const auto& imu : trace.imu) {
+      while (gi < trace.gps.size() && trace.gps[gi].t <= imu.t) {
+        online.push_gps(trace.gps[gi++]);
+      }
+      while (si < trace.speedometer.size() &&
+             trace.speedometer[si].t <= imu.t) {
+        online.push_speedometer(trace.speedometer[si].t,
+                                trace.speedometer[si].value);
+        ++si;
+      }
+      while (ci < trace.canbus_speed.size() &&
+             trace.canbus_speed[ci].t <= imu.t) {
+        online.push_canbus(trace.canbus_speed[ci].t,
+                           trace.canbus_speed[ci].value);
+        ++ci;
+      }
+      online.push_imu(imu);
+      if (++n % 5 == 0) {
+        const auto e = online.estimate();
+        t_online.push_back(e.t);
+        g_online.push_back(e.grade_rad);
+      }
+    }
+  }
+  ASSERT_GT(t_online.size(), 100u);
+
+  const auto batch = estimate_gradient(trace, vehicle::VehicleParams{});
+  const auto& fused = batch.fused;
+  ASSERT_GT(fused.size(), 10u);
+
+  // RMSE between the online estimate and the batch fused track on the
+  // online timeline (linear interpolation into the batch track), skipping
+  // the first 20 s of filter convergence.
+  const auto batch_at = [&](double q) {
+    if (q <= fused.t.front()) return fused.grade.front();
+    if (q >= fused.t.back()) return fused.grade.back();
+    std::size_t hi = 1;
+    while (fused.t[hi] < q) ++hi;
+    const std::size_t lo = hi - 1;
+    const double denom = fused.t[hi] - fused.t[lo];
+    const double f = denom > 0.0 ? (q - fused.t[lo]) / denom : 0.0;
+    return fused.grade[lo] * (1.0 - f) + fused.grade[hi] * f;
+  };
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < t_online.size(); ++i) {
+    if (t_online[i] < trace.imu.front().t + 20.0) continue;
+    const double d = g_online[i] - batch_at(t_online[i]);
+    acc += d * d;
+    ++count;
+  }
+  ASSERT_GT(count, 50u);
+  const double rmse_rad = std::sqrt(acc / static_cast<double>(count));
+  // Pinned parity band: the causal online filter lags the batch estimate
+  // at grade transitions but must stay in the same accuracy class.
+  // Measured ~0.004 rad on this scenario; the band allows 2.5x headroom.
+  EXPECT_LT(rmse_rad, 0.010) << "rmse_rad=" << rmse_rad;
+}
+
+// ---- steady-state allocation freedom ----------------------------------
+
+TEST(OnlineParity, SteadyStatePushImuDoesNotAllocate) {
+  rge::obs::set_enabled(false);
+  OnlineGradientEstimator est(vehicle::VehicleParams{});
+
+  // Straight constant-speed driving: tiny gyro jitter below the detector
+  // zero band, constant specific force, CAN-bus speed at 1 Hz.
+  const double imu_dt = 0.02;
+  double next_canbus_t = 0.0;
+  const auto drive = [&](double t_begin, double t_end) {
+    for (double t = t_begin; t < t_end; t += imu_dt) {
+      if (t >= next_canbus_t) {
+        est.push_canbus(t, 15.0);
+        next_canbus_t = t + 1.0;
+      }
+      sensors::ImuSample s;
+      s.t = t;
+      s.accel_forward = 0.01;
+      s.gyro_z = 0.001 * std::sin(t);
+      est.push_imu(s);
+    }
+  };
+
+  // Warm up past the detection-ring fill point (buffer is 30 s).
+  drive(0.0, 40.0);
+
+  const std::int64_t before = g_allocations.load(std::memory_order_relaxed);
+  drive(40.0, 60.0);
+  const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << (after - before) << " allocations in the steady-state window";
+}
+
+// ---- per-source timestamp monotonicity --------------------------------
+
+TEST(OnlineParity, NonMonotonicTimestampsRejectedPerSource) {
+  OnlineGradientEstimator est(vehicle::VehicleParams{});
+
+  est.push_canbus(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(est.estimate().speed_mps, 10.0);
+  est.push_canbus(0.5, 40.0);  // replayed: must be ignored
+  EXPECT_DOUBLE_EQ(est.estimate().speed_mps, 10.0);
+  est.push_canbus(1.0, 40.0);  // duplicate timestamp: must be ignored
+  EXPECT_DOUBLE_EQ(est.estimate().speed_mps, 10.0);
+  // Advancing timestamp: accepted, state moves. Keep the measurement
+  // close to the filter state so the EKF's NIS gate does not discard it.
+  est.push_canbus(2.0, 11.0);
+  EXPECT_NE(est.estimate().speed_mps, 10.0);
+
+  // Speedometer stream is filtered independently of the CAN-bus stream.
+  est.push_speedometer(0.25, 12.0);
+  const double after_speedo = est.estimate().speed_mps;
+  est.push_speedometer(0.25, 99.0);
+  EXPECT_DOUBLE_EQ(est.estimate().speed_mps, after_speedo);
+
+  // GPS replays are dropped too.
+  sensors::GpsFix fix;
+  fix.valid = true;
+  fix.t = 3.0;
+  fix.speed_mps = 20.0;
+  fix.heading_rad = 0.0;
+  est.push_gps(fix);
+  const double after_gps = est.estimate().speed_mps;
+  fix.t = 2.5;
+  fix.speed_mps = 77.0;
+  est.push_gps(fix);
+  EXPECT_DOUBLE_EQ(est.estimate().speed_mps, after_gps);
+
+  // IMU replays: no state advance, no crash.
+  sensors::ImuSample s;
+  s.t = 5.0;
+  s.accel_forward = 0.0;
+  s.gyro_z = 0.0;
+  est.push_imu(s);
+  const auto before = est.estimate();
+  s.t = 4.0;
+  s.accel_forward = 100.0;  // would be visible if processed
+  est.push_imu(s);
+  const auto after = est.estimate();
+  EXPECT_EQ(before.t, after.t);
+  EXPECT_EQ(before.grade_rad, after.grade_rad);
+  EXPECT_EQ(before.speed_mps, after.speed_mps);
+}
+
+// ---- alpha retirement at confirmation ---------------------------------
+
+TEST(OnlineParity, AlphaRetiresWhenManeuverConfirms) {
+  road::Road road = road::make_table3_route(2019);
+  vehicle::TripConfig tc;
+  tc.seed = 44;
+  tc.lane_changes_per_km = 5.0;
+  const vehicle::Trip trip = vehicle::simulate_trip(road, tc);
+  sensors::SmartphoneConfig pc;
+  pc.seed = 114;
+  const auto trace = sensors::simulate_sensors(trip, road.anchor(),
+                                               vehicle::VehicleParams{}, pc);
+
+  OnlineGradientEstimator est(vehicle::VehicleParams{});
+  double active_s = 0.0;
+  double prev_t = trace.imu.front().t;
+  {
+    std::size_t gi = 0, si = 0, ci = 0;
+    for (const auto& imu : trace.imu) {
+      while (gi < trace.gps.size() && trace.gps[gi].t <= imu.t) {
+        est.push_gps(trace.gps[gi++]);
+      }
+      while (si < trace.speedometer.size() &&
+             trace.speedometer[si].t <= imu.t) {
+        est.push_speedometer(trace.speedometer[si].t,
+                             trace.speedometer[si].value);
+        ++si;
+      }
+      while (ci < trace.canbus_speed.size() &&
+             trace.canbus_speed[ci].t <= imu.t) {
+        est.push_canbus(trace.canbus_speed[ci].t,
+                        trace.canbus_speed[ci].value);
+        ++ci;
+      }
+      est.push_imu(imu);
+      if (est.estimate().in_lane_change) active_s += imu.t - prev_t;
+      prev_t = imu.t;
+    }
+  }
+
+  const std::size_t confirmed = est.lane_changes().size();
+  ASSERT_GE(confirmed, 2u);
+  // Before the fix, confirmation never retired alpha: the still-pending
+  // second bump kept re-arming the correction and alpha stayed active for
+  // max_bump_gap_s (4 s) past every maneuver, inflating active time to
+  // ~12+ s per maneuver. Retired-at-confirmation bounds it by roughly the
+  // maneuver duration plus one gap window.
+  const double budget_per_maneuver_s = 12.0;
+  EXPECT_LT(active_s,
+            budget_per_maneuver_s * static_cast<double>(confirmed) + 8.0)
+      << "alpha active " << active_s << " s across " << confirmed
+      << " confirmed maneuvers";
+
+  // And the corrected online track must stay in the batch accuracy class
+  // on this lane-change-heavy drive.
+  const auto batch = estimate_gradient(trace, vehicle::VehicleParams{});
+  GradeTrack online_track;
+  online_track.source = "online";
+  // (Track recorded separately above would complicate the loop; re-run.)
+  OnlineGradientEstimator est2(vehicle::VehicleParams{});
+  {
+    std::size_t gi = 0, si = 0, ci = 0, n = 0;
+    for (const auto& imu : trace.imu) {
+      while (gi < trace.gps.size() && trace.gps[gi].t <= imu.t) {
+        est2.push_gps(trace.gps[gi++]);
+      }
+      while (si < trace.speedometer.size() &&
+             trace.speedometer[si].t <= imu.t) {
+        est2.push_speedometer(trace.speedometer[si].t,
+                              trace.speedometer[si].value);
+        ++si;
+      }
+      while (ci < trace.canbus_speed.size() &&
+             trace.canbus_speed[ci].t <= imu.t) {
+        est2.push_canbus(trace.canbus_speed[ci].t,
+                         trace.canbus_speed[ci].value);
+        ++ci;
+      }
+      est2.push_imu(imu);
+      if (++n % 5 == 0) {
+        const auto e = est2.estimate();
+        online_track.t.push_back(e.t);
+        online_track.grade.push_back(e.grade_rad);
+        online_track.grade_var.push_back(std::max(1e-10, e.grade_var));
+        online_track.speed.push_back(e.speed_mps);
+        online_track.s.push_back(e.odometry_m);
+      }
+    }
+  }
+  const auto st_online = evaluate_track(online_track, trip);
+  const auto st_batch = evaluate_track(batch.fused, trip);
+  EXPECT_LT(st_online.median_abs_deg, 2.0 * st_batch.median_abs_deg + 0.05);
+}
+
+}  // namespace
+}  // namespace rge::core
