@@ -4,6 +4,12 @@
 // distance domain with the same Eq. 6 convex combination. Accuracy
 // improves with the number of contributing vehicles — the crowd-sourced
 // gradient map the paper envisions for routing services.
+//
+// The cloud side here is the streaming form: one FusionAccumulator holds
+// the per-cell running sums, each upload folds in with add_track (O(track
+// length), independent of how many vehicles came before), and snapshot()
+// serves the current map. The final map is checked bit-identical to a
+// batch fuse_tracks_distance over all uploads.
 #include <cstdio>
 #include <vector>
 
@@ -60,19 +66,17 @@ int main() {
     uploads.push_back(std::move(keyed));
   }
 
-  // Evaluate: per-vehicle error vs the cloud-fused error as more vehicles
-  // contribute, all sampled on a 10 m grid of the road.
+  // Stream the uploads: the serving grid is fixed up front (the fleet's
+  // overlap on a 10 m spacing), each upload folds into the accumulator,
+  // and the current map is snapshotted after every arrival.
   core::FusionConfig fc;
   fc.distance_step_m = 10.0;
-  runtime::ThreadPool pool(4);
+  core::FusionAccumulator cloud(core::make_overlap_grid(uploads, fc), fc);
   std::printf("\n%-22s %12s %12s\n", "tracks fused", "MAE (deg)",
               "median (deg)");
   for (int k = 1; k <= kVehicles; ++k) {
-    const std::vector<core::GradeTrack> subset(uploads.begin(),
-                                               uploads.begin() + k);
-    const core::GradeTrack fused =
-        k == 1 ? subset[0]
-               : core::fuse_tracks_distance_batch(subset, fc, pool, &metrics);
+    cloud.add_track(uploads[k - 1]);
+    const core::GradeTrack fused = cloud.snapshot();
     // Truth at the fused track's distance keys.
     std::vector<double> est;
     std::vector<double> truth;
@@ -91,9 +95,21 @@ int main() {
                 math::median(abs_err_deg));
   }
 
+  // The streamed map is not an approximation: it matches the batch fuse
+  // (serial or pool-parallel, both bit-identical) on the same grid.
+  runtime::ThreadPool pool(4);
+  const core::GradeTrack batch_map =
+      core::fuse_tracks_distance_batch(uploads, fc, pool, &metrics);
+  const bool identical = cloud.snapshot().grade == batch_map.grade &&
+                         cloud.snapshot().grade_var == batch_map.grade_var;
+  std::printf("\nstreamed map identical to batch re-fusion: %s\n",
+              identical ? "yes" : "NO");
+
   std::printf(
       "\nEach vehicle's track carries its own trip-specific noise "
       "realization, so the cloud average keeps improving — the mechanism "
-      "behind the paper's crowd-sourced gradient map.\n");
+      "behind the paper's crowd-sourced gradient map. The accumulator "
+      "makes that a streaming property: adding vehicle N costs the same "
+      "as adding vehicle 1.\n");
   return 0;
 }

@@ -1,140 +1,22 @@
 #include "core/map_matching.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 #include <stdexcept>
+
+#include "core/road_matcher.hpp"
+#include "math/interp.hpp"
 
 namespace rge::core {
 
-namespace {
-
-/// Precomputed projection grid: ENU points every grid_step_m along a road.
-struct Grid {
-  std::vector<double> s;
-  std::vector<double> east;
-  std::vector<double> north;
-};
-
-Grid build_grid(const road::Road& road, double step) {
-  Grid g;
-  for (double s = 0.0; s <= road.length_m(); s += step) {
-    const auto p = road.position_at(s);
-    g.s.push_back(s);
-    g.east.push_back(p.east_m);
-    g.north.push_back(p.north_m);
-  }
-  return g;
-}
-
-double sq(double x) { return x * x; }
-
-/// Nearest grid index to (e, n) within [lo, hi].
-std::size_t nearest_in(const Grid& g, double e, double n, std::size_t lo,
-                       std::size_t hi) {
-  std::size_t best = lo;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t i = lo; i <= hi && i < g.s.size(); ++i) {
-    const double d = sq(g.east[i] - e) + sq(g.north[i] - n);
-    if (d < best_d) {
-      best_d = d;
-      best = i;
-    }
-  }
-  return best;
-}
-
-/// Refine around grid index i by projecting onto the two adjacent
-/// segments; returns (s, lateral distance).
-std::pair<double, double> refine(const Grid& g, std::size_t i, double e,
-                                 double n) {
-  double best_s = g.s[i];
-  double best_d2 = sq(g.east[i] - e) + sq(g.north[i] - n);
-  for (std::size_t seg = (i > 0 ? i - 1 : 0);
-       seg + 1 < g.s.size() && seg <= i; ++seg) {
-    const double ax = g.east[seg];
-    const double ay = g.north[seg];
-    const double bx = g.east[seg + 1];
-    const double by = g.north[seg + 1];
-    const double vx = bx - ax;
-    const double vy = by - ay;
-    const double len2 = vx * vx + vy * vy;
-    if (len2 <= 0.0) continue;
-    const double t =
-        std::clamp(((e - ax) * vx + (n - ay) * vy) / len2, 0.0, 1.0);
-    const double px = ax + t * vx;
-    const double py = ay + t * vy;
-    const double d2 = sq(px - e) + sq(py - n);
-    if (d2 < best_d2) {
-      best_d2 = d2;
-      best_s = g.s[seg] + t * (g.s[seg + 1] - g.s[seg]);
-    }
-  }
-  return {best_s, std::sqrt(best_d2)};
-}
-
-}  // namespace
-
 MatchedFix match_point(const road::Road& road, const math::GeoPoint& point,
                        const MapMatchConfig& cfg) {
-  const Grid grid = build_grid(road, cfg.grid_step_m);
-  const auto enu = math::LocalTangentPlane(road.anchor()).to_enu(point);
-  const std::size_t i =
-      nearest_in(grid, enu.east_m, enu.north_m, 0, grid.s.size() - 1);
-  const auto [s, lateral] = refine(grid, i, enu.east_m, enu.north_m);
-  MatchedFix m;
-  m.s_m = s;
-  m.lateral_m = lateral;
-  m.valid = lateral <= cfg.max_lateral_m;
-  return m;
+  return shared_matcher(road, cfg)->match_point(point);
 }
 
 std::vector<MatchedFix> match_track(const road::Road& road,
                                     const std::vector<sensors::GpsFix>& fixes,
                                     const MapMatchConfig& cfg) {
-  const Grid grid = build_grid(road, cfg.grid_step_m);
-  const math::LocalTangentPlane ltp(road.anchor());
-  std::vector<MatchedFix> out;
-  out.reserve(fixes.size());
-
-  bool have_prev = false;
-  std::size_t prev_idx = 0;
-  double prev_s = 0.0;
-  const auto window =
-      static_cast<std::size_t>(cfg.window_m / cfg.grid_step_m) + 1;
-
-  for (const auto& fix : fixes) {
-    MatchedFix m;
-    m.t = fix.t;
-    if (!fix.valid) {
-      // An outage breaks the monotone chain; re-acquire globally next fix.
-      have_prev = false;
-      out.push_back(m);
-      continue;
-    }
-    const auto enu = ltp.to_enu(fix.position);
-    std::size_t lo = 0;
-    std::size_t hi = grid.s.size() - 1;
-    if (have_prev) {
-      lo = prev_idx;  // forward progress only
-      hi = std::min(grid.s.size() - 1, prev_idx + window);
-    }
-    const std::size_t i = nearest_in(grid, enu.east_m, enu.north_m, lo, hi);
-    const auto [s, lateral] = refine(grid, i, enu.east_m, enu.north_m);
-    m.s_m = s;
-    m.lateral_m = lateral;
-    m.valid = lateral <= cfg.max_lateral_m;
-    if (m.valid) {
-      // Refinement around the window edge can step back by a fraction of
-      // a grid cell; clamp so consumers see strict forward progress.
-      if (have_prev) m.s_m = std::max(m.s_m, prev_s);
-      prev_idx = i;
-      prev_s = m.s_m;
-      have_prev = true;
-    }
-    out.push_back(m);
-  }
-  return out;
+  return shared_matcher(road, cfg)->match_track(fixes);
 }
 
 GradeTrack rekey_track_by_road(const GradeTrack& track,
@@ -172,6 +54,9 @@ GradeTrack rekey_track_by_road(const GradeTrack& track,
   const double odo_back = odometry_at(mt.back());
 
   GradeTrack out = track;
+  // Track timestamps are non-decreasing, so one monotone cursor replaces
+  // a binary search per sample.
+  math::InterpCursor cursor;
   for (std::size_t i = 0; i < out.t.size(); ++i) {
     const double t = out.t[i];
     if (t <= mt.front()) {
@@ -180,11 +65,8 @@ GradeTrack rekey_track_by_road(const GradeTrack& track,
     } else if (t >= mt.back()) {
       out.s[i] = ms.back() + (track.s[i] - odo_back);
     } else {
-      const auto it = std::upper_bound(mt.begin(), mt.end(), t);
-      const std::size_t hi = static_cast<std::size_t>(it - mt.begin());
-      const std::size_t lo = hi - 1;
-      const double f = (t - mt[lo]) / (mt[hi] - mt[lo]);
-      out.s[i] = ms[lo] * (1.0 - f) + ms[hi] * f;
+      const math::InterpPos pos = cursor.advance({mt.data(), mt.size()}, t);
+      out.s[i] = ms[pos.lo] * (1.0 - pos.f) + ms[pos.hi] * pos.f;
     }
   }
   return out;

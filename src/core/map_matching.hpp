@@ -7,6 +7,13 @@
 // constraint (vehicles do not teleport backwards), and re-keys gradient
 // tracks from filter odometry to matched road distance so multi-vehicle
 // distance-domain fusion shares a datum.
+//
+// The free functions below are thin wrappers over the cached RoadMatcher
+// (core/road_matcher.hpp): the projection polyline and its spatial index
+// are built once per (road, config) and shared across calls, so repeated
+// match_point / match_track queries against the same road are O(queries),
+// not O(queries x road length). Fleet-scale callers can hold a
+// shared_matcher() handle directly.
 #pragma once
 
 #include <vector>
@@ -18,13 +25,18 @@
 namespace rge::core {
 
 struct MapMatchConfig {
-  /// Spacing of the precomputed projection grid along the road (m).
+  /// Spacing of the precomputed projection polyline along the road (m).
   double grid_step_m = 5.0;
   /// Search window around the previous match for the next fix (m);
   /// bounds how far a vehicle can travel between fixes.
   double window_m = 80.0;
   /// Fixes farther than this from the centerline are rejected (m).
   double max_lateral_m = 40.0;
+  /// Cell size of the hash-grid spatial index over polyline segments (m);
+  /// 0 picks 2x grid_step_m so a segment spans at most a few cells.
+  double index_cell_m = 0.0;
+
+  bool operator==(const MapMatchConfig&) const = default;
 };
 
 struct MatchedFix {
@@ -35,6 +47,8 @@ struct MatchedFix {
 };
 
 /// Match a single geodetic point against the whole road (no monotonicity).
+/// Served by the cached indexed matcher; N calls build the projection
+/// polyline once.
 MatchedFix match_point(const road::Road& road, const math::GeoPoint& point,
                        const MapMatchConfig& cfg = {});
 

@@ -7,6 +7,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "math/interp.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -30,15 +31,15 @@ std::pair<double, double> convex_combine(std::span<const double> thetas,
 
 namespace {
 
-/// Locate q in the sorted key array; returns {lo, hi, fraction} for linear
-/// interpolation, clamped at the ends.
-struct InterpPos {
-  std::size_t lo = 0;
-  std::size_t hi = 0;
-  double f = 0.0;
-};
+double lerp_at(const math::InterpPos& p, const std::vector<double>& vals) {
+  return vals[p.lo] * (1.0 - p.f) + vals[p.hi] * p.f;
+}
 
-InterpPos locate(const std::vector<double>& keys, double q) {
+/// Pre-cursor locate: one binary search per query (std::upper_bound).
+/// math::locate and math::InterpCursor::advance reproduce this result
+/// bit-for-bit; this copy exists only so the *_reference entry points
+/// below stay byte-for-byte the old algorithm.
+math::InterpPos locate_ref(const std::vector<double>& keys, double q) {
   if (q <= keys.front()) return {0, 0, 0.0};
   if (q >= keys.back()) return {keys.size() - 1, keys.size() - 1, 0.0};
   const auto it = std::upper_bound(keys.begin(), keys.end(), q);
@@ -48,39 +49,89 @@ InterpPos locate(const std::vector<double>& keys, double q) {
   return {lo, hi, denom > 0.0 ? (q - keys[lo]) / denom : 0.0};
 }
 
-double lerp_at(const InterpPos& p, const std::vector<double>& vals) {
-  return vals[p.lo] * (1.0 - p.f) + vals[p.hi] * p.f;
-}
-
 /// Interpolate a track's grade and variance at time (or distance) q using
-/// the given key array; clamped at the ends.
+/// the given key array; clamped at the ends. Reference path only.
 std::pair<double, double> sample_track(const GradeTrack& track,
                                        const std::vector<double>& keys,
                                        double q) {
   if (keys.empty()) {
     throw std::invalid_argument("sample_track: empty track");
   }
-  const InterpPos p = locate(keys, q);
+  const math::InterpPos p = locate_ref(keys, q);
   return {lerp_at(p, track.grade), lerp_at(p, track.grade_var)};
 }
 
-/// Integer-indexed resampling grid over [lo, hi]. Samples sit at
-/// lo + i*step with the final sample pinned exactly to hi, so long routes
-/// neither drift (no floating-point accumulation) nor silently drop the
-/// overlap endpoint.
-struct DistanceGrid {
-  double lo = 0.0;
-  double hi = 0.0;
-  double step = 0.0;
-  std::size_t n = 0;
+GradeTrack make_fused_shell(std::size_t n) {
+  GradeTrack fused;
+  fused.source = "fused-distance";
+  fused.t.resize(n);
+  fused.grade.resize(n);
+  fused.grade_var.resize(n);
+  fused.speed.resize(n);
+  fused.s.resize(n);
+  return fused;
+}
 
-  double at(std::size_t i) const {
-    return i + 1 == n ? hi : lo + static_cast<double>(i) * step;
+void check_track_shape(const GradeTrack& tr, const char* who) {
+  if (tr.s.empty()) {
+    throw std::invalid_argument(std::string(who) + ": track without s");
   }
-};
+  const std::size_t n = tr.s.size();
+  if (tr.t.size() != n || tr.grade.size() != n || tr.grade_var.size() != n ||
+      tr.speed.size() != n) {
+    throw std::invalid_argument(std::string(who) +
+                                ": track arrays have mismatched sizes");
+  }
+}
 
-DistanceGrid make_overlap_grid(const std::vector<GradeTrack>& tracks,
-                               const FusionConfig& cfg) {
+/// Fill fused cells [begin, end) on the grid, track-major: for each track
+/// one monotone cursor sweeps the ascending cell positions, accumulating
+/// into chunk-local sums. Per cell the += order is track order — the same
+/// order as the per-cell loop of the reference implementation — so serial,
+/// chunked-parallel, and accumulator-streamed fills all finalize to
+/// bit-identical values.
+void fuse_distance_range(const std::vector<GradeTrack>& tracks,
+                         const FusionConfig& cfg, const FusionGrid& grid,
+                         std::size_t begin, std::size_t end,
+                         GradeTrack& fused) {
+  const std::size_t m = end - begin;
+  std::vector<double> weight_sum(m, 0.0);
+  std::vector<double> grade_sum(m, 0.0);
+  std::vector<double> speed_sum(m, 0.0);
+  std::vector<double> t_sum(m, 0.0);
+  for (const GradeTrack& tr : tracks) {
+    math::InterpCursor cursor;
+    const std::span<const double> keys{tr.s.data(), tr.s.size()};
+    for (std::size_t i = begin; i < end; ++i) {
+      const math::InterpPos pos = cursor.advance(keys, grid.at(i));
+      const double p = std::max(cfg.min_variance, lerp_at(pos, tr.grade_var));
+      const double w = 1.0 / p;
+      weight_sum[i - begin] += w;
+      grade_sum[i - begin] += lerp_at(pos, tr.grade) * w;
+      // Speed is a real kinematic signal: interpolate it from the members
+      // with the same inverse-variance weights as the grade (satisfies the
+      // GradeTrack invariant instead of the old 0.0 placeholder).
+      speed_sum[i - begin] += lerp_at(pos, tr.speed) * w;
+      // Mean traversal time across contributing trips. Unweighted, so the
+      // sum of per-track non-decreasing t(s) stays non-decreasing.
+      t_sum[i - begin] += lerp_at(pos, tr.t);
+    }
+  }
+  const auto n_tracks = static_cast<double>(tracks.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t j = i - begin;
+    fused.s[i] = grid.at(i);
+    fused.grade[i] = grade_sum[j] / weight_sum[j];
+    fused.grade_var[i] = 1.0 / weight_sum[j];
+    fused.speed[i] = speed_sum[j] / weight_sum[j];
+    fused.t[i] = t_sum[j] / n_tracks;
+  }
+}
+
+}  // namespace
+
+FusionGrid make_overlap_grid(const std::vector<GradeTrack>& tracks,
+                             const FusionConfig& cfg) {
   if (tracks.empty()) {
     throw std::invalid_argument("fuse_tracks_distance: no tracks");
   }
@@ -88,7 +139,7 @@ DistanceGrid make_overlap_grid(const std::vector<GradeTrack>& tracks,
     throw std::invalid_argument(
         "fuse_tracks_distance: distance_step_m must be positive");
   }
-  DistanceGrid grid;
+  FusionGrid grid;
   grid.lo = -std::numeric_limits<double>::infinity();
   grid.hi = std::numeric_limits<double>::infinity();
   for (const auto& tr : tracks) {
@@ -107,7 +158,7 @@ DistanceGrid make_overlap_grid(const std::vector<GradeTrack>& tracks,
       std::floor((grid.hi - grid.lo) / grid.step));
   // Regular samples lo + {0..whole_steps}*step, plus hi when the span is
   // not an exact multiple of step. If it is (within fp slack), the last
-  // regular sample is replaced by exact hi via DistanceGrid::at.
+  // regular sample is replaced by exact hi via FusionGrid::at.
   const bool exact =
       grid.lo + static_cast<double>(whole_steps) * grid.step >=
       grid.hi - 1e-9 * grid.step;
@@ -115,55 +166,232 @@ DistanceGrid make_overlap_grid(const std::vector<GradeTrack>& tracks,
   return grid;
 }
 
-/// Fill fused sample i on the grid. Writes only slot i, so the serial and
-/// pool-parallel entry points produce bit-identical tracks.
-void fuse_distance_sample(const std::vector<GradeTrack>& tracks,
-                          const FusionConfig& cfg, const DistanceGrid& grid,
-                          std::size_t i, GradeTrack& fused) {
-  const double s = grid.at(i);
-  const std::size_t n_tracks = tracks.size();
-  double weight_sum = 0.0;
-  double grade_sum = 0.0;
-  double speed_sum = 0.0;
-  double t_sum = 0.0;
-  for (std::size_t k = 0; k < n_tracks; ++k) {
-    const GradeTrack& tr = tracks[k];
-    const InterpPos pos = locate(tr.s, s);
-    const double p = std::max(cfg.min_variance, lerp_at(pos, tr.grade_var));
-    const double w = 1.0 / p;
-    weight_sum += w;
-    grade_sum += lerp_at(pos, tr.grade) * w;
-    // Speed is a real kinematic signal: interpolate it from the members
-    // with the same inverse-variance weights as the grade (satisfies the
-    // GradeTrack invariant instead of the old 0.0 placeholder).
-    speed_sum += lerp_at(pos, tr.speed) * w;
-    // Mean traversal time across contributing trips. Unweighted, so the
-    // sum of per-track non-decreasing t(s) stays non-decreasing.
-    t_sum += lerp_at(pos, tr.t);
+// ------------------------------------------------- FusionAccumulator ----
+
+FusionAccumulator::FusionAccumulator(const FusionGrid& grid,
+                                     const FusionConfig& cfg)
+    : grid_(grid), cfg_(cfg) {
+  if (grid_.n == 0 || !(grid_.step > 0.0) || !(grid_.hi >= grid_.lo)) {
+    throw std::invalid_argument("FusionAccumulator: malformed grid");
   }
-  fused.s[i] = s;
-  fused.grade[i] = grade_sum / weight_sum;
-  fused.grade_var[i] = 1.0 / weight_sum;
-  fused.speed[i] = speed_sum / weight_sum;
-  fused.t[i] = t_sum / static_cast<double>(n_tracks);
+  weight_sum_.assign(grid_.n, 0.0);
+  grade_sum_.assign(grid_.n, 0.0);
+  speed_sum_.assign(grid_.n, 0.0);
+  t_sum_.assign(grid_.n, 0.0);
+  coverage_.assign(grid_.n, 0);
 }
 
-GradeTrack make_fused_shell(std::size_t n) {
-  GradeTrack fused;
-  fused.source = "fused-distance";
-  fused.t.resize(n);
-  fused.grade.resize(n);
-  fused.grade_var.resize(n);
-  fused.speed.resize(n);
-  fused.s.resize(n);
+void FusionAccumulator::add_track(const GradeTrack& track) {
+  OBS_SPAN("fusion.add_track");
+  OBS_COUNT("fusion.add_track", 1);
+  check_track_shape(track, "FusionAccumulator::add_track");
+
+  const double front = track.s.front();
+  const double back = track.s.back();
+  // Covered cells: grid positions inside [front, back]. Boundary cells hit
+  // the clamped ends of the interpolation (f == 0), exactly as the
+  // reference locate() would.
+  std::size_t i_lo = grid_.n;
+  std::size_t i_hi = grid_.n;  // exclusive
+  if (back >= grid_.lo && front <= grid_.hi) {
+    // Seed with arithmetic, settle with exact comparisons on grid.at (the
+    // authoritative cell positions, endpoint pinned to hi).
+    i_lo = 0;
+    if (front > grid_.lo) {
+      const double approx = std::ceil((front - grid_.lo) / grid_.step);
+      i_lo = approx <= 0.0
+                 ? 0
+                 : std::min(grid_.n - 1, static_cast<std::size_t>(approx));
+      while (i_lo > 0 && grid_.at(i_lo - 1) >= front) --i_lo;
+      while (i_lo < grid_.n && grid_.at(i_lo) < front) ++i_lo;
+    }
+    i_hi = grid_.n;
+    if (back < grid_.hi) {
+      const double approx = std::floor((back - grid_.lo) / grid_.step) + 1.0;
+      i_hi = approx <= 0.0
+                 ? 0
+                 : std::min(grid_.n, static_cast<std::size_t>(approx));
+      while (i_hi < grid_.n && grid_.at(i_hi) <= back) ++i_hi;
+      while (i_hi > 0 && grid_.at(i_hi - 1) > back) --i_hi;
+    }
+  }
+
+  math::InterpCursor cursor;
+  const std::span<const double> keys{track.s.data(), track.s.size()};
+  for (std::size_t i = i_lo; i < i_hi; ++i) {
+    const math::InterpPos pos = cursor.advance(keys, grid_.at(i));
+    const double p = std::max(cfg_.min_variance, lerp_at(pos, track.grade_var));
+    const double w = 1.0 / p;
+    weight_sum_[i] += w;
+    grade_sum_[i] += lerp_at(pos, track.grade) * w;
+    speed_sum_[i] += lerp_at(pos, track.speed) * w;
+    t_sum_[i] += lerp_at(pos, track.t);
+    ++coverage_[i];
+  }
+  ++tracks_added_;
+}
+
+void FusionAccumulator::add_tracks(const std::vector<GradeTrack>& tracks) {
+  for (const auto& tr : tracks) add_track(tr);
+}
+
+void FusionAccumulator::add_tracks_parallel(
+    const std::vector<GradeTrack>& tracks, runtime::ThreadPool& pool,
+    runtime::StageMetrics* metrics) {
+  const runtime::ScopedTimer timer(metrics ? &metrics->accumulate_ns
+                                           : nullptr);
+  // Fixed chunk size, NOT derived from the pool size: the partials and
+  // their merge order are then identical for every thread count, so the
+  // result is bit-reproducible across machines with different pools.
+  constexpr std::size_t kChunk = 8;
+  if (tracks.size() <= kChunk) {
+    add_tracks(tracks);
+    return;
+  }
+  const std::size_t n_chunks = (tracks.size() + kChunk - 1) / kChunk;
+  std::vector<FusionAccumulator> partials(n_chunks,
+                                          FusionAccumulator(grid_, cfg_));
+  runtime::parallel_for(pool, n_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kChunk;
+    const std::size_t end = std::min(tracks.size(), begin + kChunk);
+    for (std::size_t k = begin; k < end; ++k) partials[c].add_track(tracks[k]);
+  });
+  for (const auto& partial : partials) merge(partial);
+}
+
+void FusionAccumulator::merge(const FusionAccumulator& other) {
+  if (!(grid_ == other.grid_) || !(cfg_ == other.cfg_)) {
+    throw std::invalid_argument(
+        "FusionAccumulator::merge: grid/config mismatch");
+  }
+  for (std::size_t i = 0; i < grid_.n; ++i) {
+    weight_sum_[i] += other.weight_sum_[i];
+    grade_sum_[i] += other.grade_sum_[i];
+    speed_sum_[i] += other.speed_sum_[i];
+    t_sum_[i] += other.t_sum_[i];
+    coverage_[i] += other.coverage_[i];
+  }
+  tracks_added_ += other.tracks_added_;
+}
+
+GradeTrack FusionAccumulator::snapshot() const {
+  if (tracks_added_ == 0) {
+    throw std::invalid_argument("FusionAccumulator::snapshot: no tracks");
+  }
+  const auto full = static_cast<std::uint32_t>(
+      std::min<std::size_t>(tracks_added_,
+                            std::numeric_limits<std::uint32_t>::max()));
+  // Tracks cover contiguous cell intervals, so the all-covered region is
+  // their (contiguous) intersection.
+  std::size_t begin = 0;
+  while (begin < grid_.n && coverage_[begin] != full) ++begin;
+  std::size_t end = begin;
+  while (end < grid_.n && coverage_[end] == full) ++end;
+  if (begin == end) {
+    throw std::invalid_argument(
+        "FusionAccumulator::snapshot: tracks do not overlap on the grid");
+  }
+
+  GradeTrack fused = make_fused_shell(end - begin);
+  const auto n_tracks = static_cast<double>(tracks_added_);
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t j = i - begin;
+    fused.s[j] = grid_.at(i);
+    fused.grade[j] = grade_sum_[i] / weight_sum_[i];
+    fused.grade_var[j] = 1.0 / weight_sum_[i];
+    fused.speed[j] = speed_sum_[i] / weight_sum_[i];
+    fused.t[j] = t_sum_[i] / n_tracks;
+  }
+  fused.validate();
   return fused;
 }
 
-}  // namespace
+// ------------------------------------------------------ entry points ----
 
 GradeTrack fuse_tracks_time(const std::vector<GradeTrack>& tracks,
                             std::size_t reference, const FusionConfig& cfg) {
   OBS_SPAN("fusion.time");
+  if (tracks.empty()) {
+    throw std::invalid_argument("fuse_tracks_time: no tracks");
+  }
+  if (reference >= tracks.size()) {
+    throw std::invalid_argument("fuse_tracks_time: bad reference index");
+  }
+  for (const auto& tr : tracks) {
+    if (tr.t.empty()) {
+      throw std::invalid_argument("sample_track: empty track");
+    }
+  }
+  const GradeTrack& ref = tracks[reference];
+
+  GradeTrack fused;
+  fused.source = "fused";
+  fused.t = ref.t;
+  fused.s = ref.s;
+  fused.speed = ref.speed;
+  fused.grade.reserve(ref.size());
+  fused.grade_var.reserve(ref.size());
+
+  // Reference timestamps are non-decreasing, so each track gets one
+  // monotone cursor instead of a binary search per (sample, track) pair.
+  std::vector<math::InterpCursor> cursors(tracks.size());
+  std::vector<double> thetas(tracks.size());
+  std::vector<double> variances(tracks.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double ti = ref.t[i];
+    for (std::size_t k = 0; k < tracks.size(); ++k) {
+      const GradeTrack& tr = tracks[k];
+      const math::InterpPos pos =
+          cursors[k].advance({tr.t.data(), tr.t.size()}, ti);
+      thetas[k] = lerp_at(pos, tr.grade);
+      variances[k] = lerp_at(pos, tr.grade_var);
+    }
+    const auto [gbar, pbar] =
+        convex_combine(thetas, variances, cfg.min_variance);
+    fused.grade.push_back(gbar);
+    fused.grade_var.push_back(pbar);
+  }
+  fused.validate();
+  return fused;
+}
+
+GradeTrack fuse_tracks_distance(const std::vector<GradeTrack>& tracks,
+                                const FusionConfig& cfg) {
+  OBS_SPAN("fusion.distance");
+  const FusionGrid grid = make_overlap_grid(tracks, cfg);
+  GradeTrack fused = make_fused_shell(grid.n);
+  fuse_distance_range(tracks, cfg, grid, 0, grid.n, fused);
+  fused.validate();
+  return fused;
+}
+
+GradeTrack fuse_tracks_distance_batch(const std::vector<GradeTrack>& tracks,
+                                      const FusionConfig& cfg,
+                                      runtime::ThreadPool& pool,
+                                      runtime::StageMetrics* metrics) {
+  const runtime::ScopedTimer timer(metrics ? &metrics->fuse_ns : nullptr);
+  OBS_SPAN("fusion.distance_batch");
+  const FusionGrid grid = make_overlap_grid(tracks, cfg);
+  GradeTrack fused = make_fused_shell(grid.n);
+  // Coarse contiguous chunks: each keeps its own per-track cursors, and
+  // chunking overhead stays negligible relative to the interpolation work.
+  const std::size_t grain =
+      std::max<std::size_t>(64, grid.n / (8 * pool.size() + 1));
+  const std::size_t n_chunks = (grid.n + grain - 1) / grain;
+  runtime::parallel_for(pool, n_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(grid.n, begin + grain);
+    fuse_distance_range(tracks, cfg, grid, begin, end, fused);
+  });
+  fused.validate();
+  return fused;
+}
+
+// -------------------------------------------- reference (pre-cursor) ----
+
+GradeTrack fuse_tracks_time_reference(const std::vector<GradeTrack>& tracks,
+                                      std::size_t reference,
+                                      const FusionConfig& cfg) {
   if (tracks.empty()) {
     throw std::invalid_argument("fuse_tracks_time: no tracks");
   }
@@ -198,34 +426,33 @@ GradeTrack fuse_tracks_time(const std::vector<GradeTrack>& tracks,
   return fused;
 }
 
-GradeTrack fuse_tracks_distance(const std::vector<GradeTrack>& tracks,
-                                const FusionConfig& cfg) {
-  OBS_SPAN("fusion.distance");
-  const DistanceGrid grid = make_overlap_grid(tracks, cfg);
+GradeTrack fuse_tracks_distance_reference(
+    const std::vector<GradeTrack>& tracks, const FusionConfig& cfg) {
+  const FusionGrid grid = make_overlap_grid(tracks, cfg);
   GradeTrack fused = make_fused_shell(grid.n);
   for (std::size_t i = 0; i < grid.n; ++i) {
-    fuse_distance_sample(tracks, cfg, grid, i, fused);
+    const double s = grid.at(i);
+    const std::size_t n_tracks = tracks.size();
+    double weight_sum = 0.0;
+    double grade_sum = 0.0;
+    double speed_sum = 0.0;
+    double t_sum = 0.0;
+    for (std::size_t k = 0; k < n_tracks; ++k) {
+      const GradeTrack& tr = tracks[k];
+      const math::InterpPos pos = locate_ref(tr.s, s);
+      const double p = std::max(cfg.min_variance, lerp_at(pos, tr.grade_var));
+      const double w = 1.0 / p;
+      weight_sum += w;
+      grade_sum += lerp_at(pos, tr.grade) * w;
+      speed_sum += lerp_at(pos, tr.speed) * w;
+      t_sum += lerp_at(pos, tr.t);
+    }
+    fused.s[i] = s;
+    fused.grade[i] = grade_sum / weight_sum;
+    fused.grade_var[i] = 1.0 / weight_sum;
+    fused.speed[i] = speed_sum / weight_sum;
+    fused.t[i] = t_sum / static_cast<double>(n_tracks);
   }
-  fused.validate();
-  return fused;
-}
-
-GradeTrack fuse_tracks_distance_batch(const std::vector<GradeTrack>& tracks,
-                                      const FusionConfig& cfg,
-                                      runtime::ThreadPool& pool,
-                                      runtime::StageMetrics* metrics) {
-  const runtime::ScopedTimer timer(metrics ? &metrics->fuse_ns : nullptr);
-  OBS_SPAN("fusion.distance_batch");
-  const DistanceGrid grid = make_overlap_grid(tracks, cfg);
-  GradeTrack fused = make_fused_shell(grid.n);
-  // Coarse chunks keep the atomic-cursor overhead negligible relative to
-  // the per-sample interpolation work.
-  const std::size_t grain =
-      std::max<std::size_t>(64, grid.n / (8 * pool.size() + 1));
-  runtime::parallel_for(
-      pool, grid.n,
-      [&](std::size_t i) { fuse_distance_sample(tracks, cfg, grid, i, fused); },
-      grain);
   fused.validate();
   return fused;
 }

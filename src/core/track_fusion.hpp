@@ -10,8 +10,17 @@
 //  * distance domain — tracks from different vehicles/trips share only the
 //    road; fused on a common arc-length grid (the "cloud" fusion the paper
 //    sketches for crowd-sourced gradient maps).
+//
+// Cloud-scale serving additionally gets a streaming form: because Eq. 6 is
+// a ratio of per-track sums, the cloud does not need to keep every track.
+// FusionAccumulator holds the running sums per grid cell; a new upload
+// costs O(track length) (one monotone interpolation cursor pass), and
+// snapshot() reproduces fuse_tracks_distance bit-for-bit on the cells all
+// contributors cover.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/grade_ekf.hpp"
@@ -28,6 +37,101 @@ struct FusionConfig {
   double min_variance = 1e-8;
   /// Resampling step for distance-domain fusion (m); must be positive.
   double distance_step_m = 5.0;
+
+  bool operator==(const FusionConfig&) const = default;
+};
+
+/// Integer-indexed resampling grid over [lo, hi]. Samples sit at
+/// lo + i*step with the final sample pinned exactly to hi, so long routes
+/// neither drift (no floating-point accumulation) nor silently drop the
+/// overlap endpoint.
+struct FusionGrid {
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 0.0;
+  std::size_t n = 0;
+
+  double at(std::size_t i) const {
+    return i + 1 == n ? hi : lo + static_cast<double>(i) * step;
+  }
+
+  bool operator==(const FusionGrid&) const = default;
+};
+
+/// Grid spanning the overlap of all tracks' odometry ranges with spacing
+/// cfg.distance_step_m. This is the grid fuse_tracks_distance fuses on.
+/// @throws std::invalid_argument on no tracks, non-positive step, a track
+/// without odometry, or an empty overlap.
+FusionGrid make_overlap_grid(const std::vector<GradeTrack>& tracks,
+                             const FusionConfig& cfg);
+
+/// Streaming distance-domain fusion state: per grid cell, the running
+/// inverse-variance weight sum and the weighted grade / speed / time sums
+/// of every track added so far. Adding an upload is O(track length + cells
+/// it covers) — independent of how many tracks came before — versus
+/// re-running fuse_tracks_distance over the whole fleet, which is
+/// O(fleet x grid).
+///
+/// Determinism rules:
+///  * add_track accumulates cells in ascending order with one monotone
+///    cursor, reproducing fuse_distance_sample's arithmetic exactly; after
+///    adding tracks 0..N-1 in order, snapshot() is bit-identical to
+///    fuse_tracks_distance on the same grid.
+///  * merge() adds the other accumulator's sums cell-wise; merging
+///    partials in a fixed order is deterministic, but the float grouping
+///    differs from serial adds, so parallel fills agree with serial only
+///    to rounding (add_tracks_parallel is self-deterministic for any
+///    thread count because its chunking is fixed, not thread-dependent).
+class FusionAccumulator {
+ public:
+  explicit FusionAccumulator(const FusionGrid& grid,
+                             const FusionConfig& cfg = {});
+
+  /// Fold one gradient track into the running sums. Cells outside the
+  /// track's odometry range are untouched (tracked via coverage), so a
+  /// city-wide grid can absorb trips over any sub-span of the route.
+  /// @throws std::invalid_argument on an empty or malformed track.
+  void add_track(const GradeTrack& track);
+
+  /// add_track for each track, in order.
+  void add_tracks(const std::vector<GradeTrack>& tracks);
+
+  /// Fold a batch of tracks using the pool: tracks are partitioned into
+  /// fixed-size chunks, each chunk fills an independent partial
+  /// accumulator, and partials merge in chunk order. The chunking does not
+  /// depend on the pool size, so the result is bit-identical across
+  /// 1/2/N-thread pools (and near-identical to the serial add_tracks —
+  /// same sums, different float grouping). Elapsed wall time is added to
+  /// metrics->accumulate_ns when metrics is non-null.
+  void add_tracks_parallel(const std::vector<GradeTrack>& tracks,
+                           runtime::ThreadPool& pool,
+                           runtime::StageMetrics* metrics = nullptr);
+
+  /// Cell-wise sum of another accumulator over the same grid and config.
+  /// @throws std::invalid_argument on grid or config mismatch.
+  void merge(const FusionAccumulator& other);
+
+  /// Finalize Eq. 6 over the contiguous run of cells covered by every
+  /// track added so far. On the overlap grid of the same tracks this is
+  /// bit-identical to fuse_tracks_distance.
+  /// @throws std::invalid_argument if no cell is covered by all tracks.
+  GradeTrack snapshot() const;
+
+  const FusionGrid& grid() const { return grid_; }
+  const FusionConfig& config() const { return cfg_; }
+  std::size_t tracks_added() const { return tracks_added_; }
+  /// Number of tracks that covered each cell.
+  std::span<const std::uint32_t> coverage() const { return coverage_; }
+
+ private:
+  FusionGrid grid_;
+  FusionConfig cfg_;
+  std::size_t tracks_added_ = 0;
+  std::vector<double> weight_sum_;  ///< sum_k 1/max(min_var, P_k)
+  std::vector<double> grade_sum_;   ///< sum_k theta_k / P_k
+  std::vector<double> speed_sum_;   ///< sum_k v_k / P_k
+  std::vector<double> t_sum_;       ///< sum_k t_k (unweighted)
+  std::vector<std::uint32_t> coverage_;
 };
 
 /// Fuse tracks on the timeline of `tracks[reference]`. Each other track is
@@ -48,14 +152,24 @@ GradeTrack fuse_tracks_distance(const std::vector<GradeTrack>& tracks,
                                 const FusionConfig& cfg = {});
 
 /// Cloud-fusion entry point of the batch runtime: same grid and arithmetic
-/// as fuse_tracks_distance but grid samples are filled in parallel on the
-/// pool. Output is bit-identical to the serial function (each sample
-/// writes only its own slot). Elapsed wall time is added to
-/// metrics->fuse_ns when metrics is non-null.
+/// as fuse_tracks_distance but grid cells are filled in parallel on the
+/// pool in contiguous chunks (each cell's sums still accumulate in track
+/// order, so the output is bit-identical to the serial function). Elapsed
+/// wall time is added to metrics->fuse_ns when metrics is non-null.
 GradeTrack fuse_tracks_distance_batch(const std::vector<GradeTrack>& tracks,
                                       const FusionConfig& cfg,
                                       runtime::ThreadPool& pool,
                                       runtime::StageMetrics* metrics = nullptr);
+
+/// Reference implementations: the pre-cursor code paths doing one binary
+/// search per (sample, track) pair. Kept verbatim so tests can assert the
+/// cursor-based production paths are bit-identical, and benches can
+/// measure the win. Not for production use.
+GradeTrack fuse_tracks_time_reference(const std::vector<GradeTrack>& tracks,
+                                      std::size_t reference = 0,
+                                      const FusionConfig& cfg = {});
+GradeTrack fuse_tracks_distance_reference(const std::vector<GradeTrack>& tracks,
+                                          const FusionConfig& cfg = {});
 
 /// Scalar Eq. 6 helper: inverse-variance weighted mean. Returns
 /// {theta_bar, fused_variance}. Sizes must match and be nonzero.

@@ -35,6 +35,66 @@ class LinearInterpolator {
   std::vector<double> ys_;
 };
 
+/// Bracketing position for clamped linear interpolation: y(q) =
+/// ys[lo]*(1-f) + ys[hi]*f. Outside the key range lo == hi and f == 0.
+struct InterpPos {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  double f = 0.0;
+};
+
+/// Locate q in a sorted (non-decreasing) key array by binary search;
+/// clamped at the ends. Keys must be non-empty.
+inline InterpPos locate(std::span<const double> keys, double q) {
+  if (q <= keys.front()) return {0, 0, 0.0};
+  if (q >= keys.back()) return {keys.size() - 1, keys.size() - 1, 0.0};
+  std::size_t lo = 0;
+  std::size_t hi = keys.size() - 1;
+  // Invariant: keys[lo] <= q < keys[hi]; converge to hi == lo + 1 with
+  // keys[hi] > q (std::upper_bound semantics).
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (keys[mid] <= q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double denom = keys[hi] - keys[lo];
+  return {lo, hi, denom > 0.0 ? (q - keys[lo]) / denom : 0.0};
+}
+
+/// Monotone interpolation cursor: for query sequences that are
+/// (mostly) non-decreasing — resampling grids, timelines — advance()
+/// returns exactly what locate() returns but walks forward from the
+/// previous bracket instead of binary-searching per query, making a full
+/// sweep O(keys + queries) instead of O(queries log keys). A regressing
+/// query falls back to one binary search, so results are bit-identical to
+/// locate() for ANY query order.
+class InterpCursor {
+ public:
+  InterpPos advance(std::span<const double> keys, double q) {
+    if (q <= keys.front()) return {0, 0, 0.0};
+    if (q >= keys.back()) return {keys.size() - 1, keys.size() - 1, 0.0};
+    if (hi_ == 0 || hi_ >= keys.size() || keys[hi_ - 1] > q) {
+      // Cold start or regressing query: reseek.
+      const InterpPos pos = locate(keys, q);
+      hi_ = pos.hi;
+      return pos;
+    }
+    // keys[hi_ - 1] <= q < keys.back(): walk to the first key > q.
+    while (keys[hi_] <= q) ++hi_;
+    const std::size_t lo = hi_ - 1;
+    const double denom = keys[hi_] - keys[lo];
+    return {lo, hi_, denom > 0.0 ? (q - keys[lo]) / denom : 0.0};
+  }
+
+  void reset() { hi_ = 0; }
+
+ private:
+  std::size_t hi_ = 0;  ///< candidate upper bracket index (0 = unseeded)
+};
+
 /// Evenly spaced grid from lo to hi inclusive with n points (n >= 2), or the
 /// single point lo when n == 1.
 std::vector<double> linspace(double lo, double hi, std::size_t n);

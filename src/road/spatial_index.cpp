@@ -1,0 +1,179 @@
+#include "road/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rge::road {
+
+namespace {
+
+/// Lexicographic (d2, segment) improvement test. Brute force scans in
+/// ascending index order with a strict `<`, so the earliest index wins
+/// ties; the ring search visits segments in grid order and must apply the
+/// same rule explicitly.
+bool improves(const SegmentMatch& cand, const SegmentMatch& best,
+              bool found) {
+  if (!found) return true;
+  if (cand.d2 < best.d2) return true;
+  return cand.d2 == best.d2 && cand.segment < best.segment;
+}
+
+}  // namespace
+
+SegmentIndex::SegmentIndex(std::span<const double> east,
+                           std::span<const double> north, double cell_m)
+    : east_(east.begin(), east.end()),
+      north_(north.begin(), north.end()),
+      cell_(cell_m) {
+  if (east_.size() != north_.size()) {
+    throw std::invalid_argument("SegmentIndex: east/north size mismatch");
+  }
+  if (east_.size() < 2) {
+    throw std::invalid_argument("SegmentIndex: needs at least 2 points");
+  }
+  if (!(cell_ > 0.0)) {
+    throw std::invalid_argument("SegmentIndex: cell size must be positive");
+  }
+  segment_count_ = east_.size() - 1;
+
+  origin_e_ = *std::min_element(east_.begin(), east_.end());
+  origin_n_ = *std::min_element(north_.begin(), north_.end());
+  const double max_e = *std::max_element(east_.begin(), east_.end());
+  const double max_n = *std::max_element(north_.begin(), north_.end());
+  max_cx_ = static_cast<std::int64_t>(std::floor((max_e - origin_e_) / cell_));
+  max_cy_ = static_cast<std::int64_t>(std::floor((max_n - origin_n_) / cell_));
+
+  // Insert each segment into every cell its axis-aligned bounding box
+  // overlaps. The closest point of a segment always lies inside one of
+  // these cells, which is what makes the ring search exact.
+  for (std::size_t i = 0; i < segment_count_; ++i) {
+    const double lo_e = std::min(east_[i], east_[i + 1]);
+    const double hi_e = std::max(east_[i], east_[i + 1]);
+    const double lo_n = std::min(north_[i], north_[i + 1]);
+    const double hi_n = std::max(north_[i], north_[i + 1]);
+    const auto cx0 =
+        static_cast<std::int64_t>(std::floor((lo_e - origin_e_) / cell_));
+    const auto cx1 =
+        static_cast<std::int64_t>(std::floor((hi_e - origin_e_) / cell_));
+    const auto cy0 =
+        static_cast<std::int64_t>(std::floor((lo_n - origin_n_) / cell_));
+    const auto cy1 =
+        static_cast<std::int64_t>(std::floor((hi_n - origin_n_) / cell_));
+    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+      for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+        cells_[cell_key(cx, cy)].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+}
+
+std::uint64_t SegmentIndex::cell_key(std::int64_t cx, std::int64_t cy) const {
+  // Cells of stored segments always have non-negative coordinates (the
+  // origin is the polyline's min corner); queries clamp before hashing.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+}
+
+SegmentMatch SegmentIndex::project(std::size_t segment, double east,
+                                   double north) const {
+  const double ax = east_[segment];
+  const double ay = north_[segment];
+  const double bx = east_[segment + 1];
+  const double by = north_[segment + 1];
+  const double vx = bx - ax;
+  const double vy = by - ay;
+  const double len2 = vx * vx + vy * vy;
+  SegmentMatch m;
+  m.segment = segment;
+  if (len2 <= 0.0) {
+    // Zero-length (duplicate-point) segment: the projection is the point.
+    m.t = 0.0;
+    const double dx = east - ax;
+    const double dy = north - ay;
+    m.d2 = dx * dx + dy * dy;
+    return m;
+  }
+  m.t = std::clamp(((east - ax) * vx + (north - ay) * vy) / len2, 0.0, 1.0);
+  const double px = ax + m.t * vx;
+  const double py = ay + m.t * vy;
+  const double dx = px - east;
+  const double dy = py - north;
+  m.d2 = dx * dx + dy * dy;
+  return m;
+}
+
+SegmentMatch SegmentIndex::nearest_brute(double east, double north) const {
+  SegmentMatch best;
+  best.d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < segment_count_; ++i) {
+    const SegmentMatch cand = project(i, east, north);
+    if (cand.d2 < best.d2) best = cand;
+  }
+  return best;
+}
+
+void SegmentIndex::visit_cell(std::int64_t cx, std::int64_t cy, double east,
+                              double north, SegmentMatch& best,
+                              bool& found) const {
+  if (cx < 0 || cy < 0 || cx > max_cx_ || cy > max_cy_) return;
+  const auto it = cells_.find(cell_key(cx, cy));
+  if (it == cells_.end()) return;
+  for (const std::uint32_t seg : it->second) {
+    const SegmentMatch cand = project(seg, east, north);
+    if (improves(cand, best, found)) {
+      best = cand;
+      found = true;
+    }
+  }
+}
+
+SegmentMatch SegmentIndex::nearest(double east, double north) const {
+  const auto qx =
+      static_cast<std::int64_t>(std::floor((east - origin_e_) / cell_));
+  const auto qy =
+      static_cast<std::int64_t>(std::floor((north - origin_n_) / cell_));
+
+  SegmentMatch best;
+  best.d2 = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  for (std::int64_t r = 0;; ++r) {
+    // Any point in a cell at Chebyshev ring r is at Euclidean distance
+    // >= (r-1)*cell from the query (which sits inside ring 0). Once that
+    // lower bound strictly exceeds the best distance found, no unvisited
+    // segment can win — even on an exact tie, because ties at the bound
+    // are still inside the ring already scanned.
+    if (found && r >= 1) {
+      const double bound = static_cast<double>(r - 1) * cell_;
+      if (bound * bound > best.d2) break;
+    }
+
+    if (r == 0) {
+      visit_cell(qx, qy, east, north, best, found);
+    } else {
+      const std::int64_t x0 = qx - r;
+      const std::int64_t x1 = qx + r;
+      const std::int64_t y0 = qy - r;
+      const std::int64_t y1 = qy + r;
+      for (std::int64_t cx = x0; cx <= x1; ++cx) {
+        visit_cell(cx, y0, east, north, best, found);
+        visit_cell(cx, y1, east, north, best, found);
+      }
+      for (std::int64_t cy = y0 + 1; cy <= y1 - 1; ++cy) {
+        visit_cell(x0, cy, east, north, best, found);
+        visit_cell(x1, cy, east, north, best, found);
+      }
+    }
+
+    // Ring exhaustion: once the scanned square covers the whole occupied
+    // cell range, every segment has been considered.
+    if (qx - r <= 0 && qy - r <= 0 && qx + r >= max_cx_ && qy + r >= max_cy_) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace rge::road

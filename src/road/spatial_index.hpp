@@ -1,0 +1,71 @@
+// Uniform hash-grid spatial index over the segments of a 2-D polyline.
+//
+// The city-scale serving path answers "nearest point on this road" for
+// every uploaded GPS fix; a linear scan over the projection polyline is
+// O(segments) per query and dominates fleet-scale matching. SegmentIndex
+// buckets segments into a uniform grid of square cells (hashed, so memory
+// is proportional to the polyline, not its bounding box) and answers
+// nearest-segment queries with an expanding ring search: expected O(1)
+// per query for points near the road, and never worse than visiting every
+// occupied cell once.
+//
+// Determinism contract: nearest() minimizes the pair (squared distance,
+// segment index) lexicographically — exactly what the brute-force scan in
+// nearest_brute() computes — and both modes share one projection routine,
+// so indexed results are bit-identical to the reference for every query,
+// including ties, degenerate (zero-length) segments, and points far off
+// the road. Tests assert this parity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace rge::road {
+
+/// Result of a nearest-segment query.
+struct SegmentMatch {
+  std::size_t segment = 0;  ///< index i of the segment (p[i] -> p[i+1])
+  double t = 0.0;           ///< clamped projection parameter in [0, 1]
+  double d2 = 0.0;          ///< squared Euclidean distance to the segment
+};
+
+class SegmentIndex {
+ public:
+  /// Build over the polyline (east[i], north[i]). Requires >= 2 points and
+  /// cell_m > 0. @throws std::invalid_argument otherwise.
+  SegmentIndex(std::span<const double> east, std::span<const double> north,
+               double cell_m);
+
+  /// Nearest segment via expanding ring search over the cell grid.
+  /// Bit-identical to nearest_brute for every query point.
+  SegmentMatch nearest(double east, double north) const;
+
+  /// Reference: linear scan over all segments in index order.
+  SegmentMatch nearest_brute(double east, double north) const;
+
+  /// Project the query point onto one segment (shared by both modes).
+  SegmentMatch project(std::size_t segment, double east, double north) const;
+
+  std::size_t segment_count() const { return segment_count_; }
+  double cell_m() const { return cell_; }
+  std::size_t occupied_cells() const { return cells_.size(); }
+
+ private:
+  std::uint64_t cell_key(std::int64_t cx, std::int64_t cy) const;
+  void visit_cell(std::int64_t cx, std::int64_t cy, double east, double north,
+                  SegmentMatch& best, bool& found) const;
+
+  std::vector<double> east_;
+  std::vector<double> north_;
+  std::size_t segment_count_ = 0;
+  double cell_ = 0.0;
+  double origin_e_ = 0.0;  ///< min east over all points
+  double origin_n_ = 0.0;  ///< min north over all points
+  std::int64_t max_cx_ = 0;
+  std::int64_t max_cy_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace rge::road

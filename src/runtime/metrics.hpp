@@ -19,6 +19,8 @@ struct StageMetrics {
   std::atomic<std::int64_t> detect_ns{0};  ///< smoothing + lane-change detection
   std::atomic<std::int64_t> ekf_ns{0};     ///< per-source velocity extraction + EKF/RTS
   std::atomic<std::int64_t> fuse_ns{0};    ///< Eq. 6 fusion (time or distance domain)
+  std::atomic<std::int64_t> match_ns{0};   ///< GPS map matching / rekeying
+  std::atomic<std::int64_t> accumulate_ns{0};  ///< streaming fusion-accumulator adds
   std::atomic<std::int64_t> trips{0};      ///< trips processed
 
   void reset() {
@@ -26,6 +28,8 @@ struct StageMetrics {
     detect_ns = 0;
     ekf_ns = 0;
     fuse_ns = 0;
+    match_ns = 0;
+    accumulate_ns = 0;
     trips = 0;
   }
 
@@ -36,9 +40,15 @@ struct StageMetrics {
       return std::to_string(static_cast<double>(ns.load()) * 1e-6)
           .substr(0, 8);
     };
-    return "trips=" + std::to_string(trips.load()) + " | align " +
-           ms(align_ns) + " ms | detect " + ms(detect_ns) + " ms | ekf " +
-           ms(ekf_ns) + " ms | fuse " + ms(fuse_ns) + " ms";
+    std::string out = "trips=" + std::to_string(trips.load()) + " | align " +
+                      ms(align_ns) + " ms | detect " + ms(detect_ns) +
+                      " ms | ekf " + ms(ekf_ns) + " ms | fuse " +
+                      ms(fuse_ns) + " ms";
+    if (match_ns.load() != 0) out += " | match " + ms(match_ns) + " ms";
+    if (accumulate_ns.load() != 0) {
+      out += " | accumulate " + ms(accumulate_ns) + " ms";
+    }
+    return out;
   }
 };
 

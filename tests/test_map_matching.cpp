@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "math/angles.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "road/network.hpp"
 #include "sensors/smartphone.hpp"
 #include "vehicle/trip.hpp"
@@ -138,6 +140,51 @@ TEST(RekeyTrack, AlignsOdometryToRoadDistance) {
   for (std::size_t i = 1; i < rekeyed.s.size(); ++i) {
     EXPECT_GE(rekeyed.s[i], rekeyed.s[i - 1] - 5.0);
   }
+}
+
+TEST(MatchCache, RepeatedCallsBuildTheGridOnce) {
+  // The pre-cache implementation rebuilt the projection polyline on every
+  // match_point call; this pins the fix via the obs counters. A fresh road
+  // (unique name, new address) guarantees a cold cache entry.
+  road::RoadBuilder b("cache-build-once-road");
+  b.add_straight(900.0, deg2rad(1.5));
+  const road::Road r = b.build();
+
+  obs::reset_all();
+  obs::set_enabled(true);
+  constexpr int kCalls = 8;
+  for (int i = 0; i < kCalls; ++i) {
+    const auto m = match_point(r, r.geo_at(100.0 + 50.0 * i));
+    EXPECT_TRUE(m.valid);
+  }
+  const auto snap = obs::Registry::global().snapshot();
+  obs::set_enabled(false);
+  obs::reset_all();
+
+  EXPECT_EQ(snap.counters.at("match.grid_build"), 1);
+  EXPECT_EQ(snap.counters.at("match.cache_miss"), 1);
+  EXPECT_EQ(snap.counters.at("match.cache_hit"), kCalls - 1);
+  EXPECT_EQ(snap.counters.at("match.query"), kCalls);
+}
+
+TEST(MatchCache, ConfigChangeBuildsASeparateMatcher) {
+  road::RoadBuilder b("cache-config-split-road");
+  b.add_straight(600.0, deg2rad(0.5));
+  const road::Road r = b.build();
+
+  obs::reset_all();
+  obs::set_enabled(true);
+  (void)match_point(r, r.geo_at(200.0));
+  MapMatchConfig coarse;
+  coarse.grid_step_m = 20.0;
+  (void)match_point(r, r.geo_at(200.0), coarse);
+  (void)match_point(r, r.geo_at(300.0), coarse);  // hits the second entry
+  const auto snap = obs::Registry::global().snapshot();
+  obs::set_enabled(false);
+  obs::reset_all();
+
+  EXPECT_EQ(snap.counters.at("match.grid_build"), 2);
+  EXPECT_EQ(snap.counters.at("match.cache_hit"), 1);
 }
 
 TEST(RekeyTrack, ThrowsWithoutUsableFixes) {

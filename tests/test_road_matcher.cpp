@@ -1,0 +1,230 @@
+// Unit tests for the cached road matcher and its hash-grid spatial index.
+//
+// The load-bearing property is bit-parity: the indexed ring search must
+// return exactly what the brute-force scan returns — same segment, same
+// projection parameter, same squared distance — for any query, including
+// degenerate geometry (zero-length segments) and queries sitting exactly
+// on grid-cell boundaries. Everything else (the cache, the wrappers) is
+// verified through the observability counters.
+#include "core/road_matcher.hpp"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/map_matching.hpp"
+#include "math/angles.hpp"
+#include "obs/obs.hpp"
+#include "road/road.hpp"
+#include "sensors/smartphone.hpp"
+#include "testing/scenario.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::core {
+namespace {
+
+using math::deg2rad;
+
+// ---- SegmentIndex parity ------------------------------------------------
+
+void expect_same_match(const road::SegmentMatch& a,
+                       const road::SegmentMatch& b, const char* what) {
+  EXPECT_EQ(a.segment, b.segment) << what;
+  EXPECT_EQ(a.t, b.t) << what;
+  EXPECT_EQ(a.d2, b.d2) << what;
+}
+
+TEST(SegmentIndex, RandomPolylineParity) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> step(-40.0, 60.0);
+  std::vector<double> east{0.0};
+  std::vector<double> north{0.0};
+  for (int i = 0; i < 300; ++i) {
+    east.push_back(east.back() + step(rng));
+    north.push_back(north.back() + 0.4 * step(rng));
+  }
+  const road::SegmentIndex index(east, north, 25.0);
+
+  std::uniform_real_distribution<double> qe(-500.0, 4000.0);
+  std::uniform_real_distribution<double> qn(-2000.0, 2000.0);
+  for (int i = 0; i < 2000; ++i) {
+    const double e = qe(rng);
+    const double n = qn(rng);
+    expect_same_match(index.nearest(e, n), index.nearest_brute(e, n),
+                      "random query");
+  }
+}
+
+TEST(SegmentIndex, DuplicateAndZeroLengthSegmentsParity) {
+  // Polyline with repeated vertices: zero-length segments must neither
+  // crash nor break the tie-break (lowest segment index wins on equal d2).
+  const std::vector<double> east{0.0, 10.0, 10.0, 10.0, 20.0, 20.0, 35.0};
+  const std::vector<double> north{0.0, 0.0, 0.0, 5.0, 5.0, 5.0, -2.0};
+  const road::SegmentIndex index(east, north, 4.0);
+
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> q(-10.0, 45.0);
+  for (int i = 0; i < 500; ++i) {
+    const double e = q(rng);
+    const double n = 0.3 * q(rng);
+    const auto a = index.nearest(e, n);
+    const auto b = index.nearest_brute(e, n);
+    expect_same_match(a, b, "degenerate polyline");
+  }
+  // A query equidistant from a zero-length segment and its neighbours
+  // resolves to the lowest segment index in both modes.
+  const auto tie = index.nearest(10.0, 0.0);
+  EXPECT_EQ(tie.segment, index.nearest_brute(10.0, 0.0).segment);
+}
+
+TEST(SegmentIndex, GridBoundaryQueriesParity) {
+  // Axis-aligned polyline whose vertices land exactly on cell corners,
+  // probed at exact multiples of the cell size (the ring-search bound is
+  // strict, so boundary ties must still be scanned).
+  std::vector<double> east;
+  std::vector<double> north;
+  const double cell = 10.0;
+  for (int i = 0; i <= 20; ++i) {
+    east.push_back(cell * static_cast<double>(i));
+    north.push_back((i % 2 == 0) ? 0.0 : cell);
+  }
+  const road::SegmentIndex index(east, north, cell);
+  for (int ix = -2; ix <= 22; ++ix) {
+    for (int iy = -3; iy <= 4; ++iy) {
+      const double e = cell * static_cast<double>(ix);
+      const double n = cell * static_cast<double>(iy);
+      expect_same_match(index.nearest(e, n), index.nearest_brute(e, n),
+                        "cell-corner query");
+    }
+  }
+}
+
+TEST(SegmentIndex, RejectsMalformedInput) {
+  const std::vector<double> one{0.0};
+  const std::vector<double> two{0.0, 1.0};
+  EXPECT_THROW(road::SegmentIndex(one, one, 10.0), std::invalid_argument);
+  EXPECT_THROW(road::SegmentIndex(two, one, 10.0), std::invalid_argument);
+  EXPECT_THROW(road::SegmentIndex(two, two, 0.0), std::invalid_argument);
+}
+
+// ---- RoadMatcher parity -------------------------------------------------
+
+road::Road hilly_road() {
+  road::RoadBuilder b("matcher-hills");
+  b.add_straight(600.0, deg2rad(1.0));
+  b.add_section(road::SectionSpec{500.0, deg2rad(1.0), deg2rad(-2.0),
+                                  deg2rad(75.0), 1});
+  b.add_straight(700.0, deg2rad(-2.0));
+  b.add_section(road::SectionSpec{400.0, deg2rad(-2.0), deg2rad(3.0),
+                                  deg2rad(-50.0), 1});
+  b.add_straight(500.0, deg2rad(3.0));
+  return b.build();
+}
+
+TEST(RoadMatcher, MatchPointIndexedEqualsBrute) {
+  const road::Road r = hilly_road();
+  const RoadMatcher matcher(r);
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> ds(0.0, r.length_m());
+  std::uniform_real_distribution<double> lat(-80.0, 80.0);
+  const math::LocalTangentPlane ltp(r.anchor());
+  for (int i = 0; i < 400; ++i) {
+    const double s = ds(rng);
+    const double l = lat(rng);  // some beyond max_lateral_m -> invalid
+    const auto pos = r.position_at(s);
+    const double h = r.heading_at(s);
+    math::Enu p = pos;
+    p.east_m += -std::sin(h) * l;
+    p.north_m += std::cos(h) * l;
+    const auto geo = ltp.to_geodetic(p);
+    const auto a = matcher.match_point(geo, RoadMatcher::Mode::kIndexed);
+    const auto b = matcher.match_point(geo, RoadMatcher::Mode::kBruteForce);
+    EXPECT_EQ(a.s_m, b.s_m);
+    EXPECT_EQ(a.lateral_m, b.lateral_m);
+    EXPECT_EQ(a.valid, b.valid);
+  }
+}
+
+TEST(RoadMatcher, OffRoadBeyondMaxLateralInvalidInBothModes) {
+  const road::Road r = hilly_road();
+  MapMatchConfig cfg;
+  cfg.max_lateral_m = 25.0;
+  const RoadMatcher matcher(r, cfg);
+  const auto pos = r.position_at(900.0);
+  math::Enu p = pos;
+  p.north_m += 300.0;
+  const auto geo = math::LocalTangentPlane(r.anchor()).to_geodetic(p);
+  const auto a = matcher.match_point(geo, RoadMatcher::Mode::kIndexed);
+  const auto b = matcher.match_point(geo, RoadMatcher::Mode::kBruteForce);
+  EXPECT_FALSE(a.valid);
+  EXPECT_FALSE(b.valid);
+  EXPECT_EQ(a.s_m, b.s_m);
+  EXPECT_EQ(a.lateral_m, b.lateral_m);
+}
+
+TEST(RoadMatcher, MatchTrackIndexedEqualsBruteWithOutages) {
+  const road::Road r = hilly_road();
+  vehicle::TripConfig tc;
+  tc.seed = 91;
+  const auto trip = vehicle::simulate_trip(r, tc);
+  sensors::SmartphoneConfig pc;
+  pc.seed = 131;
+  pc.random_outage_count = 3;  // outages force global re-acquisition
+  const auto trace =
+      sensors::simulate_sensors(trip, r.anchor(), vehicle::VehicleParams{}, pc);
+
+  const RoadMatcher matcher(r);
+  const auto a = matcher.match_track(trace.gps, RoadMatcher::Mode::kIndexed);
+  const auto b = matcher.match_track(trace.gps, RoadMatcher::Mode::kBruteForce);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t, b[i].t) << i;
+    EXPECT_EQ(a[i].s_m, b[i].s_m) << i;
+    EXPECT_EQ(a[i].lateral_m, b[i].lateral_m) << i;
+    EXPECT_EQ(a[i].valid, b[i].valid) << i;
+  }
+}
+
+TEST(RoadMatcher, MatchTrackParityAcrossScenarioRoutes) {
+  // Every route preset of the regression matrix, driven once: the indexed
+  // and brute matchers must agree bit-for-bit on realistic GPS tracks.
+  using testing::RoutePreset;
+  for (const RoutePreset preset :
+       {RoutePreset::kFlatShort, RoutePreset::kTable3,
+        RoutePreset::kHillySteep, RoutePreset::kRollingHills,
+        RoutePreset::kLaneChangeAvenue, RoutePreset::kHighway}) {
+    const road::Road r = testing::build_route(preset);
+    vehicle::TripConfig tc;
+    tc.seed = 1000 + static_cast<std::uint64_t>(preset);
+    const auto trip = vehicle::simulate_trip(r, tc);
+    sensors::SmartphoneConfig pc;
+    pc.seed = 2000 + static_cast<std::uint64_t>(preset);
+    const auto trace = sensors::simulate_sensors(trip, r.anchor(),
+                                                 vehicle::VehicleParams{}, pc);
+    const RoadMatcher matcher(r);
+    const auto a = matcher.match_track(trace.gps, RoadMatcher::Mode::kIndexed);
+    const auto b =
+        matcher.match_track(trace.gps, RoadMatcher::Mode::kBruteForce);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].s_m, b[i].s_m)
+          << "preset " << static_cast<int>(preset) << " fix " << i;
+      EXPECT_EQ(a[i].lateral_m, b[i].lateral_m);
+      EXPECT_EQ(a[i].valid, b[i].valid);
+    }
+  }
+}
+
+TEST(RoadMatcher, WrapperEqualsDirectMatcher) {
+  const road::Road r = hilly_road();
+  const auto direct = RoadMatcher(r).match_point(r.geo_at(700.0));
+  const auto wrapped = match_point(r, r.geo_at(700.0));
+  EXPECT_EQ(direct.s_m, wrapped.s_m);
+  EXPECT_EQ(direct.lateral_m, wrapped.lateral_m);
+  EXPECT_EQ(direct.valid, wrapped.valid);
+}
+
+}  // namespace
+}  // namespace rge::core
