@@ -160,77 +160,82 @@ std::vector<MatchedFix> RoadMatcher::match_track(
 
 namespace {
 
-/// Identity of a (road, config) pair. The address alone is unsafe (a new
-/// Road can reuse a freed address), so the key adds a geometry
-/// fingerprint — name, sample count, length, anchor, and the first/last
-/// centerline coordinates — which no distinct road geometry plausibly
-/// shares with a reused address.
-struct MatcherKey {
-  const void* road_addr = nullptr;
-  std::string name;
-  std::size_t n_samples = 0;
-  double length_m = 0.0;
-  double anchor_lat = 0.0;
-  double anchor_lon = 0.0;
-  double first_grade = 0.0;
-  double last_elev = 0.0;
-  MapMatchConfig cfg;
+/// FNV-1a over an arbitrary byte range.
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
-  bool operator==(const MatcherKey&) const = default;
-};
+std::uint64_t fnv1a(const std::vector<double>& xs, std::uint64_t h) {
+  return fnv1a(xs.data(), xs.size() * sizeof(double), h);
+}
 
-MatcherKey make_key(const road::Road& road, const MapMatchConfig& cfg) {
+}  // namespace
+
+MatcherKey matcher_key(const road::Road& road, const MapMatchConfig& cfg) {
   MatcherKey key;
-  key.road_addr = &road;
-  key.name = road.name();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const std::string& name = road.name();
+  h = fnv1a(name.data(), name.size(), h);
+  const math::GeoPoint anchor = road.anchor();
+  h = fnv1a(&anchor, sizeof(anchor), h);
+  // The full sampled geometry: two roads that agree on all four profiles,
+  // the anchor, and the name are the same road for matching purposes (the
+  // projection polyline is derived from exactly this data).
+  h = fnv1a(road.samples_s(), h);
+  h = fnv1a(road.samples_grade(), h);
+  h = fnv1a(road.samples_elevation(), h);
+  h = fnv1a(road.samples_heading(), h);
+  key.geometry_hash = h;
   key.n_samples = road.sample_count();
   key.length_m = road.length_m();
-  key.anchor_lat = road.anchor().latitude_deg;
-  key.anchor_lon = road.anchor().longitude_deg;
-  key.first_grade = road.samples_grade().front();
-  key.last_elev = road.samples_elevation().back();
   key.cfg = cfg;
   return key;
 }
 
-struct MatcherCacheEntry {
-  MatcherKey key;
-  std::shared_ptr<const RoadMatcher> matcher;
-};
+MatcherCache::MatcherCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
 
-/// Most-recently-used matchers; small because a process typically serves
-/// a handful of roads at a time (per-road matchers are rebuilt cheaply on
-/// eviction).
-constexpr std::size_t kMatcherCacheCapacity = 16;
+std::size_t MatcherCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
 
-}  // namespace
-
-std::shared_ptr<const RoadMatcher> shared_matcher(const road::Road& road,
-                                                  const MapMatchConfig& cfg) {
-  static std::mutex mu;
-  static std::deque<MatcherCacheEntry> cache;
-
-  const MatcherKey key = make_key(road, cfg);
-  std::unique_lock<std::mutex> lock(mu);
-  for (auto it = cache.begin(); it != cache.end(); ++it) {
+std::shared_ptr<const RoadMatcher> MatcherCache::get(
+    const road::Road& road, const MapMatchConfig& cfg) {
+  // Hash outside the lock: the sweep over the samples is the expensive
+  // part of a lookup and needs no cache state.
+  const MatcherKey key = matcher_key(road, cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->key == key) {
       OBS_COUNT("match.cache_hit", 1);
-      MatcherCacheEntry entry = std::move(*it);
-      cache.erase(it);
-      cache.push_front(entry);
-      return cache.front().matcher;
+      Entry entry = std::move(*it);
+      entries_.erase(it);
+      entries_.push_front(std::move(entry));
+      return entries_.front().matcher;
     }
   }
   OBS_COUNT("match.cache_miss", 1);
   // Build under the lock: construction is a one-off per road and keeping
   // it serialized makes the cache trivially race-free. Callers that need
   // concurrent first-builds can construct RoadMatcher directly.
-  MatcherCacheEntry entry;
+  Entry entry;
   entry.key = key;
   entry.matcher = std::make_shared<const RoadMatcher>(road, cfg);
-  cache.push_front(std::move(entry));
-  if (cache.size() > kMatcherCacheCapacity) cache.pop_back();
-  return cache.front().matcher;
+  entries_.push_front(std::move(entry));
+  if (entries_.size() > capacity_) entries_.pop_back();
+  return entries_.front().matcher;
+}
+
+std::shared_ptr<const RoadMatcher> shared_matcher(const road::Road& road,
+                                                  const MapMatchConfig& cfg) {
+  static MatcherCache cache;
+  return cache.get(road, cfg);
 }
 
 }  // namespace rge::core

@@ -17,7 +17,10 @@
 // metric).
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/map_matching.hpp"
@@ -84,11 +87,59 @@ class RoadMatcher {
   road::SegmentIndex index_;
 };
 
-/// Process-wide matcher cache. Keyed by the road's identity (address plus
-/// a geometry fingerprint: name, sample count, length, anchor and corner
-/// coordinates) and the full match config, so a rebuilt road or a changed
-/// config gets a fresh matcher while repeat callers share one. Thread-safe;
-/// holds the most recently used handful of matchers.
+/// Content identity of a (road, config) pair: an FNV-1a hash over the
+/// road's name, anchor, and every geometry sample (s / grade / elevation /
+/// heading), alongside the cheap scalar fields kept for collision defence
+/// and the full match config. Deliberately address-free: a Road destroyed
+/// and a different one allocated at the recycled address hash to different
+/// keys, so an MRU cache keyed this way can never serve a stale matcher
+/// for the old geometry.
+struct MatcherKey {
+  std::uint64_t geometry_hash = 0;
+  std::size_t n_samples = 0;
+  double length_m = 0.0;
+  MapMatchConfig cfg;
+
+  bool operator==(const MatcherKey&) const = default;
+};
+
+/// Key for `road` matched under `cfg`. O(road samples) — cheap memory
+/// sweeps, no trigonometry — versus the O(road length) polyline + index
+/// build it guards.
+MatcherKey matcher_key(const road::Road& road, const MapMatchConfig& cfg);
+
+/// Thread-safe MRU cache of built matchers, keyed by content identity
+/// (matcher_key). Lookup and insert are serialized on an internal mutex;
+/// the first miss for a key builds the matcher under the lock (one-off per
+/// road; callers needing concurrent first-builds can construct RoadMatcher
+/// directly). Each service shard owns one of these so shards never share
+/// cache capacity — shared_matcher() below wraps the process-wide instance
+/// the free-function matching entry points use.
+class MatcherCache {
+ public:
+  explicit MatcherCache(std::size_t capacity = 16);
+
+  /// The cached matcher for (road, cfg), building and inserting it on a
+  /// miss (evicting the least recently used entry beyond capacity).
+  std::shared_ptr<const RoadMatcher> get(const road::Road& road,
+                                         const MapMatchConfig& cfg = {});
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    MatcherKey key;
+    std::shared_ptr<const RoadMatcher> matcher;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<Entry> entries_;  ///< front = most recently used
+};
+
+/// Process-wide matcher cache: MatcherCache::get on a global instance.
+/// Thread-safe; holds the most recently used handful of matchers.
 std::shared_ptr<const RoadMatcher> shared_matcher(
     const road::Road& road, const MapMatchConfig& cfg = {});
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
@@ -182,9 +183,21 @@ FusionAccumulator::FusionAccumulator(const FusionGrid& grid,
 }
 
 void FusionAccumulator::add_track(const GradeTrack& track) {
+  add_track_cells(track, 0, grid_.n);
+}
+
+void FusionAccumulator::add_track_cells(const GradeTrack& track,
+                                        std::size_t cell_begin,
+                                        std::size_t cell_end) {
   OBS_SPAN("fusion.add_track");
   OBS_COUNT("fusion.add_track", 1);
   check_track_shape(track, "FusionAccumulator::add_track");
+  if (cell_begin > cell_end) {
+    throw std::invalid_argument(
+        "FusionAccumulator::add_track_cells: cell_begin > cell_end");
+  }
+  cell_end = std::min(cell_end, grid_.n);
+  cell_begin = std::min(cell_begin, cell_end);
 
   const double front = track.s.front();
   const double back = track.s.back();
@@ -215,6 +228,14 @@ void FusionAccumulator::add_track(const GradeTrack& track) {
       while (i_hi > 0 && grid_.at(i_hi - 1) > back) --i_hi;
     }
   }
+
+  // Restrict to the requested cell range. The cursor starting mid-track
+  // returns the same interpolation brackets as one that walked the cells
+  // before cell_begin (InterpCursor::advance is bit-identical to locate()
+  // for any query order), so a range-restricted add writes exactly what
+  // the unrestricted add would have written to those cells.
+  i_lo = std::max(i_lo, cell_begin);
+  i_hi = std::max(i_lo, std::min(i_hi, cell_end));
 
   math::InterpCursor cursor;
   const std::span<const double> keys{track.s.data(), track.s.size()};
@@ -259,12 +280,59 @@ void FusionAccumulator::add_tracks_parallel(
   for (const auto& partial : partials) merge(partial);
 }
 
+namespace {
+
+/// merge() precondition failure, naming the field that differs so a
+/// failed shard rebalance points at its cause instead of an
+/// indistinguishable "grid/config mismatch".
+[[noreturn]] void merge_mismatch(const char* field, double mine,
+                                 double theirs) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "FusionAccumulator::merge: %s mismatch (%.17g vs %.17g)",
+                field, mine, theirs);
+  throw std::invalid_argument(buf);
+}
+
+}  // namespace
+
 void FusionAccumulator::merge(const FusionAccumulator& other) {
-  if (!(grid_ == other.grid_) || !(cfg_ == other.cfg_)) {
-    throw std::invalid_argument(
-        "FusionAccumulator::merge: grid/config mismatch");
+  merge_cells(other, 0, grid_.n);
+}
+
+void FusionAccumulator::merge_cells(const FusionAccumulator& other,
+                                    std::size_t cell_begin,
+                                    std::size_t cell_end) {
+  if (grid_.step != other.grid_.step) {
+    merge_mismatch("grid spacing (step)", grid_.step, other.grid_.step);
   }
-  for (std::size_t i = 0; i < grid_.n; ++i) {
+  if (grid_.lo != other.grid_.lo) {
+    merge_mismatch("grid origin (lo)", grid_.lo, other.grid_.lo);
+  }
+  if (grid_.hi != other.grid_.hi || grid_.n != other.grid_.n) {
+    merge_mismatch("grid length (hi/n)",
+                   grid_.n != other.grid_.n
+                       ? static_cast<double>(grid_.n)
+                       : grid_.hi,
+                   grid_.n != other.grid_.n
+                       ? static_cast<double>(other.grid_.n)
+                       : other.grid_.hi);
+  }
+  if (cfg_.min_variance != other.cfg_.min_variance) {
+    merge_mismatch("config min_variance", cfg_.min_variance,
+                   other.cfg_.min_variance);
+  }
+  if (cfg_.distance_step_m != other.cfg_.distance_step_m) {
+    merge_mismatch("config distance_step_m", cfg_.distance_step_m,
+                   other.cfg_.distance_step_m);
+  }
+  if (cell_begin > cell_end) {
+    throw std::invalid_argument(
+        "FusionAccumulator::merge_cells: cell_begin > cell_end");
+  }
+  cell_end = std::min(cell_end, grid_.n);
+  cell_begin = std::min(cell_begin, cell_end);
+  for (std::size_t i = cell_begin; i < cell_end; ++i) {
     weight_sum_[i] += other.weight_sum_[i];
     grade_sum_[i] += other.grade_sum_[i];
     speed_sum_[i] += other.speed_sum_[i];
@@ -304,6 +372,38 @@ GradeTrack FusionAccumulator::snapshot() const {
   }
   fused.validate();
   return fused;
+}
+
+FusionAccumulator::CoverageSnapshot FusionAccumulator::snapshot_covered(
+    std::uint32_t min_coverage) const {
+  if (min_coverage == 0) {
+    throw std::invalid_argument(
+        "FusionAccumulator::snapshot_covered: min_coverage must be >= 1");
+  }
+  CoverageSnapshot out;
+  std::size_t n_covered = 0;
+  for (std::size_t i = 0; i < grid_.n; ++i) {
+    if (coverage_[i] >= min_coverage) ++n_covered;
+  }
+  out.track = make_fused_shell(n_covered);
+  out.cells.reserve(n_covered);
+  out.coverage.reserve(n_covered);
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < grid_.n; ++i) {
+    if (coverage_[i] < min_coverage) continue;
+    out.cells.push_back(i);
+    out.coverage.push_back(coverage_[i]);
+    out.track.s[j] = grid_.at(i);
+    out.track.grade[j] = grade_sum_[i] / weight_sum_[i];
+    out.track.grade_var[j] = 1.0 / weight_sum_[i];
+    out.track.speed[j] = speed_sum_[i] / weight_sum_[i];
+    // Mean traversal time over the tracks that covered THIS cell. When
+    // coverage_[i] == tracks_added_ this divides by the same double as
+    // snapshot(), keeping the all-covered case bit-identical.
+    out.track.t[j] = t_sum_[i] / static_cast<double>(coverage_[i]);
+    ++j;
+  }
+  return out;
 }
 
 // ------------------------------------------------------ entry points ----

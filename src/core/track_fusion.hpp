@@ -93,6 +93,21 @@ class FusionAccumulator {
   /// @throws std::invalid_argument on an empty or malformed track.
   void add_track(const GradeTrack& track);
 
+  /// add_track restricted to grid cells [cell_begin, cell_end): the
+  /// track's contribution to every cell in the range is bit-identical to
+  /// what an unrestricted add_track would have written there (same
+  /// interpolation brackets, same arithmetic), and cells outside the
+  /// range are untouched. This is the tile-boundary splitting primitive
+  /// of the sharded map service: a track crossing tile boundaries is
+  /// applied once per tile with the tile's cell range, and the cell-wise
+  /// union reproduces the unsplit add exactly. cell_end is clamped to the
+  /// grid; tracks_added() counts each call (a split track counts once per
+  /// sub-range it was applied with).
+  /// @throws std::invalid_argument on an empty or malformed track, or
+  /// cell_begin > cell_end.
+  void add_track_cells(const GradeTrack& track, std::size_t cell_begin,
+                       std::size_t cell_end);
+
   /// add_track for each track, in order.
   void add_tracks(const std::vector<GradeTrack>& tracks);
 
@@ -108,14 +123,52 @@ class FusionAccumulator {
                            runtime::StageMetrics* metrics = nullptr);
 
   /// Cell-wise sum of another accumulator over the same grid and config.
-  /// @throws std::invalid_argument on grid or config mismatch.
+  /// @throws std::invalid_argument on grid or config mismatch, naming the
+  /// mismatching field (spacing / origin / length / min_variance /
+  /// distance_step_m) so shard-rebalance failures are diagnosable.
   void merge(const FusionAccumulator& other);
+
+  /// merge() restricted to cells [cell_begin, cell_end) (cell_end clamped
+  /// to the grid): the other accumulator's sums and coverage are added
+  /// cell-wise over the range only; tracks_added() still absorbs the
+  /// other's full count. This is the shard-rebalancing primitive — a new
+  /// shard layout is seeded by copying each tile's cell range out of the
+  /// merged old shards.
+  /// @throws std::invalid_argument like merge(), or on cell_begin >
+  /// cell_end.
+  void merge_cells(const FusionAccumulator& other, std::size_t cell_begin,
+                   std::size_t cell_end);
 
   /// Finalize Eq. 6 over the contiguous run of cells covered by every
   /// track added so far. On the overlap grid of the same tracks this is
   /// bit-identical to fuse_tracks_distance.
   /// @throws std::invalid_argument if no cell is covered by all tracks.
   GradeTrack snapshot() const;
+
+  /// Sparse-coverage snapshot: the cells with coverage >= min_coverage,
+  /// finalized per cell over the tracks that actually covered it (t is
+  /// the mean traversal time of those tracks). Unlike snapshot(), this
+  /// never throws on partial coverage — a city grid fed by partial trips
+  /// returns whatever is covered (possibly nothing). When every track
+  /// added covers every selected cell (min_coverage == tracks_added() on
+  /// an overlap grid), the result is bit-identical to snapshot() /
+  /// fuse_tracks_distance on those cells.
+  ///
+  /// The returned track's `s` is strictly increasing but `t` is NOT
+  /// guaranteed monotone across coverage changes (different cells average
+  /// different track subsets), so the result intentionally skips the full
+  /// GradeTrack::validate() contract; `cells` maps each sample back to
+  /// its grid cell index and `coverage` reports the per-cell contributor
+  /// count.
+  /// @throws std::invalid_argument if min_coverage == 0.
+  struct CoverageSnapshot {
+    GradeTrack track;
+    std::vector<std::size_t> cells;
+    std::vector<std::uint32_t> coverage;
+
+    std::size_t size() const { return cells.size(); }
+  };
+  CoverageSnapshot snapshot_covered(std::uint32_t min_coverage = 1) const;
 
   const FusionGrid& grid() const { return grid_; }
   const FusionConfig& config() const { return cfg_; }

@@ -190,6 +190,138 @@ TEST(FusionAccumulator, ParallelAddDeterministicAcrossThreadCounts) {
   }
 }
 
+// ---- sparse snapshots and the tile-splitting primitives ----------------
+
+TEST(FusionAccumulator, SnapshotCoveredFullCoverageBitIdentical) {
+  const auto tracks = synth_fleet(8, 4000.0);
+  FusionConfig cfg;
+  FusionAccumulator acc(make_overlap_grid(tracks, cfg), cfg);
+  acc.add_tracks(tracks);
+
+  // Every track covers every overlap-grid cell, so thresholding at the
+  // full track count must reproduce the strict snapshot (and therefore
+  // fuse_tracks_distance) bit for bit.
+  const auto covered = acc.snapshot_covered(
+      static_cast<std::uint32_t>(acc.tracks_added()));
+  expect_bit_identical(covered.track, acc.snapshot());
+  expect_bit_identical(covered.track, fuse_tracks_distance(tracks, cfg));
+  ASSERT_EQ(covered.size(), acc.grid().n);
+  for (std::size_t j = 0; j < covered.size(); ++j) {
+    EXPECT_EQ(covered.cells[j], j);
+    EXPECT_EQ(covered.coverage[j], acc.tracks_added());
+  }
+}
+
+TEST(FusionAccumulator, SnapshotCoveredServesSparseCoverage) {
+  // Two trips over disjoint sub-spans of a city grid: the strict
+  // snapshot throws (no common cell), but the sparse snapshot serves
+  // both covered runs with a gap between them.
+  FusionGrid grid{0.0, 1000.0, 10.0, 101};
+  FusionAccumulator acc{grid, FusionConfig{}};
+  acc.add_track(synth_track(1, 0.0, 400.0, 100));     // cells 0..40
+  acc.add_track(synth_track(2, 600.0, 1000.0, 100));  // cells 60..100
+  EXPECT_THROW(acc.snapshot(), std::invalid_argument);
+
+  const auto sparse = acc.snapshot_covered();
+  ASSERT_EQ(sparse.size(), 82u);
+  for (std::size_t j = 0; j < sparse.size(); ++j) {
+    EXPECT_EQ(sparse.track.s[j], grid.at(sparse.cells[j])) << j;
+    EXPECT_EQ(sparse.coverage[j], 1u) << j;
+    if (j > 0) {
+      EXPECT_GT(sparse.cells[j], sparse.cells[j - 1]) << j;
+    }
+  }
+  EXPECT_EQ(sparse.cells.front(), 0u);
+  EXPECT_EQ(sparse.cells.back(), 100u);
+
+  // Nothing reaches coverage 2; that is an empty result, not an error.
+  EXPECT_EQ(acc.snapshot_covered(2).size(), 0u);
+  FusionAccumulator empty{grid, FusionConfig{}};
+  EXPECT_EQ(empty.snapshot_covered().size(), 0u);
+  EXPECT_THROW(acc.snapshot_covered(0), std::invalid_argument);
+}
+
+TEST(FusionAccumulator, AddTrackCellsSplitBitIdenticalToUnsplitAdd) {
+  FusionGrid grid{0.0, 1000.0, 10.0, 101};
+  const GradeTrack tr = synth_track(7, 123.0, 881.0, 300);
+
+  FusionAccumulator whole{grid, FusionConfig{}};
+  whole.add_track(tr);
+  FusionAccumulator split{grid, FusionConfig{}};
+  split.add_track_cells(tr, 0, 35);   // "tile" 0, mostly before the track
+  split.add_track_cells(tr, 35, 70);  // interior boundary mid-track
+  split.add_track_cells(tr, 70, 999);  // cell_end clamps to the grid
+
+  const auto a = whole.snapshot_covered();
+  const auto b = split.snapshot_covered();
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(a.coverage, b.coverage);
+  expect_bit_identical(a.track, b.track);
+  // tracks_added counts sub-range applications, not distinct tracks.
+  EXPECT_EQ(split.tracks_added(), 3u);
+
+  EXPECT_THROW(split.add_track_cells(tr, 5, 2), std::invalid_argument);
+}
+
+TEST(FusionAccumulator, MergeErrorNamesMismatchedField) {
+  const FusionGrid grid{0.0, 100.0, 5.0, 21};
+  const FusionConfig cfg;
+  const auto expect_names = [&](const FusionGrid& g2, const FusionConfig& c2,
+                                const char* field) {
+    FusionAccumulator a{grid, cfg};
+    const FusionAccumulator b{g2, c2};
+    try {
+      a.merge(b);
+      FAIL() << "merge accepted a " << field << " mismatch";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  FusionGrid step = grid;
+  step.step = 2.5;
+  expect_names(step, cfg, "spacing");
+  FusionGrid origin = grid;
+  origin.lo = 5.0;
+  expect_names(origin, cfg, "origin");
+  FusionGrid length = grid;
+  length.hi = 200.0;
+  length.n = 41;
+  expect_names(length, cfg, "length");
+  FusionConfig min_var = cfg;
+  min_var.min_variance = 1e-6;
+  expect_names(grid, min_var, "min_variance");
+  FusionConfig step_cfg = cfg;
+  step_cfg.distance_step_m = 10.0;
+  expect_names(grid, step_cfg, "distance_step_m");
+}
+
+TEST(FusionAccumulator, MergeCellsSeedsOnlyTheRequestedRange) {
+  FusionGrid grid{0.0, 1000.0, 10.0, 101};
+  FusionAccumulator full{grid, FusionConfig{}};
+  full.add_track(synth_track(11, 0.0, 1000.0, 400));
+
+  // Seed two halves into separate accumulators, then merge them back:
+  // the round trip must be bit-identical (tiles partition cells).
+  FusionAccumulator lo{grid, FusionConfig{}};
+  FusionAccumulator hi{grid, FusionConfig{}};
+  lo.merge_cells(full, 0, 50);
+  hi.merge_cells(full, 50, grid.n);
+  FusionAccumulator rebuilt{grid, FusionConfig{}};
+  rebuilt.merge(lo);
+  rebuilt.merge(hi);
+
+  const auto a = full.snapshot_covered();
+  const auto b = rebuilt.snapshot_covered();
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(a.coverage, b.coverage);
+  expect_bit_identical(a.track, b.track);
+
+  const auto lo_snap = lo.snapshot_covered();
+  ASSERT_FALSE(lo_snap.cells.empty());
+  EXPECT_LT(lo_snap.cells.back(), 50u);
+}
+
 // ---- cursor paths vs reference -----------------------------------------
 
 TEST(CursorParity, DistanceFusionMatchesReferenceOnSynthetics) {

@@ -8,8 +8,12 @@
 // verified through the observability counters.
 #include "core/road_matcher.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <memory>
 #include <random>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -215,6 +219,112 @@ TEST(RoadMatcher, MatchTrackParityAcrossScenarioRoutes) {
       EXPECT_EQ(a[i].valid, b[i].valid);
     }
   }
+}
+
+// ---- MatcherCache content identity --------------------------------------
+
+/// Roads that agree on name, length, and sample count but (optionally)
+/// differ in their mid-road grades — exactly the shape that fooled a
+/// cache keyed by address plus endpoint fingerprints.
+road::Road named_road(const std::string& name, double mid_grade_deg) {
+  road::RoadBuilder b(name);
+  b.add_straight(400.0, deg2rad(1.0));
+  b.add_section(road::SectionSpec{300.0, deg2rad(1.0),
+                                  deg2rad(mid_grade_deg), deg2rad(40.0), 1});
+  b.add_straight(400.0, deg2rad(mid_grade_deg));
+  return b.build();
+}
+
+TEST(MatcherCache, SameContentHitsAcrossDistinctObjects) {
+  MatcherCache cache(4);
+  const road::Road a = named_road("cache-road", -2.0);
+  const road::Road b = named_road("cache-road", -2.0);
+  // Two separately built but identical roads share one matcher: identity
+  // is the content hash, not the object address.
+  EXPECT_EQ(cache.get(a).get(), cache.get(b).get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MatcherCache, DifferentMidGeometrySameFingerprintFieldsMisses) {
+  MatcherCache cache(4);
+  const road::Road a = named_road("twin", -2.0);
+  const road::Road b = named_road("twin", 3.0);
+  ASSERT_EQ(a.length_m(), b.length_m());
+  ASSERT_EQ(a.sample_count(), b.sample_count());
+  EXPECT_NE(cache.get(a).get(), cache.get(b).get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(MatcherCache, RecycledAddressDoesNotServeStaleMatcher) {
+  // Regression: the old cache keyed entries by road address, so a road
+  // destroyed and replaced by a different one at the same address could
+  // be served the dead road's matcher.
+  MatcherCache cache(4);
+  const void* first_addr = nullptr;
+  std::shared_ptr<const RoadMatcher> stale;
+  {
+    const auto doomed =
+        std::make_unique<road::Road>(named_road("recycled", -2.0));
+    first_addr = doomed.get();
+    stale = cache.get(*doomed);
+  }
+  // Same-size allocation usually reuses the slot immediately; pin the
+  // misses so the allocator cannot hand the same wrong address back.
+  std::unique_ptr<road::Road> replacement;
+  std::vector<std::unique_ptr<road::Road>> pinned;
+  for (int i = 0; i < 64 && replacement == nullptr; ++i) {
+    auto cand = std::make_unique<road::Road>(named_road("recycled", 3.0));
+    if (cand.get() == first_addr) {
+      replacement = std::move(cand);
+    } else {
+      pinned.push_back(std::move(cand));
+    }
+  }
+  if (replacement == nullptr) {
+    GTEST_SKIP() << "allocator never recycled the address";
+  }
+  const auto fresh = cache.get(*replacement);
+  EXPECT_NE(fresh.get(), stale.get());
+  // And it projects against the NEW road's geometry.
+  const auto fix = fresh->match_point(replacement->geo_at(700.0));
+  EXPECT_TRUE(fix.valid);
+  EXPECT_NEAR(fix.s_m, 700.0, 1.0);
+}
+
+TEST(MatcherCache, EvictsBeyondCapacityKeepsMostRecentlyUsed) {
+  MatcherCache cache(2);
+  const road::Road a = named_road("lru-a", 1.0);
+  const road::Road b = named_road("lru-b", 1.0);
+  const road::Road c = named_road("lru-c", 1.0);
+  const auto ma = cache.get(a);
+  (void)cache.get(b);
+  (void)cache.get(a);  // a becomes most recently used
+  (void)cache.get(c);  // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.get(a).get(), ma.get());  // still the cached instance
+  EXPECT_EQ(cache.capacity(), 2u);
+}
+
+TEST(MatcherCache, ConcurrentGetIsThreadSafe) {
+  MatcherCache cache(3);  // smaller than the road set: eviction under load
+  std::vector<road::Road> roads;
+  for (int i = 0; i < 4; ++i) {
+    roads.push_back(
+        named_road("concurrent-" + std::to_string(i), 1.0 + i));
+  }
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &roads, &bad, t] {
+      for (int i = 0; i < 50; ++i) {
+        const auto m = cache.get(roads[(t + i) % roads.size()]);
+        if (m == nullptr || m->vertex_count() < 2) bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_LE(cache.size(), 3u);
 }
 
 TEST(RoadMatcher, WrapperEqualsDirectMatcher) {
