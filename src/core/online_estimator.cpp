@@ -27,6 +27,22 @@ int sign_class(double w, double zero_band) {
   return w > zero_band ? 1 : (w < -zero_band ? -1 : 0);
 }
 
+/// Non-finite samples are rejected at the API boundary: a NaN timestamp
+/// would poison last_imu_t_ (NaN compares false against everything, so
+/// the monotonicity guard silently disarms) and a NaN payload poisons the
+/// EKF state and every estimate after it. Found by the hostile-world
+/// scenario fuzzer driving NaN-spiked traces through the streaming path.
+bool finite_imu_sample(const sensors::ImuSample& s) {
+  return std::isfinite(s.t) && std::isfinite(s.accel_forward) &&
+         std::isfinite(s.accel_lateral) && std::isfinite(s.accel_vertical) &&
+         std::isfinite(s.gyro_z);
+}
+
+bool finite_gps_fix(const sensors::GpsFix& f) {
+  return std::isfinite(f.t) && std::isfinite(f.speed_mps) &&
+         std::isfinite(f.heading_rad);
+}
+
 }  // namespace
 
 void OnlineGradientEstimator::DetectionRing::grow() {
@@ -71,6 +87,10 @@ bool OnlineGradientEstimator::accept_measurement_time(SourceFilter& src,
 }
 
 void OnlineGradientEstimator::push_gps(const sensors::GpsFix& fix) {
+  if (!finite_gps_fix(fix)) {
+    OBS_COUNT("online.rejected_nonfinite", 1);
+    return;
+  }
   if (!fix.valid) {
     have_prev_fix_ = false;
     return;
@@ -99,6 +119,10 @@ void OnlineGradientEstimator::push_gps(const sensors::GpsFix& fix) {
 }
 
 void OnlineGradientEstimator::push_speedometer(double t, double speed_mps) {
+  if (!std::isfinite(t) || !std::isfinite(speed_mps)) {
+    OBS_COUNT("online.rejected_nonfinite", 1);
+    return;
+  }
   if (!accept_measurement_time(speedometer_, t)) {
     OBS_COUNT("online.rejected_nonmonotonic", 1);
     return;
@@ -113,6 +137,10 @@ void OnlineGradientEstimator::push_speedometer(double t, double speed_mps) {
 }
 
 void OnlineGradientEstimator::push_canbus(double t, double speed_mps) {
+  if (!std::isfinite(t) || !std::isfinite(speed_mps)) {
+    OBS_COUNT("online.rejected_nonfinite", 1);
+    return;
+  }
   if (!accept_measurement_time(canbus_, t)) {
     OBS_COUNT("online.rejected_nonmonotonic", 1);
     return;
@@ -150,6 +178,10 @@ double OnlineGradientEstimator::fused_speed() const {
 }
 
 void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
+  if (!finite_imu_sample(sample)) {
+    OBS_COUNT("online.rejected_nonfinite", 1);
+    return;
+  }
   if (have_imu_ && sample.t <= last_imu_t_) {
     OBS_COUNT("online.rejected_nonmonotonic", 1);
     return;

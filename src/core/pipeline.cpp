@@ -55,12 +55,20 @@ PipelineResult estimate_gradient_impl(const sensors::SensorTrace& trace,
   // nothing usable remains.
   const sensors::SensorTrace* active = &trace;
   sensors::SensorTrace sanitized;
-  if (config.sanitize_input && !sensors::trace_is_finite(trace)) {
+  if (config.sanitize_input && !sensors::trace_is_clean(trace)) {
     sanitized = trace;
-    sensors::sanitize_trace(sanitized);
+    result.sanitize = sensors::sanitize_trace(sanitized);
+    OBS_COUNT("pipeline.sanitizer.dropped_imu",
+              static_cast<std::int64_t>(result.sanitize.dropped_imu));
+    OBS_COUNT("pipeline.sanitizer.dropped_gps",
+              static_cast<std::int64_t>(result.sanitize.dropped_gps));
+    OBS_COUNT("pipeline.sanitizer.dropped_scalar",
+              static_cast<std::int64_t>(result.sanitize.dropped_scalar));
+    OBS_COUNT("pipeline.sanitizer.dropped_unordered",
+              static_cast<std::int64_t>(result.sanitize.dropped_unordered));
     if (sanitized.imu.empty()) {
       throw std::invalid_argument(
-          "estimate_gradient: no finite IMU samples after sanitization");
+          "estimate_gradient: no usable IMU samples after sanitization");
     }
     active = &sanitized;
   }

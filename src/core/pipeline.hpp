@@ -48,10 +48,14 @@ struct PipelineConfig {
   /// (standard drainage crown ~2%).
   double assumed_road_crown = 0.02;
 
-  /// Drop non-finite samples (NaN/Inf timestamps or payloads) from the
-  /// trace before processing. Real logging stacks emit them on glitches;
-  /// without this a single NaN accelerometer sample poisons the EKF state
-  /// and every grade after it. Costs one finiteness scan on clean traces.
+  /// Drop non-finite samples (NaN/Inf timestamps or payloads) and
+  /// regressive-timestamp samples from the trace before processing. Real
+  /// logging stacks emit both on glitches; without this a single NaN
+  /// accelerometer sample poisons the EKF state and every grade after it,
+  /// and an out-of-order block corrupts every downstream time integral.
+  /// Costs one finiteness+order scan on clean traces. Drop counts are
+  /// reported in PipelineResult::sanitize and the pipeline.sanitizer.*
+  /// obs counters.
   bool sanitize_input = true;
 
   /// Estimate and undo the phone's mount-yaw misalignment from the trace
@@ -71,6 +75,8 @@ struct PipelineConfig {
 };
 
 struct PipelineResult {
+  /// Samples the input sanitizer dropped (all zero for a clean trace).
+  sensors::SanitizeReport sanitize;
   /// Mount calibration applied to the trace (yaw 0 if disabled/unreliable).
   MountCalibration mount;
   AlignedStates aligned;

@@ -4,18 +4,21 @@
 
 namespace rge::math {
 
-Rng Rng::fork(std::string_view tag) const {
+std::uint64_t Rng::hash_tag(std::string_view tag) {
   // FNV-1a 64-bit: a fixed, implementation-independent hash. std::hash is
   // deterministic only within one standard library, which would make every
   // forked noise stream — and hence every simulated trace and every golden
-  // accuracy baseline — silently platform-dependent.
+  // accuracy baseline — silently platform-dependent. The (offset basis,
+  // prime) pair and the xor-then-multiply order are pinned by golden tests.
   std::uint64_t h = 14695981039346656037ULL;
   for (const char c : tag) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ULL;
   }
-  return fork(h);
+  return h;
 }
+
+Rng Rng::fork(std::string_view tag) const { return fork(hash_tag(tag)); }
 
 double DriftProcess::step(double dt, Rng& rng) {
   if (dt <= 0.0) return value_;

@@ -23,8 +23,16 @@ class Rng {
   Rng fork(std::uint64_t tag) const {
     return Rng(mix(seed_ ^ mix(tag)));
   }
-  /// Convenience overload hashing a string tag.
+  /// Convenience overload: fork(hash_tag(tag)).
   Rng fork(std::string_view tag) const;
+
+  /// The fixed FNV-1a 64-bit hash fork(string_view) feeds into
+  /// fork(uint64). LOAD-BEARING for determinism: every simulated noise
+  /// stream, golden baseline, and fuzz-corpus seed derives from these
+  /// values, so the constants are pinned by tests/test_rng
+  /// (ForkTagHashGoldens) — changing the hash silently invalidates every
+  /// committed baseline and must be a deliberate, golden-updating change.
+  static std::uint64_t hash_tag(std::string_view tag);
 
   /// Standard normal (mean 0, stddev 1) sample.
   double gaussian() { return normal_(engine_); }

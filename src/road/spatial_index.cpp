@@ -130,10 +130,29 @@ void SegmentIndex::visit_cell(std::int64_t cx, std::int64_t cy, double east,
 }
 
 SegmentMatch SegmentIndex::nearest(double east, double north) const {
-  const auto qx =
-      static_cast<std::int64_t>(std::floor((east - origin_e_) / cell_));
-  const auto qy =
-      static_cast<std::int64_t>(std::floor((north - origin_n_) / cell_));
+  if (!(std::isfinite(east) && std::isfinite(north))) {
+    // Bit-identical to nearest_brute on a non-finite query: every
+    // projection distance is NaN, so nothing ever improves the infinite
+    // sentinel. Without this guard the ring search never terminates —
+    // floor(NaN) casts to INT64_MIN, `found` stays false (NaN compares
+    // false), and the exhaustion check needs ~2^63 rings. Found by the
+    // hostile-world fuzzer (NaN-spiked GPS reaching rekey_track_by_road).
+    SegmentMatch none;
+    none.d2 = std::numeric_limits<double>::infinity();
+    return none;
+  }
+  // Clamp the start cell into the occupied range: a far-away (but finite)
+  // query would otherwise pay one empty ring per cell of separation
+  // before reaching the grid. Rings around the clamped cell keep the
+  // lower-bound argument valid — per axis, any in-grid point is at least
+  // as far from the true query as from the clamped cell — so the result
+  // is still exact.
+  const auto qx = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::floor((east - origin_e_) / cell_)), 0,
+      max_cx_);
+  const auto qy = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::floor((north - origin_n_) / cell_)), 0,
+      max_cy_);
 
   SegmentMatch best;
   best.d2 = std::numeric_limits<double>::infinity();

@@ -1,0 +1,100 @@
+#include "sensors/phone_population.hpp"
+
+#include "math/rng.hpp"
+
+namespace rge::sensors {
+
+namespace {
+
+using math::Rng;
+
+DeviceTier draw_tier(Rng& rng) {
+  const double u = rng.uniform(0.0, 1.0);
+  if (u < 0.15) return DeviceTier::kFlagship;
+  if (u < 0.60) return DeviceTier::kMidrange;
+  if (u < 0.85) return DeviceTier::kBudget;
+  return DeviceTier::kAging;
+}
+
+/// Multiplicative per-unit spread around a tier baseline.
+double jitter(Rng& rng, double value, double spread = 0.25) {
+  return value * rng.uniform(1.0 - spread, 1.0 + spread);
+}
+
+SmartphoneConfig draw_config(DeviceTier tier, Rng& rng) {
+  SmartphoneConfig cfg;  // midrange baseline = the defaults
+  switch (tier) {
+    case DeviceTier::kFlagship:
+      cfg.accel_white_sigma = jitter(rng, 0.03);
+      cfg.accel_drift_sigma = jitter(rng, 0.008);
+      cfg.gyro_white_sigma = jitter(rng, 0.004);
+      cfg.gyro_drift_sigma = jitter(rng, 0.002);
+      cfg.gps_pos_sigma_m = jitter(rng, 2.0);
+      cfg.gps_speed_sigma = jitter(rng, 0.18);
+      cfg.premium_can = true;
+      break;
+    case DeviceTier::kMidrange:
+      cfg.accel_white_sigma = jitter(rng, cfg.accel_white_sigma);
+      cfg.accel_drift_sigma = jitter(rng, cfg.accel_drift_sigma);
+      cfg.gyro_white_sigma = jitter(rng, cfg.gyro_white_sigma);
+      cfg.gps_pos_sigma_m = jitter(rng, cfg.gps_pos_sigma_m);
+      cfg.premium_can = rng.bernoulli(0.5);
+      break;
+    case DeviceTier::kBudget:
+      cfg.accel_white_sigma = jitter(rng, 0.09);
+      cfg.accel_drift_sigma = jitter(rng, 0.02);
+      cfg.gyro_white_sigma = jitter(rng, 0.012);
+      cfg.gyro_drift_sigma = jitter(rng, 0.005);
+      cfg.gps_pos_sigma_m = jitter(rng, 5.0);
+      cfg.gps_speed_sigma = jitter(rng, 0.4);
+      cfg.barometer_white_sigma = jitter(rng, 2.0);
+      cfg.premium_can = false;
+      break;
+    case DeviceTier::kAging:
+      cfg.accel_white_sigma = jitter(rng, 0.08);
+      cfg.accel_drift_sigma = jitter(rng, 0.035);
+      cfg.accel_drift_tau_s = jitter(rng, 120.0);
+      cfg.gyro_white_sigma = jitter(rng, 0.01);
+      cfg.gyro_drift_sigma = jitter(rng, 0.008);
+      cfg.gps_pos_sigma_m = jitter(rng, 6.0);
+      cfg.gps_speed_sigma = jitter(rng, 0.5);
+      cfg.random_outage_count = static_cast<int>(rng.uniform_int(1, 3));
+      cfg.barometer_drift_sigma = jitter(rng, 4.0);
+      cfg.premium_can = false;
+      break;
+  }
+  // Every tier: small mount misalignment and per-unit disturbance rate.
+  cfg.mount_yaw_rad = rng.gaussian(0.0, 0.02);
+  cfg.disturbances_per_minute = rng.uniform(0.05, 0.4);
+  return cfg;
+}
+
+}  // namespace
+
+std::string tier_name(DeviceTier tier) {
+  switch (tier) {
+    case DeviceTier::kFlagship: return "flagship";
+    case DeviceTier::kMidrange: return "midrange";
+    case DeviceTier::kBudget: return "budget";
+    case DeviceTier::kAging: return "aging";
+  }
+  return "unknown";
+}
+
+std::vector<DeviceProfile> draw_phone_population(int n, std::uint64_t seed) {
+  std::vector<DeviceProfile> fleet;
+  fleet.reserve(static_cast<std::size_t>(n > 0 ? n : 0));
+  const Rng root = Rng(seed).fork("phone-population");
+  for (int i = 0; i < n; ++i) {
+    Rng rng = root.fork(static_cast<std::uint64_t>(i));
+    DeviceProfile dev;
+    dev.tier = draw_tier(rng);
+    dev.config = draw_config(dev.tier, rng);
+    dev.config.seed =
+        Rng::hash_tag("phone") ^ seed ^ (static_cast<std::uint64_t>(i) << 32);
+    fleet.push_back(std::move(dev));
+  }
+  return fleet;
+}
+
+}  // namespace rge::sensors

@@ -1,0 +1,42 @@
+// Seeded smartphone device population.
+//
+// A crowd-sourced gradient map is fed by whatever phones the crowd owns,
+// not by one calibrated reference device. This module draws a fleet of
+// per-device SmartphoneConfigs from a tiered hardware model — flagship
+// MEMS through aging handsets with drifting sensors, throttled GPS duty
+// cycles, and no OBD dongle — so multi-device tests and the hostile-world
+// fuzzer exercise the heterogeneity the paper's fusion must absorb.
+//
+// Deterministic: the draw flows entirely from the seed through math::Rng
+// forks, so a fuzz failure reproduces from its seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sensors/smartphone.hpp"
+
+namespace rge::sensors {
+
+enum class DeviceTier {
+  kFlagship,  ///< current flagship: clean MEMS, premium CAN dongle
+  kMidrange,  ///< typical device: the defaults, mild per-unit spread
+  kBudget,    ///< cheap MEMS, noisier GPS, no OBD dongle
+  kAging,     ///< years-old handset: strong drift, random GPS outages
+};
+
+/// Stable lowercase identifier ("flagship", ...) used in reports.
+std::string tier_name(DeviceTier tier);
+
+struct DeviceProfile {
+  DeviceTier tier = DeviceTier::kMidrange;
+  SmartphoneConfig config;
+};
+
+/// Draw `n` devices. Tier frequencies roughly follow an installed-base
+/// mix (midrange-heavy); every noise parameter gets per-unit jitter on
+/// top of its tier baseline, and each device receives a forked seed.
+std::vector<DeviceProfile> draw_phone_population(int n, std::uint64_t seed);
+
+}  // namespace rge::sensors

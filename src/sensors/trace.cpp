@@ -5,6 +5,7 @@
 #include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -50,6 +51,29 @@ std::size_t drop_unless(std::vector<T>& xs, Pred keep) {
   return before - xs.size();
 }
 
+template <typename T>
+bool is_ordered(const std::vector<T>& xs) {
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i].t < xs[i - 1].t) return false;
+  }
+  return true;
+}
+
+/// Drop every sample whose timestamp regresses below the running maximum
+/// of its stream. Keeps the first arrival at any time (duplicates stay),
+/// so an in-order stream passes through untouched.
+template <typename T>
+std::size_t drop_regressive(std::vector<T>& xs) {
+  const std::size_t before = xs.size();
+  double t_max = -std::numeric_limits<double>::infinity();
+  std::erase_if(xs, [&](const T& x) {
+    if (x.t < t_max) return true;
+    t_max = x.t;
+    return false;
+  });
+  return before - xs.size();
+}
+
 }  // namespace
 
 bool trace_is_finite(const SensorTrace& trace) {
@@ -69,6 +93,20 @@ bool trace_is_finite(const SensorTrace& trace) {
   return true;
 }
 
+bool trace_is_ordered(const SensorTrace& trace) {
+  if (!is_ordered(trace.imu) || !is_ordered(trace.gps)) return false;
+  for (const auto* stream :
+       {&trace.speedometer, &trace.canbus_speed, &trace.barometer_alt,
+        &trace.engine_torque, &trace.active_gear}) {
+    if (!is_ordered(*stream)) return false;
+  }
+  return true;
+}
+
+bool trace_is_clean(const SensorTrace& trace) {
+  return trace_is_finite(trace) && trace_is_ordered(trace);
+}
+
 SanitizeReport sanitize_trace(SensorTrace& trace) {
   SanitizeReport report;
   report.dropped_imu = drop_unless(trace.imu, finite_imu);
@@ -77,6 +115,17 @@ SanitizeReport sanitize_trace(SensorTrace& trace) {
        {&trace.speedometer, &trace.canbus_speed, &trace.barometer_alt,
         &trace.engine_torque, &trace.active_gear}) {
     report.dropped_scalar += drop_unless(*stream, finite_scalar);
+  }
+  // Order pass AFTER the finiteness pass: a NaN timestamp must not poison
+  // the running maximum (NaN comparisons are false, so it would silently
+  // pass through and then reject every later sample... after dropping it
+  // here the order scan only ever sees finite times).
+  report.dropped_unordered += drop_regressive(trace.imu);
+  report.dropped_unordered += drop_regressive(trace.gps);
+  for (auto* stream :
+       {&trace.speedometer, &trace.canbus_speed, &trace.barometer_alt,
+        &trace.engine_torque, &trace.active_gear}) {
+    report.dropped_unordered += drop_regressive(*stream);
   }
   return report;
 }

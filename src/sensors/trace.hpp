@@ -55,24 +55,37 @@ struct SensorTrace {
   bool empty() const { return imu.empty(); }
 };
 
-/// Counts of samples removed by sanitize_trace, per stream family.
+/// Counts of samples removed by sanitize_trace, per stream family plus
+/// the timestamp-order pass (which spans every stream).
 struct SanitizeReport {
   std::size_t dropped_imu = 0;
   std::size_t dropped_gps = 0;
-  std::size_t dropped_scalar = 0;  ///< across all scalar streams
+  std::size_t dropped_scalar = 0;     ///< across all scalar streams
+  std::size_t dropped_unordered = 0;  ///< regressive timestamps, any stream
 
   std::size_t total() const {
-    return dropped_imu + dropped_gps + dropped_scalar;
+    return dropped_imu + dropped_gps + dropped_scalar + dropped_unordered;
   }
 };
 
 /// True if every field of every sample in every stream is finite.
 bool trace_is_finite(const SensorTrace& trace);
 
+/// True if every stream's timestamps are non-decreasing (duplicates are
+/// fine — a flushed-twice log block is recoverable; a regression is not).
+bool trace_is_ordered(const SensorTrace& trace);
+
+/// trace_is_finite && trace_is_ordered: the precondition downstream
+/// filters actually rely on. The pipeline's sanitize_input gate.
+bool trace_is_clean(const SensorTrace& trace);
+
 /// Drop samples that would poison downstream filters: any sample whose
 /// timestamp or payload is NaN/Inf (logging glitches, wire corruption,
-/// saturated-to-Inf readings). Kept samples are untouched, so a clean
-/// trace passes through bit-identically. The pipeline applies this
+/// saturated-to-Inf readings), then any sample whose timestamp regresses
+/// below the running maximum of its stream (batched logging stacks can
+/// flush blocks out of order; a negative dt would corrupt every EKF
+/// integral downstream). Kept samples are untouched, so a clean trace
+/// passes through bit-identically. The pipeline applies this
 /// automatically (PipelineConfig::sanitize_input); it is exposed for
 /// tools that ingest third-party traces directly.
 SanitizeReport sanitize_trace(SensorTrace& trace);

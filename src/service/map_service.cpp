@@ -270,6 +270,7 @@ void MapService::ingest(const std::vector<TrackUpload>& uploads,
                                   grid.at(st.cell_end - 1));
     }
     shard.count_ingest(tracks, samples);
+    samples_total_.fetch_add(samples, std::memory_order_relaxed);
   };
   if (pool != nullptr) {
     runtime::parallel_for(*pool, shards_.size(), apply);
@@ -299,6 +300,7 @@ void MapService::ingest_one(const TrackUpload& upload) {
                                   grid.at(st.cell_end - 1));
     }
     shard.count_ingest(per_shard[s].size(), samples);
+    samples_total_.fetch_add(samples, std::memory_order_relaxed);
   }
   OBS_COUNT("service.uploads", 1);
 }
@@ -483,15 +485,6 @@ std::vector<ShardStats> MapService::shard_stats() const {
     stats.push_back(st);
   }
   return stats;
-}
-
-std::uint64_t MapService::total_samples_ingested() const {
-  std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->samples_ingested;
-  }
-  return total;
 }
 
 }  // namespace rge::service

@@ -38,6 +38,7 @@
 //    bit-reproducibility matters.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -176,8 +177,15 @@ class MapService {
   /// The road's matcher served from its home shard's cache (thread-safe).
   std::shared_ptr<const core::RoadMatcher> matcher(RoadId id) const;
 
+  /// Per-shard counters restart at zero on rebalance() (tiles move to
+  /// different shards, so the old attribution is meaningless).
   std::vector<ShardStats> shard_stats() const;
-  std::uint64_t total_samples_ingested() const;
+  /// Durable service-level ingest total: unlike the per-shard stats this
+  /// survives rebalance(), so conservation checks (samples in == samples
+  /// accounted) hold across any re-sharding schedule.
+  std::uint64_t total_samples_ingested() const {
+    return samples_total_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Shard;
@@ -195,6 +203,8 @@ class MapService {
   std::vector<std::size_t> tiles_per_road_;    ///< per road
   std::size_t n_tiles_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> samples_total_{0};  ///< rebalance-durable
 
   mutable std::mutex publish_mu_;  ///< serializes publishers/rebalance
   mutable std::mutex snap_mu_;     ///< guards the published pointer only

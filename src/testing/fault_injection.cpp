@@ -139,13 +139,61 @@ void inject_duplicate_block(SensorTrace& trace, const FaultSpec& spec) {
                    [](const auto& a, const auto& b) { return a.t < b.t; });
 }
 
+void inject_bias_ramp(SensorTrace& trace, const FaultSpec& spec) {
+  const double t0 = spec.bias_ramp_start_frac * trace.duration_s();
+  const double slope = spec.bias_ramp_mps2_per_min / 60.0;
+  for (auto& s : trace.imu) {
+    if (s.t > t0) s.accel_forward += slope * (s.t - t0);
+  }
+}
+
+void inject_gps_spoof(SensorTrace& trace, const FaultSpec& spec) {
+  const double dur = trace.duration_s();
+  const double t0 = spec.spoof_start_frac * dur;
+  const double t1 = t0 + spec.spoof_duration_s;
+  Rng rng = Rng(spec.seed).fork("gps-spoof");
+  // Fixed random bearing for the whole window: a spoofer drags the
+  // position solution coherently, it does not scatter it.
+  const double bearing = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+  const double de = spec.spoof_offset_m * std::cos(bearing);
+  const double dn = spec.spoof_offset_m * std::sin(bearing);
+  for (auto& f : trace.gps) {
+    if (f.t < t0 || f.t >= t1) continue;
+    // Small-angle ENU -> geodetic displacement (metres per degree).
+    const double lat_rad = f.position.latitude_deg * 3.14159265358979323846 /
+                           180.0;
+    f.position.latitude_deg += dn / 111320.0;
+    f.position.longitude_deg += de / (111320.0 * std::cos(lat_rad));
+    f.speed_mps = spec.spoof_speed_mps;
+  }
+}
+
+void inject_out_of_order(SensorTrace& trace, const FaultSpec& spec) {
+  const auto block = static_cast<std::size_t>(
+      std::max(1, spec.out_of_order_block));
+  if (trace.imu.size() < 2 * block + 2) return;
+  Rng rng = Rng(spec.seed).fork("out-of-order");
+  for (int k = 0; k < spec.out_of_order_swaps; ++k) {
+    // Swap two adjacent whole blocks [start, start+block) and
+    // [start+block, start+2*block): the timestamps of the first flushed
+    // block now regress behind the second's.
+    const auto start = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(trace.imu.size() - 2 * block)));
+    std::rotate(trace.imu.begin() + static_cast<std::ptrdiff_t>(start),
+                trace.imu.begin() + static_cast<std::ptrdiff_t>(start + block),
+                trace.imu.begin() +
+                    static_cast<std::ptrdiff_t>(start + 2 * block));
+  }
+}
+
 }  // namespace
 
 std::vector<FaultKind> standard_fault_modes() {
-  return {FaultKind::kGpsOutage,     FaultKind::kBaroBiasStep,
-          FaultKind::kImuDropout,    FaultKind::kImuSaturation,
-          FaultKind::kTruncateTrip,  FaultKind::kNanSpikes,
-          FaultKind::kDuplicateImuBlock};
+  return {FaultKind::kGpsOutage,      FaultKind::kBaroBiasStep,
+          FaultKind::kImuDropout,     FaultKind::kImuSaturation,
+          FaultKind::kTruncateTrip,   FaultKind::kNanSpikes,
+          FaultKind::kDuplicateImuBlock, FaultKind::kAccelBiasRamp,
+          FaultKind::kGpsSpoofJump,   FaultKind::kOutOfOrderImu};
 }
 
 std::string fault_name(FaultKind kind) {
@@ -158,6 +206,9 @@ std::string fault_name(FaultKind kind) {
     case FaultKind::kTruncateTrip: return "truncate_trip";
     case FaultKind::kNanSpikes: return "nan_spikes";
     case FaultKind::kDuplicateImuBlock: return "duplicate_imu_block";
+    case FaultKind::kAccelBiasRamp: return "accel_bias_ramp";
+    case FaultKind::kGpsSpoofJump: return "gps_spoof_jump";
+    case FaultKind::kOutOfOrderImu: return "out_of_order_imu";
   }
   return "unknown";
 }
@@ -181,6 +232,9 @@ void apply_fault(sensors::SensorTrace& trace, const FaultSpec& spec) {
     case FaultKind::kDuplicateImuBlock:
       inject_duplicate_block(trace, spec);
       return;
+    case FaultKind::kAccelBiasRamp: inject_bias_ramp(trace, spec); return;
+    case FaultKind::kGpsSpoofJump: inject_gps_spoof(trace, spec); return;
+    case FaultKind::kOutOfOrderImu: inject_out_of_order(trace, spec); return;
   }
   throw std::invalid_argument("apply_fault: unknown fault kind");
 }

@@ -4,8 +4,9 @@
 // paper discusses (white noise, drift, outage windows). This layer instead
 // perturbs an already-recorded SensorTrace the way real deployments break:
 // receivers losing fixes mid-drive, barometers re-referencing after a
-// pressure door event, logging stacks dropping or duplicating IMU blocks,
-// MEMS ranges saturating, apps dying mid-trip, and NaN/Inf wire corruption.
+// pressure door event, logging stacks dropping, duplicating, or reordering
+// IMU blocks, MEMS ranges saturating, apps dying mid-trip, NaN/Inf wire
+// corruption, slow thermal bias ramps, and coherent GPS spoofing.
 // The harness asserts the pipeline either degrades gracefully or rejects
 // cleanly under every mode — never crashes, never emits non-finite grades.
 //
@@ -30,6 +31,9 @@ enum class FaultKind {
   kTruncateTrip,      ///< app killed mid-trip: every stream cut at t_cut
   kNanSpikes,         ///< NaN/Inf corruption scattered across all streams
   kDuplicateImuBlock, ///< logging hiccup repeats a block of IMU samples
+  kAccelBiasRamp,     ///< slow thermal bias ramp on the forward accel axis
+  kGpsSpoofJump,      ///< fixes teleport a fixed offset for a window
+  kOutOfOrderImu,     ///< batched logger flushes IMU blocks out of order
 };
 
 /// The fault modes the scenario matrix runs (everything except kNone).
@@ -63,6 +67,26 @@ struct FaultSpec {
 
   // kNanSpikes: corrupted samples per stream.
   int spikes_per_stream = 12;
+
+  // kAccelBiasRamp: ramp start (fraction of duration) and slope. The ramp
+  // grows linearly from the start time onward — the slow drift a
+  // sun-baked dashboard phone develops, too slow for the NIS gate.
+  double bias_ramp_start_frac = 0.3;
+  double bias_ramp_mps2_per_min = 0.35;
+
+  // kGpsSpoofJump: window (fraction of duration + length) during which
+  // every fix is displaced by a fixed ENU offset and reports a plausible
+  // but wrong speed.
+  double spoof_start_frac = 0.45;
+  double spoof_duration_s = 20.0;
+  double spoof_offset_m = 250.0;
+  double spoof_speed_mps = 35.0;
+
+  // kOutOfOrderImu: number of adjacent block pairs swapped whole (a
+  // multi-buffer logger flushing queues out of order) and the block size
+  // in samples.
+  int out_of_order_swaps = 4;
+  int out_of_order_block = 25;
 };
 
 /// Convenience: a spec of the given kind with default knobs.

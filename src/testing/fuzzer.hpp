@@ -1,0 +1,100 @@
+// Hostile-world scenario fuzzer: seeded procedural composition of terrain,
+// driver behaviour, device populations, and fault-injector stacks, driven
+// through the FULL stack — sensor simulation, batch pipeline, online
+// estimator, road matcher, and the sharded map service — with *invariants*
+// asserted instead of goldens.
+//
+// Golden baselines pin known scenarios; they cannot cover the combinatorial
+// space of worlds a crowd-sourced deployment meets. The fuzzer instead
+// checks properties that must hold for EVERY world:
+//   * the pipeline either rejects cleanly (std::invalid_argument) or emits
+//     a GradeTrack that passes validate() with finite, bounded grades;
+//   * sanitizer accounting conserves samples (kept + dropped == fed) and
+//     PipelineResult::sanitize matches an independent sanitize_trace run;
+//   * batch results are bit-identical across 1/2/8-thread pools;
+//   * the online estimator never goes non-finite and odometry never
+//     decreases, no matter what is pushed at it;
+//   * indexed map matching is bit-identical to the brute-force reference
+//     and matched arc lengths stay within [0, road length];
+//   * the map service publishes bit-identical snapshots across shard and
+//     pool counts, per-cell coverage is monotone across publishes, epochs
+//     are monotone, published snapshots are immutable after the fact, and
+//     sample counters are conserved across shard layouts;
+//   * concurrent ingest_one/publish/readers converge to the reference
+//     coverage exactly (integers commute) and grades within tolerance.
+//
+// Every case reproduces from its 64-bit seed alone:
+//     build/tests/fuzz_runner --seed=<n>
+// Fixed seeds in fuzz_corpus() are the committed regression surface; the
+// randomized sweep (fuzz_runner --sweep=N) explores beyond it and prints
+// the repro line for any failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sensors/phone_population.hpp"
+#include "testing/fault_injection.hpp"
+#include "testing/terrain.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::testing {
+
+struct FuzzOptions {
+  /// Pool sizes the batch pipeline and service must agree across.
+  std::vector<std::size_t> thread_counts = {1, 2, 8};
+  /// Shard counts the service must agree across.
+  std::vector<std::size_t> shard_counts = {1, 3};
+  /// Run the concurrent ingest_one/publish/reader stage (disable to keep
+  /// a sanitizer sweep's thread churn bounded).
+  bool concurrent_service = true;
+  /// Devices (= trips) drawn per scenario, 1..max_devices.
+  int max_devices = 3;
+};
+
+/// Everything a seed expands into, before any simulation runs.
+struct FuzzScenario {
+  std::uint64_t seed = 0;
+  HostileWorld world;
+  std::vector<sensors::DeviceProfile> devices;  ///< one vehicle each
+  std::vector<vehicle::TripConfig> trips;       ///< parallel to devices
+  /// Per-device fault stack, applied to the recorded trace in order
+  /// (0-2 faults drawn from the standard modes, composed).
+  std::vector<std::vector<FaultSpec>> fault_stacks;
+
+  /// One line: terrain motifs + device tiers + fault names.
+  std::string summary() const;
+};
+
+/// Expand a seed into a scenario (pure; no simulation).
+FuzzScenario compose_scenario(std::uint64_t seed, const FuzzOptions& opts = {});
+
+struct FuzzReport {
+  std::uint64_t seed = 0;
+  std::string scenario;
+  int traces_total = 0;
+  /// Clean pipeline rejections (std::invalid_argument) — an allowed
+  /// outcome of the graceful-degradation contract, not a violation.
+  int traces_rejected = 0;
+  /// Uploads the service admission check accepted for ingest.
+  int uploads_admitted = 0;
+  /// Invariant evaluations performed (a case that exercised little —
+  /// e.g. everything rejected — still reports what it did check).
+  int invariants_checked = 0;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Compose, simulate, and drive seed's world through the full stack,
+/// checking every invariant class above. Never throws: any escaped
+/// exception is converted into a violation.
+FuzzReport run_fuzz_case(std::uint64_t seed, const FuzzOptions& opts = {});
+
+/// The committed fixed-seed corpus (>= 20 composed hostile scenarios plus
+/// minimized regression seeds for bugs the fuzzer has found). Every seed
+/// must pass run_fuzz_case with default options.
+std::vector<std::uint64_t> fuzz_corpus();
+
+}  // namespace rge::testing

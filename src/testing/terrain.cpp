@@ -1,0 +1,243 @@
+#include "testing/terrain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/rng.hpp"
+
+namespace rge::testing {
+
+namespace {
+
+using math::Rng;
+
+constexpr double kPi = 3.14159265358979323846;
+/// Composed routes stay near this length so one fuzz case is cheap.
+constexpr double kMaxRouteLength = 2500.0;
+
+/// Grade ratio -> incline angle in radians.
+double pct(double percent) { return std::atan(percent / 100.0); }
+
+/// Tracks the builder state the motif emitters share: the grade each
+/// section must start on (C0 continuity) and the running length budget.
+struct Composer {
+  road::RoadBuilder& builder;
+  Rng& rng;
+  double grade = 0.0;     ///< grade at the current end of the road (rad)
+  double used_m = 0.0;
+
+  void section(double length, double grade_end, double heading_change,
+               int lanes) {
+    road::SectionSpec spec;
+    spec.length_m = length;
+    spec.grade_start_rad = grade;
+    spec.grade_end_rad = grade_end;
+    spec.heading_change_rad = heading_change;
+    spec.lanes = lanes;
+    builder.add_section(spec);
+    grade = grade_end;
+    used_m += length;
+  }
+
+  double remaining() const { return kMaxRouteLength - used_m; }
+};
+
+void emit_flat(Composer& c) {
+  // Ramp back to level, then hold.
+  c.section(40.0, 0.0, 0.0, 2);
+  c.section(c.rng.uniform(80.0, 220.0), 0.0, 0.0, 2);
+}
+
+void emit_rolling_hills(Composer& c) {
+  const int crests = static_cast<int>(c.rng.uniform_int(3, 6));
+  double sign = c.rng.bernoulli(0.5) ? 1.0 : -1.0;
+  for (int i = 0; i < crests; ++i) {
+    const double g = sign * c.rng.uniform(2.0, 5.0);
+    c.section(c.rng.uniform(50.0, 110.0), pct(g), 0.0, 2);
+    sign = -sign;
+  }
+  c.section(30.0, 0.0, 0.0, 2);
+}
+
+void emit_steep_ramp(Composer& c, double dir) {
+  const double g = dir * c.rng.uniform(8.0, 14.0);
+  c.section(c.rng.uniform(30.0, 60.0), pct(g), 0.0, 1);   // onset
+  c.section(c.rng.uniform(120.0, 260.0), pct(g), 0.0, 1); // sustained
+  c.section(c.rng.uniform(30.0, 60.0), 0.0, 0.0, 1);      // runout
+}
+
+void emit_switchbacks(Composer& c) {
+  // Hairpin stack: short steep legs joined by ~150-170 degree hairpin
+  // turns, the canonical mountain-pass profile. Grades exceed +-8 %.
+  const int hairpins = static_cast<int>(c.rng.uniform_int(3, 5));
+  const double climb_dir = c.rng.bernoulli(0.5) ? 1.0 : -1.0;
+  double turn_sign = c.rng.bernoulli(0.5) ? 1.0 : -1.0;
+  const double g = climb_dir * c.rng.uniform(8.5, 12.0);
+  c.section(30.0, pct(g), 0.0, 1);  // onset ramp onto the stack
+  for (int i = 0; i < hairpins; ++i) {
+    // Straight leg at full grade, then the hairpin (grade held through it;
+    // real switchbacks ease slightly but staying steep is the hard case).
+    c.section(c.rng.uniform(60.0, 120.0), pct(g), 0.0, 1);
+    const double turn = turn_sign * c.rng.uniform(2.6, 3.0);  // ~150-172 deg
+    c.section(c.rng.uniform(35.0, 55.0), pct(g), turn, 1);
+    turn_sign = -turn_sign;
+  }
+  c.section(40.0, 0.0, 0.0, 1);  // crest/foot runout
+}
+
+void emit_tunnel(Composer& c, HostileWorld& world) {
+  const double start = c.used_m;
+  const double g = c.rng.uniform(-2.5, 2.5);
+  c.section(25.0, pct(g), 0.0, 2);  // portal approach
+  c.section(c.rng.uniform(220.0, 450.0), pct(g), c.rng.uniform(-0.3, 0.3), 2);
+  c.section(25.0, 0.0, 0.0, 2);
+  world.gps_denied_s.emplace_back(start, c.used_m);
+}
+
+void emit_canyon(Composer& c, HostileWorld& world) {
+  const double start = c.used_m;
+  const int bends = static_cast<int>(c.rng.uniform_int(3, 5));
+  double sign = c.rng.bernoulli(0.5) ? 1.0 : -1.0;
+  for (int i = 0; i < bends; ++i) {
+    const double g = c.rng.uniform(-3.0, 3.0);
+    c.section(c.rng.uniform(60.0, 110.0), pct(g),
+              sign * c.rng.uniform(0.5, 1.1), 1);
+    sign = -sign;
+  }
+  c.section(30.0, 0.0, 0.0, 1);
+  world.gps_degraded_s.emplace_back(start, c.used_m);
+}
+
+void emit_s_curves(Composer& c) {
+  // The builder's add_s_curve needs a constant grade; level out first.
+  c.section(30.0, 0.0, 0.0, 2);
+  const int chains = static_cast<int>(c.rng.uniform_int(2, 4));
+  for (int i = 0; i < chains; ++i) {
+    road::SectionSpec quarter;
+    const double total = c.rng.uniform(90.0, 160.0);
+    const double amp = c.rng.uniform(0.25, 0.55);
+    // Mirror RoadBuilder::add_s_curve via four quarter arcs so the
+    // composer's length accounting stays exact.
+    const double signs[4] = {amp, -amp, -amp, amp};
+    for (double hc : signs) {
+      quarter.length_m = total / 4.0;
+      quarter.grade_start_rad = 0.0;
+      quarter.grade_end_rad = 0.0;
+      quarter.heading_change_rad = hc;
+      quarter.lanes = 2;
+      c.builder.add_section(quarter);
+      c.used_m += quarter.length_m;
+    }
+  }
+}
+
+}  // namespace
+
+std::string motif_name(TerrainMotif motif) {
+  switch (motif) {
+    case TerrainMotif::kFlat: return "flat";
+    case TerrainMotif::kRollingHills: return "rolling_hills";
+    case TerrainMotif::kSteepClimb: return "steep_climb";
+    case TerrainMotif::kSteepDescent: return "steep_descent";
+    case TerrainMotif::kSwitchbacks: return "switchbacks";
+    case TerrainMotif::kTunnel: return "tunnel";
+    case TerrainMotif::kCanyon: return "canyon";
+    case TerrainMotif::kSCurves: return "s_curves";
+  }
+  return "unknown";
+}
+
+std::string HostileWorld::summary() const {
+  std::string out;
+  for (const auto& span : spans) {
+    if (!out.empty()) out += "|";
+    out += motif_name(span.motif);
+  }
+  return out;
+}
+
+HostileWorld compose_hostile_world(std::uint64_t seed) {
+  Rng rng = Rng(seed).fork("hostile-terrain");
+  HostileWorld world;
+
+  road::RoadBuilder builder("hostile-" + std::to_string(seed));
+  builder.set_initial_heading(rng.uniform(0.0, 2.0 * kPi));
+  Composer c{builder, rng};
+
+  // Flat head so alignment/EKF warm-up happens before the first hazard.
+  c.section(150.0, 0.0, 0.0, 2);
+  world.spans.push_back({TerrainMotif::kFlat, 0.0, c.used_m});
+
+  const int n_motifs = static_cast<int>(rng.uniform_int(3, 6));
+  for (int i = 0; i < n_motifs && c.remaining() > 500.0; ++i) {
+    const auto motif =
+        static_cast<TerrainMotif>(rng.uniform_int(1, 7));  // skip kFlat
+    const double start = c.used_m;
+    switch (motif) {
+      case TerrainMotif::kRollingHills: emit_rolling_hills(c); break;
+      case TerrainMotif::kSteepClimb: emit_steep_ramp(c, +1.0); break;
+      case TerrainMotif::kSteepDescent: emit_steep_ramp(c, -1.0); break;
+      case TerrainMotif::kSwitchbacks: emit_switchbacks(c); break;
+      case TerrainMotif::kTunnel: emit_tunnel(c, world); break;
+      case TerrainMotif::kCanyon: emit_canyon(c, world); break;
+      case TerrainMotif::kSCurves: emit_s_curves(c); break;
+      case TerrainMotif::kFlat: break;  // unreachable
+    }
+    world.spans.push_back({motif, start, c.used_m});
+    // Breather between hazards: filters should re-converge, and hazards
+    // should not blend into one indistinguishable span.
+    const double breather_start = c.used_m;
+    emit_flat(c);
+    world.spans.push_back({TerrainMotif::kFlat, breather_start, c.used_m});
+  }
+
+  // Flat tail so the last hazard's transient is fully inside the trace.
+  const double tail_start = c.used_m;
+  c.section(100.0, 0.0, 0.0, 2);
+  world.spans.push_back({TerrainMotif::kFlat, tail_start, c.used_m});
+
+  world.road = builder.build();
+  return world;
+}
+
+vehicle::TripConfig draw_driving_profile(std::uint64_t seed) {
+  Rng rng = Rng(seed).fork("driving-profile");
+  vehicle::TripConfig trip;
+  trip.cruise_speed_mps = rng.uniform(6.0, 18.0);
+  trip.start_speed_mps = std::min(trip.cruise_speed_mps, rng.uniform(4.0, 9.0));
+  trip.max_accel = rng.uniform(1.5, 3.0);
+  trip.max_decel = -rng.uniform(2.5, 4.5);
+  trip.accel_jitter_sigma = rng.uniform(0.2, 0.6);
+  trip.lane_changes_per_km = rng.uniform(0.0, 2.0);
+  if (rng.bernoulli(0.45)) {
+    // Stop-and-go congestion: frequent full stops with long dwell.
+    trip.stops_per_km = rng.uniform(0.8, 2.5);
+    trip.stop_duration_s = rng.uniform(4.0, 15.0);
+    trip.cruise_speed_mps = std::min(trip.cruise_speed_mps, 9.0);
+  }
+  trip.seed = Rng::hash_tag("trip") ^ seed;
+  return trip;
+}
+
+std::vector<std::pair<double, double>> arc_interval_to_time_windows(
+    const vehicle::Trip& trip, double s0, double s1) {
+  std::vector<std::pair<double, double>> windows;
+  bool inside = false;
+  double entered = 0.0;
+  for (const auto& st : trip.states) {
+    const bool now_inside = st.s >= s0 && st.s < s1;
+    if (now_inside && !inside) {
+      entered = st.t;
+      inside = true;
+    } else if (!now_inside && inside) {
+      windows.emplace_back(entered, st.t);
+      inside = false;
+    }
+  }
+  if (inside && !trip.states.empty()) {
+    windows.emplace_back(entered, trip.states.back().t);
+  }
+  return windows;
+}
+
+}  // namespace rge::testing

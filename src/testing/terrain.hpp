@@ -1,0 +1,81 @@
+// Hostile-world terrain composer: procedural routes built from the road
+// shapes that break gradient estimators in the field, for the scenario
+// fuzzer (testing/fuzzer.hpp).
+//
+// The committed scenario matrix (testing/scenario.hpp) covers a handful of
+// hand-built routes; this layer instead *draws* a route from a seeded motif
+// grammar — switchback stacks beyond +-8 % grade, long GPS-denied tunnels,
+// multipath canyons, rolling ridgelines, S-curve chains — and composes
+// several motifs into one continuous road with C0 grade continuity (each
+// section starts at the grade the previous one ended on, so the profile
+// never steps discontinuously; real roads do not either).
+//
+// Besides geometry, a motif can imply a sensor environment: tunnels deny
+// GPS outright over their arc span, canyons degrade it (outage bursts).
+// Those spans are reported as arc-length intervals; the fuzzer converts
+// them to per-trip time windows once it knows the speed profile.
+//
+// Everything is deterministic in the seed via math::Rng forks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "road/road.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::testing {
+
+enum class TerrainMotif {
+  kFlat,          ///< control stretch; lets filters re-converge
+  kRollingHills,  ///< short alternating +-2..5 % grades
+  kSteepClimb,    ///< sustained ramp up to +8..14 %
+  kSteepDescent,  ///< sustained ramp down to -8..-14 %
+  kSwitchbacks,   ///< hairpin stack, +-8..12 % grade through the turns
+  kTunnel,        ///< gentle grade, GPS denied over the whole span
+  kCanyon,        ///< winding floor, GPS degraded (multipath outage bursts)
+  kSCurves,       ///< S-curve chain (lane-change detector confusers)
+};
+
+/// Stable lowercase identifier ("switchbacks", ...) used in fuzz reports.
+std::string motif_name(TerrainMotif motif);
+
+/// One motif's arc-length span on the composed road.
+struct MotifSpan {
+  TerrainMotif motif = TerrainMotif::kFlat;
+  double start_s_m = 0.0;
+  double end_s_m = 0.0;
+};
+
+/// A composed hostile route plus the sensor environment it implies.
+struct HostileWorld {
+  road::Road road;
+  std::vector<MotifSpan> spans;
+  /// Arc spans where GPS has no fix at all (tunnels).
+  std::vector<std::pair<double, double>> gps_denied_s;
+  /// Arc spans where GPS is unreliable (canyons); the fuzzer turns each
+  /// into short outage bursts rather than a hard denial.
+  std::vector<std::pair<double, double>> gps_degraded_s;
+
+  std::string summary() const;  ///< "flat|switchbacks|tunnel" style
+};
+
+/// Draw a hostile route: 3-6 motifs between a flat head (filter warm-up)
+/// and tail, total length capped near 2.5 km so a fuzz case stays cheap.
+HostileWorld compose_hostile_world(std::uint64_t seed);
+
+/// Draw a driving profile to pair with a hostile route: cruise speed,
+/// driver aggression, lane-change pressure, and stop-and-go congestion
+/// (stops_per_km up to ~2.5) are all randomized. The returned config's
+/// trip seed is derived from `seed` too.
+vehicle::TripConfig draw_driving_profile(std::uint64_t seed);
+
+/// Convert an arc-length interval on `trip`'s road into the time window(s)
+/// the vehicle spends inside it (empty if never entered). Monotone scan of
+/// the trip states; used to correlate GPS denial with tunnel spans.
+std::vector<std::pair<double, double>> arc_interval_to_time_windows(
+    const vehicle::Trip& trip, double s0, double s1);
+
+}  // namespace rge::testing

@@ -1,0 +1,111 @@
+// Hostile-world fuzz driver (ctest -L fuzz).
+//
+//   fuzz_runner --corpus            run every committed fuzz_corpus() seed
+//   fuzz_runner --seed=N            run one seed (the repro entry point)
+//   fuzz_runner --sweep=N           run N randomized seeds drawn from
+//   fuzz_runner --base-seed=B       ... a fixed base (default below)
+//
+// Every failure prints the composed scenario, the violated invariants, and
+// a one-line repro command; the exit code is the number of failing cases
+// (capped at 125 so it never collides with signal exit codes).
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "testing/fuzzer.hpp"
+
+namespace {
+
+constexpr std::uint64_t kDefaultBaseSeed = 20260808;
+
+bool parse_u64(const char* arg, const char* prefix, std::uint64_t* out) {
+  const std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  char* end = nullptr;
+  *out = std::strtoull(arg + n, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+int run_seeds(const std::vector<std::uint64_t>& seeds) {
+  int failures = 0;
+  long long invariants = 0;
+  int rejected = 0;
+  for (const std::uint64_t seed : seeds) {
+    const rge::testing::FuzzReport report = rge::testing::run_fuzz_case(seed);
+    invariants += report.invariants_checked;
+    rejected += report.traces_rejected;
+    if (report.ok()) {
+      std::printf("ok   seed=%" PRIu64 " invariants=%d rejected=%d/%d "
+                  "uploads=%d %s\n",
+                  report.seed, report.invariants_checked,
+                  report.traces_rejected, report.traces_total,
+                  report.uploads_admitted, report.scenario.c_str());
+    } else {
+      ++failures;
+      std::printf("FAIL seed=%" PRIu64 " %s\n", report.seed,
+                  report.scenario.c_str());
+      for (const std::string& v : report.violations) {
+        std::printf("  violation: %s\n", v.c_str());
+      }
+      std::printf("  repro: fuzz_runner --seed=%" PRIu64 "\n", report.seed);
+    }
+    std::fflush(stdout);
+  }
+  std::printf("%zu case(s), %d failure(s), %lld invariant checks, "
+              "%d clean rejections\n",
+              seeds.size(), failures, invariants, rejected);
+  return failures > 125 ? 125 : failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool corpus = false;
+  std::uint64_t single_seed = 0;
+  bool have_single = false;
+  std::uint64_t sweep = 0;
+  std::uint64_t base_seed = kDefaultBaseSeed;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::uint64_t value = 0;
+    if (std::strcmp(arg, "--corpus") == 0) {
+      corpus = true;
+    } else if (parse_u64(arg, "--seed=", &value)) {
+      single_seed = value;
+      have_single = true;
+    } else if (parse_u64(arg, "--sweep=", &value)) {
+      sweep = value;
+    } else if (parse_u64(arg, "--base-seed=", &value)) {
+      base_seed = value;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fuzz_runner [--corpus] [--seed=N] [--sweep=N] "
+                   "[--base-seed=B]\n");
+      return 2;
+    }
+  }
+
+  std::vector<std::uint64_t> seeds;
+  if (have_single) {
+    seeds.push_back(single_seed);
+  } else if (sweep > 0) {
+    // Draw sweep seeds from the base through the repo's own RNG, so the
+    // sweep is itself reproducible: a failing drawn seed reproduces
+    // directly with --seed=<printed value>.
+    rge::math::Rng rng = rge::math::Rng(base_seed).fork("fuzz-sweep");
+    for (std::uint64_t i = 0; i < sweep; ++i) {
+      seeds.push_back(rng.engine()());
+    }
+  } else {
+    corpus = true;
+  }
+  if (corpus) {
+    const auto fixed = rge::testing::fuzz_corpus();
+    seeds.insert(seeds.begin(), fixed.begin(), fixed.end());
+  }
+  return run_seeds(seeds);
+}

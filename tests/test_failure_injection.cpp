@@ -2,6 +2,7 @@
 // crash, never emit NaNs — under missing streams, extreme noise, stops,
 // disturbances, and hostile traces.
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -178,6 +179,102 @@ TEST(FailureInjection, NanSpikesRejectedWhenSanitizerDisabled) {
   const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
   expect_finite(res.fused);
   EXPECT_LT(evaluate_track(res.fused, sc.trip).median_abs_deg, 0.8);
+}
+
+// ---- exact sanitizer accounting -----------------------------------------
+// The fuzz tier checks sanitizer *conservation* (kept + dropped == fed) on
+// arbitrary fault stacks; these tests pin the exact per-stream counts on
+// hand-built corruptions, so an off-by-one in either pass (finiteness or
+// order) fails loudly rather than as a drifted fuzz invariant.
+
+std::size_t total_samples(const sensors::SensorTrace& t) {
+  return t.imu.size() + t.gps.size() + t.speedometer.size() +
+         t.canbus_speed.size() + t.barometer_alt.size() +
+         t.engine_torque.size() + t.active_gear.size();
+}
+
+TEST(SanitizerExactCounts, NanBurstInImuDropsExactlyThoseSamples) {
+  Scenario sc = make_scenario(21);
+  ASSERT_GE(sc.trace.imu.size(), 140u);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 100; i < 120; ++i) {
+    sc.trace.imu[i].accel_forward = nan;  // 20-sample NaN burst
+  }
+  sc.trace.imu[130].gyro_z = nan;             // plus one lone spike
+  sc.trace.gps[3].position.latitude_deg = nan;  // and one poisoned fix
+
+  const std::size_t fed = total_samples(sc.trace);
+  sensors::SensorTrace cleaned = sc.trace;
+  const auto rep = sensors::sanitize_trace(cleaned);
+  EXPECT_EQ(rep.dropped_imu, 21u);
+  EXPECT_EQ(rep.dropped_gps, 1u);
+  EXPECT_EQ(rep.dropped_scalar, 0u);
+  EXPECT_EQ(rep.dropped_unordered, 0u);
+  EXPECT_EQ(rep.total(), 22u);
+  EXPECT_EQ(total_samples(cleaned) + rep.total(), fed);
+  EXPECT_TRUE(sensors::trace_is_clean(cleaned));
+
+  // The pipeline reports the identical accounting in PipelineResult.
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  EXPECT_EQ(res.sanitize.dropped_imu, 21u);
+  EXPECT_EQ(res.sanitize.dropped_gps, 1u);
+  EXPECT_EQ(res.sanitize.total(), 22u);
+  expect_finite(res.fused);
+}
+
+TEST(SanitizerExactCounts, InfAltitudeDropsOnlyScalarStreams) {
+  Scenario sc = make_scenario(22);
+  ASSERT_GE(sc.trace.barometer_alt.size(), 30u);
+  ASSERT_GE(sc.trace.speedometer.size(), 10u);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 10; i < 17; ++i) {
+    sc.trace.barometer_alt[i].value = (i % 2 == 0) ? inf : -inf;  // 7 samples
+  }
+  sc.trace.speedometer[5].t = std::numeric_limits<double>::quiet_NaN();
+
+  sensors::SensorTrace cleaned = sc.trace;
+  const auto rep = sensors::sanitize_trace(cleaned);
+  // A NaN *timestamp* is a finiteness drop, not an order drop: the order
+  // pass must never see it (it would poison the running maximum).
+  EXPECT_EQ(rep.dropped_scalar, 8u);
+  EXPECT_EQ(rep.dropped_imu, 0u);
+  EXPECT_EQ(rep.dropped_gps, 0u);
+  EXPECT_EQ(rep.dropped_unordered, 0u);
+  EXPECT_TRUE(sensors::trace_is_clean(cleaned));
+
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  EXPECT_EQ(res.sanitize.dropped_scalar, 8u);
+  EXPECT_EQ(res.sanitize.total(), 8u);
+  expect_finite(res.fused);
+}
+
+TEST(SanitizerExactCounts, OutOfOrderTimestampsDropRegressiveSamplesOnly) {
+  Scenario sc = make_scenario(23);
+  ASSERT_GE(sc.trace.imu.size(), 300u);
+  // Rewind a 5-sample IMU block to an earlier time: every sample in the
+  // block regresses below the running max, later samples do not.
+  for (std::size_t i = 200; i < 205; ++i) {
+    sc.trace.imu[i].t = sc.trace.imu[150].t;
+  }
+  // One regressive GPS fix; equal (duplicate) timestamps must be kept.
+  ASSERT_GE(sc.trace.gps.size(), 10u);
+  sc.trace.gps[7].t = sc.trace.gps[5].t - 0.25;
+  sc.trace.canbus_speed[4].t = sc.trace.canbus_speed[3].t;  // dup, kept
+
+  const std::size_t fed = total_samples(sc.trace);
+  sensors::SensorTrace cleaned = sc.trace;
+  const auto rep = sensors::sanitize_trace(cleaned);
+  EXPECT_EQ(rep.dropped_unordered, 6u);
+  EXPECT_EQ(rep.dropped_imu, 0u);
+  EXPECT_EQ(rep.dropped_gps, 0u);
+  EXPECT_EQ(rep.dropped_scalar, 0u);
+  EXPECT_EQ(total_samples(cleaned) + rep.total(), fed);
+  EXPECT_TRUE(sensors::trace_is_ordered(cleaned));
+
+  const auto res = estimate_gradient(sc.trace, vehicle::VehicleParams{});
+  EXPECT_EQ(res.sanitize.dropped_unordered, 6u);
+  EXPECT_EQ(res.sanitize.total(), 6u);
+  expect_finite(res.fused);
 }
 
 TEST(FailureInjection, VeryShortTrace) {

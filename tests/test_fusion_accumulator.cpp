@@ -241,6 +241,46 @@ TEST(FusionAccumulator, SnapshotCoveredServesSparseCoverage) {
   EXPECT_THROW(acc.snapshot_covered(0), std::invalid_argument);
 }
 
+TEST(FusionAccumulator, SnapshotCoveredThresholdBoundaryIsInclusive) {
+  // Staircase coverage: cells 0..30 seen by 3 tracks, 31..60 by 2, 61..100
+  // by 1. min_coverage == k must include every cell with coverage >= k and
+  // exclude coverage k-1 exactly — an off-by-one here silently serves (or
+  // drops) an entire tile edge.
+  FusionGrid grid{0.0, 1000.0, 10.0, 101};
+  FusionAccumulator acc{grid, FusionConfig{}};
+  acc.add_track(synth_track(1, 0.0, 1000.0, 400));  // cells 0..100
+  acc.add_track(synth_track(2, 0.0, 600.0, 300));   // cells 0..60
+  acc.add_track(synth_track(3, 0.0, 300.0, 200));   // cells 0..30
+
+  const auto want_cells = [&](std::uint32_t min_cov, std::size_t first,
+                              std::size_t last) {
+    const auto snap = acc.snapshot_covered(min_cov);
+    ASSERT_EQ(snap.size(), last - first + 1) << "min_coverage=" << min_cov;
+    EXPECT_EQ(snap.cells.front(), first);
+    EXPECT_EQ(snap.cells.back(), last);
+    for (std::size_t j = 0; j < snap.size(); ++j) {
+      EXPECT_GE(snap.coverage[j], min_cov) << j;
+    }
+  };
+  want_cells(1, 0, 100);  // everything covered at least once
+  want_cells(2, 0, 60);   // coverage-1 tail excluded, boundary cell 60 kept
+  want_cells(3, 0, 30);   // boundary cell 30 kept at exactly 3
+  EXPECT_EQ(acc.snapshot_covered(4).size(), 0u);  // above max: empty, no throw
+
+  // The served values for a thresholded cell are bit-identical to the
+  // unthresholded sparse snapshot at the same cell — thresholding filters,
+  // it never refuses.
+  const auto all = acc.snapshot_covered(1);
+  const auto top = acc.snapshot_covered(3);
+  for (std::size_t j = 0; j < top.size(); ++j) {
+    EXPECT_EQ(top.cells[j], all.cells[j]);
+    EXPECT_EQ(top.coverage[j], all.coverage[j]);
+    EXPECT_EQ(top.track.grade[j], all.track.grade[j]) << j;
+    EXPECT_EQ(top.track.grade_var[j], all.track.grade_var[j]) << j;
+    EXPECT_EQ(top.track.s[j], all.track.s[j]) << j;
+  }
+}
+
 TEST(FusionAccumulator, AddTrackCellsSplitBitIdenticalToUnsplitAdd) {
   FusionGrid grid{0.0, 1000.0, 10.0, 101};
   const GradeTrack tr = synth_track(7, 123.0, 881.0, 300);

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <random>
 #include <string>
@@ -389,6 +390,126 @@ TEST(MapService, ConcurrentIngestPublishSnapshotIsSafe) {
 
   svc.publish();
   serial.publish();
+  const auto a = svc.snapshot();
+  const auto b = serial.snapshot();
+  ASSERT_EQ(a->roads.size(), b->roads.size());
+  for (std::size_t r = 0; r < a->roads.size(); ++r) {
+    EXPECT_EQ(a->roads[r].cells, b->roads[r].cells) << r;
+    EXPECT_EQ(a->roads[r].coverage, b->roads[r].coverage) << r;
+  }
+}
+
+/// Order-insensitive-enough content checksum for immutability checks: FNV
+/// over the exact bit patterns of every view's cells, coverage, and grade.
+std::uint64_t snapshot_checksum(const ServiceSnapshot& snap) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& view : snap.roads) {
+    mix(view.cells.size());
+    for (const auto c : view.cells) mix(c);
+    for (const auto c : view.coverage) mix(c);
+    for (const double g : view.track.grade) {
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(g));
+      std::memcpy(&bits, &g, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+TEST(MapService, RebalanceBetweenConcurrentIngestRoundsKeepsReadersSafe) {
+  // Phased hostile schedule: rounds of concurrent ingest_one + publish,
+  // then writer quiescence, then rebalance to a new shard count — while
+  // reader threads run WITHOUT interruption across every phase. Pinned
+  // epoch snapshots must stay bit-frozen through rebalance (checksummed
+  // every iteration) and the served epoch must never regress. Exercised
+  // under TSan via the tsan-runtime preset (name matches MapService\.).
+  const road::RoadNetwork net = small_city();
+  const auto fleet = synth_fleet(net, 90, 53);
+  MapService svc(net, base_config(4));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> epoch_regressions{0};
+  std::atomic<std::uint64_t> pin_violations{0};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int rdr = 0; rdr < 2; ++rdr) {
+    readers.emplace_back([&] {
+      std::shared_ptr<const ServiceSnapshot> pinned;
+      std::uint64_t pinned_sum = 0;
+      std::uint64_t last_epoch = 0;
+      do {
+        const auto snap = svc.snapshot();
+        if (snap->epoch < last_epoch) {
+          epoch_regressions.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_epoch = snap->epoch;
+        // Re-pin occasionally so the pinned buffer crosses rebalances.
+        if (!pinned || (snap->epoch > pinned->epoch + 2)) {
+          pinned = snap;
+          pinned_sum = snapshot_checksum(*pinned);
+        } else if (snapshot_checksum(*pinned) != pinned_sum) {
+          pin_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+
+  const std::size_t shard_plan[] = {9, 1, 4};
+  const std::size_t slice = fleet.size() / std::size(shard_plan);
+  for (std::size_t round = 0; round < std::size(shard_plan); ++round) {
+    // Phase 1: concurrent streaming ingest + publisher.
+    const std::size_t lo = round * slice;
+    const std::size_t hi =
+        (round + 1 == std::size(shard_plan)) ? fleet.size() : lo + slice;
+    std::atomic<bool> round_done{false};
+    std::vector<std::thread> writers;
+    for (std::size_t w = 0; w < 2; ++w) {
+      writers.emplace_back([&, w] {
+        for (std::size_t i = lo + w; i < hi; i += 2) svc.ingest_one(fleet[i]);
+      });
+    }
+    std::thread publisher([&] {
+      while (!round_done.load(std::memory_order_relaxed)) svc.publish();
+    });
+    for (auto& th : writers) th.join();
+    round_done.store(true, std::memory_order_relaxed);
+    publisher.join();
+
+    // Phase 2: writers and publisher quiesced (rebalance's documented
+    // precondition); readers are still running. Rebalancing must
+    // preserve the published map bit-exactly.
+    svc.publish();
+    const auto before = svc.snapshot();
+    const std::uint64_t before_sum = snapshot_checksum(*before);
+    svc.rebalance(shard_plan[round]);
+    EXPECT_EQ(svc.n_shards(), shard_plan[round]);
+    svc.publish();
+    const auto after = svc.snapshot();
+    EXPECT_EQ(snapshot_checksum(*after), before_sum) << "round " << round;
+    expect_snapshots_identical(*after, *before);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(epoch_regressions.load(), 0u);
+  EXPECT_EQ(pin_violations.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+
+  // Conservation after the full phased schedule: same cells and coverage
+  // as one serial pass over the whole fleet.
+  MapService serial(net, base_config(4));
+  for (const auto& up : fleet) serial.ingest_one(up);
+  serial.publish();
+  EXPECT_EQ(svc.total_samples_ingested(), serial.total_samples_ingested());
   const auto a = svc.snapshot();
   const auto b = serial.snapshot();
   ASSERT_EQ(a->roads.size(), b->roads.size());

@@ -2,6 +2,7 @@
 #include "math/rng.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -51,6 +52,36 @@ TEST(Rng, ForkByString) {
   Rng g = parent.fork("gyro");
   EXPECT_DOUBLE_EQ(a.gaussian(), a2.gaussian());
   EXPECT_NE(a.gaussian(), g.gaussian());
+}
+
+TEST(Rng, ForkTagHashGoldens) {
+  // Pinned FNV-1a 64 values for the tags the simulation and fuzz stack
+  // fork on. These are load-bearing: every committed golden baseline and
+  // the fixed-seed fuzz corpus derive their streams from hash_tag, so a
+  // hash change silently re-rolls every scenario. If this test fails you
+  // changed the hash — regenerate ALL goldens or revert.
+  EXPECT_EQ(Rng::hash_tag(""), 0xcbf29ce484222325ULL);  // FNV offset basis
+  EXPECT_EQ(Rng::hash_tag("hostile-terrain"), 0xd0cd443e69923fb1ULL);
+  EXPECT_EQ(Rng::hash_tag("driving-profile"), 0xed4fb91e72c307c8ULL);
+  EXPECT_EQ(Rng::hash_tag("phone-population"), 0xace02190607a1121ULL);
+  EXPECT_EQ(Rng::hash_tag("fuzz-scenario"), 0xa0034449759c9f75ULL);
+  EXPECT_EQ(Rng::hash_tag("fuzz-sweep"), 0x9e57b07f7a61b661ULL);
+  EXPECT_EQ(Rng::hash_tag("trip"), 0x5b33bbef512af60aULL);
+  EXPECT_EQ(Rng::hash_tag("phone"), 0x31fc9c6bde865d6fULL);
+
+  // fork(string) is exactly fork(hash_tag(string)) — checked on the raw
+  // mt19937_64 outputs, which the standard specifies exactly, so these
+  // goldens are portable across platforms and library versions.
+  const Rng parent(20260808);
+  Rng by_string = parent.fork("fuzz-sweep");
+  Rng by_hash = parent.fork(Rng::hash_tag("fuzz-sweep"));
+  const std::uint64_t draws[] = {
+      0x8849682841f079f7ULL, 0x6e24d2c31f18d5ecULL,
+      0x89a5770f6e1faf4eULL, 0x163dc3a1a4a8bdcfULL};
+  for (const std::uint64_t want : draws) {
+    EXPECT_EQ(by_string.engine()(), want);
+    EXPECT_EQ(by_hash.engine()(), want);
+  }
 }
 
 TEST(Rng, GaussianMoments) {

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <random>
 #include <string>
@@ -102,6 +103,35 @@ TEST(SegmentIndex, GridBoundaryQueriesParity) {
       expect_same_match(index.nearest(e, n), index.nearest_brute(e, n),
                         "cell-corner query");
     }
+  }
+}
+
+TEST(SegmentIndex, NonFiniteQueriesTerminateAndMatchBrute) {
+  // Regression (hostile-world fuzzer, corpus seeds 7/23): a NaN query
+  // point made the ring search spin effectively forever — floor(NaN)
+  // produced a garbage start cell and no candidate ever improved the
+  // infinite sentinel, so neither exit condition could fire. The guard
+  // must return exactly what the brute scan computes: the default match
+  // (segment 0, t 0) at infinite distance, which to_fix() then maps to an
+  // invalid fix via the lateral gate.
+  std::vector<double> east{0.0, 50.0, 120.0, 200.0};
+  std::vector<double> north{0.0, 10.0, -5.0, 20.0};
+  const road::SegmentIndex index(east, north, 15.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double bad[][2] = {{nan, 0.0},  {0.0, nan},  {nan, nan},
+                           {inf, 0.0},  {0.0, -inf}, {inf, inf},
+                           {-inf, nan}, {nan, inf}};
+  for (const auto& q : bad) {
+    expect_same_match(index.nearest(q[0], q[1]),
+                      index.nearest_brute(q[0], q[1]), "non-finite query");
+    EXPECT_TRUE(std::isinf(index.nearest(q[0], q[1]).d2));
+  }
+  // Finite queries far outside the grid stay exact too (clamped start
+  // cell) and must return promptly rather than walking empty rings.
+  for (const double far : {1.0e7, -1.0e7, 1.0e12, -1.0e12}) {
+    expect_same_match(index.nearest(far, -far), index.nearest_brute(far, -far),
+                      "far finite query");
   }
 }
 
