@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "math/angles.hpp"
 #include "obs/obs.hpp"
@@ -78,11 +79,210 @@ OnlineGradientEstimator::OnlineGradientEstimator(
   scratch_v_.reserve(cap);
 }
 
-bool OnlineGradientEstimator::accept_measurement_time(SourceFilter& src,
-                                                      double t) {
-  if (src.has_t && t <= src.last_t) return false;
+OnlineGradientEstimator::SourceFilter::SourceFilter(const char* source_name)
+#if RGE_OBS_ENABLED
+    : c_gate_rejected(std::string("online.gate_rejected.") + source_name),
+      g_r_eff(std::string("online.r_eff.") + source_name),
+      g_health(std::string("online.health.") + source_name),
+      g_quarantined(std::string("online.quarantined.") + source_name)
+#endif
+{
+  (void)source_name;
+}
+
+OnlineGradientEstimator::TimeGate
+OnlineGradientEstimator::classify_measurement_time(const SourceFilter& src,
+                                                   double t) {
+  if (!src.has_t) return TimeGate::kAccept;
+  if (t == src.last_t) return TimeGate::kDuplicate;
+  return t < src.last_t ? TimeGate::kStale : TimeGate::kAccept;
+}
+
+void OnlineGradientEstimator::publish_source_gauges(SourceFilter& src) {
+#if RGE_OBS_ENABLED
+  if (!obs::enabled()) return;
+  const auto r = static_cast<std::int64_t>(std::llround(src.r_eff * 1000.0));
+  if (r != src.r_eff_milli_pub) {
+    src.g_r_eff.add(r - src.r_eff_milli_pub);
+    src.r_eff_milli_pub = r;
+  }
+  const auto h = static_cast<std::int64_t>(std::llround(src.health * 1000.0));
+  if (h != src.health_permille_pub) {
+    src.g_health.add(h - src.health_permille_pub);
+    src.health_permille_pub = h;
+  }
+#else
+  (void)src;
+#endif
+}
+
+void OnlineGradientEstimator::enter_quarantine(SourceFilter& src, double t) {
+  src.quarantined = true;
+  src.probe_open_t = t + cfg_.defense.readmit_after_s;
+  src.probes_passed = 0;
+#if RGE_OBS_ENABLED
+  if (obs::enabled() && src.quarantined_pub != 1) {
+    src.g_quarantined.add(1 - src.quarantined_pub);
+    src.quarantined_pub = 1;
+  }
+#endif
+}
+
+void OnlineGradientEstimator::readmit(SourceFilter& src) {
+  src.quarantined = false;
+  src.probes_passed = 0;
+  // Probation, not a clean slate: health resumes from the midpoint and
+  // the innovation window restarts neutral.
+  src.health = 0.5;
+  src.nis_ewma = 1.0;
+  src.bias_ewma = 0.0;
+#if RGE_OBS_ENABLED
+  if (obs::enabled() && src.quarantined_pub != 0) {
+    src.g_quarantined.add(-src.quarantined_pub);
+    src.quarantined_pub = 0;
+  }
+#endif
+}
+
+bool OnlineGradientEstimator::bias_consensus(double sign) const {
+  // >= 2 seeded healthy sources biased the same way means the common
+  // cause is the IMU (with a single seeded source, that source is all
+  // the evidence there is).
+  int n_seeded = 0;
+  int n_agree = 0;
+  for (const SourceFilter* s : {&gps_, &speedometer_, &canbus_}) {
+    if (!s->ekf || s->quarantined) continue;
+    ++n_seeded;
+    if (sign * s->bias_ewma >= cfg_.defense.bias_engage_sigma) ++n_agree;
+  }
+  return n_seeded <= 1 ? n_agree >= 1 : n_agree >= 2;
+}
+
+void OnlineGradientEstimator::learn_accel_bias(const SourceFilter& src,
+                                               double t, double y) {
+  const OnlineDefenseConfig& d = cfg_.defense;
+  if (!d.compensate_accel_bias || !src.has_accept_t) return;
+  // Once the barometer anchor is live it owns the estimate: velocity
+  // innovations cannot separate bias from grade (the filter absorbs a
+  // ramp into theta), and this learner's decay-toward-zero would erase
+  // what the anchor learned.
+  if (d.baro_anchor && baro_anchor_active_) return;
+  const double dt_m = t - src.last_accept_t;
+  if (dt_m < d.bias_obs_min_dt_s || dt_m > d.bias_obs_max_dt_s) return;
+  // The innovation accumulated over dt under an un-modeled forward-accel
+  // bias b is y ~ -b*dt. Track it only on cross-source consensus; a
+  // single-source bias is the sensor's problem (health handles it), not
+  // the IMU's — otherwise decay the estimate back toward zero.
+  const bool engaged = std::abs(src.bias_ewma) >= d.bias_engage_sigma &&
+                       bias_consensus(src.bias_ewma < 0.0 ? -1.0 : 1.0);
+  const double b_obs =
+      engaged ? std::clamp(-y / dt_m, -d.accel_bias_max_mps2,
+                           d.accel_bias_max_mps2)
+              : 0.0;
+  const double a = 1.0 - std::exp(-dt_m / d.accel_bias_tau_s);
+  accel_bias_ += a * (b_obs - accel_bias_);
+}
+
+bool OnlineGradientEstimator::admit_velocity(SourceFilter& src, double t,
+                                             double v) {
+  const OnlineDefenseConfig& d = cfg_.defense;
+  if (!src.ekf) {
+    // First measurement seeds the filter; there is no prediction to gate
+    // against yet.
+    src.ekf.emplace(params_, cfg_.ekf, v, 0.0);
+    src.last_t = t;
+    src.has_t = true;
+    src.last_accept_t = t;
+    src.has_accept_t = true;
+    ++src.accepted;
+    return true;
+  }
+  if (!d.enabled) {  // trusting legacy path
+    src.last_t = t;
+    src.has_t = true;
+    src.ekf->update_velocity(v, src.variance);
+    src.last_accept_t = t;
+    src.has_accept_t = true;
+    ++src.accepted;
+    return true;
+  }
+
+  const double p00 = src.ekf->speed_variance();
+  const double y = v - src.ekf->speed();
+  const double s_base = p00 + src.variance;
+  const double gate2 = d.gate_nsigma * d.gate_nsigma;
+
+  if (src.quarantined) {
+    // Measurements are consumed by the probe machine only: the stream
+    // clock advances (replay protection stays live) but nothing reaches
+    // the EKF until readmit_probes consecutive neutral-gate passes, each
+    // after the hold expires. p00 grows while no updates land, so the
+    // probe gate widens with quarantine age.
+    src.last_t = t;
+    src.has_t = true;
+    if (t < src.probe_open_t) return false;
+    if (y * y > gate2 * s_base) {
+      src.probes_passed = 0;
+      src.probe_open_t = t + d.readmit_after_s;  // failed probe re-arms
+      return false;
+    }
+    if (++src.probes_passed < d.readmit_probes) return false;
+    readmit(src);
+    // The readmitting probe itself is applied as a normal update below.
+  }
+
+  // Adaptive effective measurement noise (the ekf_servo pattern):
+  // sustained large-but-plausible innovations inflate R_eff — the gate
+  // widens instead of starving the filter — and degraded health
+  // down-weights the source.
+  const double infl = std::clamp(src.nis_ewma, 1.0, d.r_inflation_max);
+  src.r_eff =
+      src.variance * infl / std::max(src.health, d.min_health_weight);
+  const bool pass = y * y <= gate2 * (p00 + src.r_eff);
+
+  // Window statistics track every measurement the gate sees, capped so a
+  // single insane outlier cannot blow the window open for the next one.
+  const double nis_raw = y * y / s_base;
+  src.nis_ewma +=
+      d.nis_ewma_alpha * (std::min(nis_raw, d.nis_cap) - src.nis_ewma);
+  const double sigma = std::sqrt(s_base);
+  src.bias_ewma +=
+      d.bias_ewma_alpha *
+      (std::clamp(y / sigma, -d.bias_cap_sigma, d.bias_cap_sigma) -
+       src.bias_ewma);
+
+  if (!pass) {
+    ++src.gated;
+#if RGE_OBS_ENABLED
+    if (obs::enabled()) src.c_gate_rejected.add(1);
+#endif
+    src.health *= 1.0 - d.health_penalty_reject;
+    publish_source_gauges(src);
+    if (src.health < d.quarantine_below) enter_quarantine(src, t);
+    // NOT consumed: the stream clock stays put so a legitimate
+    // measurement at this same epoch still gets its chance.
+    return false;
+  }
+
+  src.health += d.health_recover * (1.0 - src.health);
+  const double bias_excess =
+      std::abs(src.bias_ewma) - d.bias_tolerance_sigma;
+  if (bias_excess > 0.0) {
+    // A source can drift inside the gate (stuck-at during gentle speed
+    // changes); sustained innovation bias bleeds health even without
+    // rejections.
+    src.health =
+        std::max(0.0, src.health - d.health_penalty_bias * bias_excess);
+  }
+  learn_accel_bias(src, t, y);
   src.last_t = t;
   src.has_t = true;
+  src.ekf->update_velocity(v, src.r_eff);
+  src.last_accept_t = t;
+  src.has_accept_t = true;
+  ++src.accepted;
+  publish_source_gauges(src);
+  if (src.health < d.quarantine_below) enter_quarantine(src, t);
   return true;
 }
 
@@ -92,13 +292,24 @@ void OnlineGradientEstimator::push_gps(const sensors::GpsFix& fix) {
     return;
   }
   if (!fix.valid) {
+    OBS_COUNT("online.rejected_invalid", 1);
     have_prev_fix_ = false;
     return;
   }
-  if (!accept_measurement_time(gps_, fix.t)) {
-    OBS_COUNT("online.rejected_nonmonotonic", 1);
-    return;
+  switch (classify_measurement_time(gps_, fix.t)) {
+    case TimeGate::kDuplicate:
+      OBS_COUNT("online.rejected_duplicate_t", 1);
+      return;
+    case TimeGate::kStale:
+      OBS_COUNT("online.rejected_nonmonotonic", 1);
+      return;
+    case TimeGate::kAccept:
+      break;
   }
+  if (!gps_.ekf) gps_.variance = 0.09;
+  if (!admit_velocity(gps_, fix.t, fix.speed_mps)) return;
+  // Heading chain and speed cache follow only measurements that were
+  // actually applied: a gated (spoofed) fix must not steer the alignment.
   if (have_prev_fix_ && fix.t - prev_fix_t_ <= 3.0 && fix.t > prev_fix_t_) {
     target_rate_ =
         math::angle_diff(fix.heading_rad, prev_fix_heading_) /
@@ -108,13 +319,6 @@ void OnlineGradientEstimator::push_gps(const sensors::GpsFix& fix) {
   prev_fix_heading_ = fix.heading_rad;
   prev_fix_t_ = fix.t;
   have_prev_fix_ = true;
-
-  if (!gps_.ekf) {
-    gps_.variance = 0.09;
-    gps_.ekf.emplace(params_, cfg_.ekf, fix.speed_mps, 0.0);
-  } else {
-    gps_.ekf->update_velocity(fix.speed_mps, gps_.variance);
-  }
   latest_speed_meas_ = fix.speed_mps;
 }
 
@@ -123,16 +327,18 @@ void OnlineGradientEstimator::push_speedometer(double t, double speed_mps) {
     OBS_COUNT("online.rejected_nonfinite", 1);
     return;
   }
-  if (!accept_measurement_time(speedometer_, t)) {
-    OBS_COUNT("online.rejected_nonmonotonic", 1);
-    return;
+  switch (classify_measurement_time(speedometer_, t)) {
+    case TimeGate::kDuplicate:
+      OBS_COUNT("online.rejected_duplicate_t", 1);
+      return;
+    case TimeGate::kStale:
+      OBS_COUNT("online.rejected_nonmonotonic", 1);
+      return;
+    case TimeGate::kAccept:
+      break;
   }
-  if (!speedometer_.ekf) {
-    speedometer_.variance = 0.16;
-    speedometer_.ekf.emplace(params_, cfg_.ekf, speed_mps, 0.0);
-  } else {
-    speedometer_.ekf->update_velocity(speed_mps, speedometer_.variance);
-  }
+  if (!speedometer_.ekf) speedometer_.variance = 0.16;
+  if (!admit_velocity(speedometer_, t, speed_mps)) return;
   latest_speed_meas_ = speed_mps;
 }
 
@@ -141,32 +347,104 @@ void OnlineGradientEstimator::push_canbus(double t, double speed_mps) {
     OBS_COUNT("online.rejected_nonfinite", 1);
     return;
   }
-  if (!accept_measurement_time(canbus_, t)) {
+  switch (classify_measurement_time(canbus_, t)) {
+    case TimeGate::kDuplicate:
+      OBS_COUNT("online.rejected_duplicate_t", 1);
+      return;
+    case TimeGate::kStale:
+      OBS_COUNT("online.rejected_nonmonotonic", 1);
+      return;
+    case TimeGate::kAccept:
+      break;
+  }
+  if (!canbus_.ekf) canbus_.variance = 0.01;
+  if (!admit_velocity(canbus_, t, speed_mps)) return;
+  latest_speed_meas_ = speed_mps;
+}
+
+void OnlineGradientEstimator::push_baro(double t, double altitude_m) {
+  if (!std::isfinite(t) || !std::isfinite(altitude_m)) {
+    OBS_COUNT("online.rejected_nonfinite", 1);
+    return;
+  }
+  if (have_baro_ && t <= last_baro_t_) {
     OBS_COUNT("online.rejected_nonmonotonic", 1);
     return;
   }
-  if (!canbus_.ekf) {
-    canbus_.variance = 0.01;
-    canbus_.ekf.emplace(params_, cfg_.ekf, speed_mps, 0.0);
+  // Endpoint smoothing: metre-level white noise on single samples would
+  // dominate the window differential; a short EWMA lags equally at both
+  // endpoints, so the lag cancels in the difference under steady climb.
+  if (!have_baro_) {
+    baro_smooth_ = altitude_m;
+    have_baro_ = true;
   } else {
-    canbus_.ekf->update_velocity(speed_mps, canbus_.variance);
+    const double dt = t - last_baro_t_;
+    const double a = 1.0 - std::exp(-dt / cfg_.defense.baro_smooth_tau_s);
+    baro_smooth_ += a * (altitude_m - baro_smooth_);
   }
-  latest_speed_meas_ = speed_mps;
+  last_baro_t_ = t;
+
+  const OnlineDefenseConfig& d = cfg_.defense;
+  if (!d.enabled || !d.compensate_accel_bias || !d.baro_anchor) return;
+  if (!baro_anchor_active_) {
+    // Anchoring needs a climb prediction, i.e. at least one seeded filter.
+    if (!gps_.ekf && !speedometer_.ekf && !canbus_.ekf) return;
+    baro_anchor_active_ = true;
+    baro_anchor_t_ = t;
+    baro_anchor_alt_ = baro_smooth_;
+    climb_pred_int_ = 0.0;
+    dist_int_ = 0.0;
+    return;
+  }
+  const double span = t - baro_anchor_t_;
+  if (span < d.baro_window_s) return;
+  // A positive bias inflates theta-hat, so the predicted climb overshoots
+  // the measured one: err > 0 means the filter believes it climbed more
+  // than the barometer saw, and err/distance is the absorbed grade error.
+  const double err = climb_pred_int_ - (baro_smooth_ - baro_anchor_alt_);
+  if (dist_int_ >= d.baro_min_speed_mps * span) {
+    // b_obs measures the *residual* bias (the prediction already ran on
+    // compensated f), so it increments the estimate rather than
+    // replacing it.
+    const double b_obs =
+        std::clamp(params_.gravity * err / dist_int_, -d.accel_bias_max_mps2,
+                   d.accel_bias_max_mps2);
+    const double a = 1.0 - std::exp(-span / d.accel_bias_tau_s);
+    accel_bias_ = std::clamp(accel_bias_ + a * b_obs, -d.accel_bias_max_mps2,
+                             d.accel_bias_max_mps2);
+  }
+  baro_anchor_t_ = t;
+  baro_anchor_alt_ = baro_smooth_;
+  climb_pred_int_ = 0.0;
+  dist_int_ = 0.0;
 }
 
 double OnlineGradientEstimator::current_alpha(double t) const {
   return alpha_active_ && t <= alpha_until_ ? alpha_ : 0.0;
 }
 
+bool OnlineGradientEstimator::source_usable(const SourceFilter& src) const {
+  return src.ekf.has_value() && !src.quarantined;
+}
+
+bool OnlineGradientEstimator::any_usable_source() const {
+  return source_usable(gps_) || source_usable(speedometer_) ||
+         source_usable(canbus_);
+}
+
 double OnlineGradientEstimator::fused_speed() const {
   // Speed of the lowest-grade-variance filter, matching estimate()'s
   // selection (first source wins ties, in gps/speedometer/canbus order)
-  // without the allocating convex fusion.
+  // without the allocating convex fusion. Quarantined sources are
+  // excluded unless every seeded source is quarantined (see
+  // OnlineEstimate::sources_fused_mask).
+  const bool all_quarantined = !any_usable_source();
   double best_var = 0.0;
   double speed = 0.0;
   bool any = false;
   for (const SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
     if (!src->ekf) continue;
+    if (src->quarantined && !all_quarantined) continue;
     const double var = src->ekf->grade_variance();
     if (!any || var < best_var) {
       any = true;
@@ -175,6 +453,34 @@ double OnlineGradientEstimator::fused_speed() const {
     }
   }
   return speed;
+}
+
+bool OnlineGradientEstimator::fused_state(double* v, double* th) const {
+  // Same best-grade-variance selection as fused_speed(), returning the
+  // filter's speed and grade together (the baro anchor integrates both).
+  const bool all_quarantined = !any_usable_source();
+  double best_var = 0.0;
+  bool any = false;
+  for (const SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
+    if (!src->ekf) continue;
+    if (src->quarantined && !all_quarantined) continue;
+    const double var = src->ekf->grade_variance();
+    if (!any || var < best_var) {
+      any = true;
+      best_var = var;
+      *v = src->ekf->speed();
+      *th = src->ekf->grade();
+    }
+  }
+  return any;
+}
+
+double OnlineGradientEstimator::applied_accel_bias() const {
+  const OnlineDefenseConfig& d = cfg_.defense;
+  if (!d.enabled || !d.compensate_accel_bias) return 0.0;
+  const double mag = std::abs(accel_bias_) - d.bias_deadband_mps2;
+  if (mag <= 0.0) return 0.0;
+  return accel_bias_ > 0.0 ? mag : -mag;
 }
 
 void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
@@ -222,7 +528,11 @@ void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
   }
 
   // ---- adjusted specific force -> EKF predict ----------------------
-  double f = sample.accel_forward;
+  // Accel-bias compensation applies to the raw forward axis, before the
+  // lane-change projection; applied_accel_bias() is exactly 0.0 while
+  // the defense layer is off (and inside the deadband), keeping that
+  // path bit-identical.
+  double f = sample.accel_forward - applied_accel_bias();
   const double alpha = current_alpha(sample.t);
   if (alpha != 0.0) {
     const double sa = std::sin(alpha);
@@ -234,6 +544,14 @@ void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
       if (src->ekf) src->ekf->predict(f, dt);
     }
     odometry_ += fused_speed() * dt;
+    if (baro_anchor_active_) {
+      double v_f = 0.0;
+      double th_f = 0.0;
+      if (fused_state(&v_f, &th_f)) {
+        climb_pred_int_ += v_f * std::sin(th_f) * dt;
+        dist_int_ += v_f * dt;
+      }
+    }
   }
 
   // ---- detection buffer at the detector rate -----------------------
@@ -528,14 +846,22 @@ OnlineEstimate OnlineGradientEstimator::estimate() const {
   out.in_lane_change = alpha_active_;
   out.lane_changes_detected = lane_changes_.size();
 
+  const bool all_quarantined = !any_usable_source();
   std::vector<double> grades;
   std::vector<double> variances;
   std::vector<double> speeds;
+  std::uint8_t bit = 1;
   for (const SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
-    if (!src->ekf) continue;
-    grades.push_back(src->ekf->grade());
-    variances.push_back(src->ekf->grade_variance());
-    speeds.push_back(src->ekf->speed());
+    if (src->ekf) {
+      if (src->quarantined) out.sources_quarantined_mask |= bit;
+      if (!src->quarantined || all_quarantined) {
+        out.sources_fused_mask |= bit;
+        grades.push_back(src->ekf->grade());
+        variances.push_back(src->ekf->grade_variance());
+        speeds.push_back(src->ekf->speed());
+      }
+    }
+    bit = static_cast<std::uint8_t>(bit << 1);
   }
   if (grades.empty()) return out;
   const auto [g, p] = convex_combine(grades, variances, cfg_.fusion.min_variance);
@@ -549,6 +875,32 @@ OnlineEstimate OnlineGradientEstimator::estimate() const {
   }
   out.speed_mps = speeds[best];
   return out;
+}
+
+SourceDiagnostics OnlineGradientEstimator::source_diagnostics(
+    VelocitySource which) const {
+  const SourceFilter* src = &gps_;
+  switch (which) {
+    case VelocitySource::kGps:
+      src = &gps_;
+      break;
+    case VelocitySource::kSpeedometer:
+      src = &speedometer_;
+      break;
+    case VelocitySource::kCanbus:
+      src = &canbus_;
+      break;
+  }
+  SourceDiagnostics d;
+  d.seeded = src->ekf.has_value();
+  d.quarantined = src->quarantined;
+  d.health = src->health;
+  d.nis_ewma = src->nis_ewma;
+  d.bias_ewma = src->bias_ewma;
+  d.r_eff = src->r_eff;
+  d.accepted = src->accepted;
+  d.gate_rejected = src->gated;
+  return d;
 }
 
 }  // namespace rge::core

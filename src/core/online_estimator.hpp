@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -33,10 +34,95 @@
 #include "core/grade_ekf.hpp"
 #include "core/lane_change_detector.hpp"
 #include "core/track_fusion.hpp"
+#include "obs/obs.hpp"
 #include "sensors/trace.hpp"
 #include "vehicle/params.hpp"
 
 namespace rge::core {
+
+/// Self-defense layer for the per-source velocity filters: innovation
+/// gating with an adaptive measurement-noise floor (R_eff inflated from
+/// recent normalized-innovation statistics), per-source health scoring,
+/// quarantine with timed re-admission probes, and a consensus-driven
+/// accelerometer-bias compensator. All statistics are driven by *sample*
+/// time and measurement counts — never wall clock — so a replayed trace
+/// reproduces the exact same defense decisions (see DESIGN.md).
+struct OnlineDefenseConfig {
+  /// Master switch. false restores the trusting legacy behavior exactly
+  /// (no gate, no health, no quarantine, no bias compensation).
+  bool enabled = true;
+  /// Innovation gate half-width in sigmas of the effective innovation
+  /// std-dev sqrt(p00 + R_eff). 5.0 matches GradeEkfConfig::gate_nis=25
+  /// when the source is healthy and un-inflated.
+  double gate_nsigma = 5.0;
+  /// R_eff = R_base * clamp(nis_ewma, 1, r_inflation_max) / max(health,
+  /// min_health_weight): sustained large-but-plausible innovations widen
+  /// the gate (a drifting IMU must not starve the filter of velocity
+  /// corrections), degraded health down-weights the source.
+  double r_inflation_max = 16.0;
+  double min_health_weight = 0.05;
+  /// Per-measurement EWMA weights for the normalized-innovation-squared
+  /// level and the signed normalized-innovation bias.
+  double nis_ewma_alpha = 0.12;
+  double bias_ewma_alpha = 0.05;
+  /// A single insane outlier must not blow the adaptive window open:
+  /// NIS contributions are capped (in sigma^2) and bias contributions
+  /// clamped (in sigma) before entering the EWMAs.
+  double nis_cap = 9.0;
+  double bias_cap_sigma = 4.0;
+  /// Health in [0,1]: recovers multiplicatively toward 1 on accepted
+  /// measurements, decays on gate rejections and on sustained innovation
+  /// bias beyond bias_tolerance_sigma (a stuck-at sensor biases without
+  /// necessarily tripping the gate).
+  double health_recover = 0.03;
+  double health_penalty_reject = 0.12;
+  double health_penalty_bias = 0.02;
+  double bias_tolerance_sigma = 1.0;
+  /// Below this health the source is quarantined: its filter keeps
+  /// predicting but measurements are consumed by the probe machine only
+  /// and the source is excluded from fused_speed()/estimate().
+  double quarantine_below = 0.2;
+  /// Sample-time hold before re-admission probes begin, and the number
+  /// of consecutive gate-passing probes required to readmit. A failed
+  /// probe re-arms the hold.
+  double readmit_after_s = 8.0;
+  int readmit_probes = 3;
+  /// Consensus accelerometer-bias compensation: when >= 2 seeded healthy
+  /// sources agree that innovations are persistently biased in the same
+  /// direction (|bias_ewma| >= bias_engage_sigma), the common cause is
+  /// the IMU, not the sensors; an EWMA of -innovation/dt then tracks the
+  /// accel bias and predict() uses (f - bias). Gating alone would make a
+  /// slow bias ramp *worse* — it rejects the correct measurements.
+  bool compensate_accel_bias = true;
+  double bias_engage_sigma = 1.0;
+  double accel_bias_tau_s = 25.0;
+  double accel_bias_max_mps2 = 3.0;
+  /// Bias observations are only meaningful for modest inter-measurement
+  /// gaps (b ~ -y/dt amplifies noise as dt -> 0 and staleness as
+  /// dt -> inf).
+  double bias_obs_min_dt_s = 0.05;
+  double bias_obs_max_dt_s = 3.0;
+  /// Barometer anchoring. Forward-accel bias and road grade are NOT
+  /// separately observable from velocity innovations: the EKF explains a
+  /// bias away as grade (any split with b + g*sin(dtheta) constant fits
+  /// the velocity data), so the consensus learner above only catches the
+  /// transient of a bias *step*, never a slow ramp. The barometer — too
+  /// noisy for grade directly (paper Section III-C1) — is an independent
+  /// vertical reference with exactly the right timescale: over an anchor
+  /// window, predicted climb sum(v*sin(theta)*dt) minus measured
+  /// altitude change exposes the absorbed bias as b ~ g*err/distance.
+  /// While baro samples flow (push_baro), this observer replaces the
+  /// velocity-consensus learner.
+  bool baro_anchor = true;
+  double baro_window_s = 15.0;      ///< anchor baseline length (s)
+  double baro_smooth_tau_s = 1.0;   ///< endpoint EWMA over the baro stream
+  double baro_min_speed_mps = 3.0;  ///< skip windows below this mean speed
+  /// Compensation deadband: predict() subtracts sign(b)*max(0, |b| -
+  /// deadband), so the small wander metre-level baro noise induces on
+  /// clean traces applies exactly 0.0 while a large learned bias is
+  /// still mostly removed.
+  double bias_deadband_mps2 = 0.25;
+};
 
 struct OnlineEstimatorConfig {
   AlignmentConfig alignment;      ///< reused: tau values, thresholds
@@ -57,7 +143,14 @@ struct OnlineEstimatorConfig {
   /// finalized window every tick (the pre-optimization behavior; kept for
   /// the bit-identity equivalence tests).
   bool incremental_detection = true;
+  /// Innovation gating / health scoring / quarantine / bias compensation.
+  OnlineDefenseConfig defense;
 };
+
+/// Velocity sources, in fusion order. Bit (1 << source) indexes the
+/// masks in OnlineEstimate.
+enum class VelocitySource : std::uint8_t { kGps = 0, kSpeedometer = 1,
+                                           kCanbus = 2 };
 
 /// Current output of the streaming estimator.
 struct OnlineEstimate {
@@ -68,6 +161,26 @@ struct OnlineEstimate {
   double odometry_m = 0.0;
   bool in_lane_change = false;
   std::size_t lane_changes_detected = 0;
+  /// Bitmasks over VelocitySource: which seeded filters contributed to
+  /// grade_rad/speed_mps, and which are currently quarantined. A
+  /// quarantined source never contributes while any healthy source is
+  /// available; only when *every* seeded source is quarantined does the
+  /// estimator fall back to fusing them all (degraded continuity beats
+  /// silence) — in that case the two masks are equal.
+  std::uint8_t sources_fused_mask = 0;
+  std::uint8_t sources_quarantined_mask = 0;
+};
+
+/// Read-only defense diagnostics for one velocity source (tests, debug).
+struct SourceDiagnostics {
+  bool seeded = false;
+  bool quarantined = false;
+  double health = 1.0;
+  double nis_ewma = 1.0;
+  double bias_ewma = 0.0;
+  double r_eff = 0.0;  ///< last effective measurement variance used
+  std::uint64_t accepted = 0;
+  std::uint64_t gate_rejected = 0;
 };
 
 class OnlineGradientEstimator {
@@ -75,13 +188,33 @@ class OnlineGradientEstimator {
   OnlineGradientEstimator(const vehicle::VehicleParams& params,
                           const OnlineEstimatorConfig& config = {});
 
-  /// Push sensor samples in timestamp order (per stream). Samples whose
-  /// timestamp does not advance their source's stream (replays,
-  /// out-of-order delivery) are rejected.
+  /// Push sensor samples in timestamp order (per stream).
+  ///
+  /// Timestamp admission policy (per source stream):
+  ///   * t <  last consumed t  -> rejected, `online.rejected_nonmonotonic`
+  ///     (out-of-order delivery);
+  ///   * t == last consumed t  -> rejected, `online.rejected_duplicate_t`
+  ///     (replays; ties never overwrite an already-consumed epoch);
+  ///   * t >  last consumed t  -> admitted to the defense layer.
+  /// "Consumed" means applied to the source's filter or consumed by the
+  /// quarantine probe machine. A measurement rejected by the innovation
+  /// *gate* on a healthy source is NOT consumed — it does not advance the
+  /// stream clock, so the next legitimate measurement at the same epoch
+  /// still gets its chance (a spoofed sample must not shadow a real one).
+  /// GPS fixes with `valid == false` (receiver-flagged outage) are
+  /// dropped and counted as `online.rejected_invalid`; they reset the
+  /// heading chain but never advance the stream clock.
   void push_imu(const sensors::ImuSample& sample);
   void push_gps(const sensors::GpsFix& fix);
   void push_speedometer(double t, double speed_mps);
   void push_canbus(double t, double speed_mps);
+  /// Barometer altitude (m). Never a grade measurement: it only feeds the
+  /// defense layer's accel-bias observer (OnlineDefenseConfig::
+  /// baro_anchor) and is inert — beyond stream-clock upkeep — when the
+  /// defense or bias compensation is off. Non-increasing timestamps are
+  /// rejected as `online.rejected_nonmonotonic` (IMU policy: a 10 Hz
+  /// hardware stream has no legitimate replays).
+  void push_baro(double t, double altitude_m);
 
   /// Latest fused estimate. Valid once at least one IMU sample and one
   /// velocity measurement have been pushed.
@@ -91,6 +224,13 @@ class OnlineGradientEstimator {
   const std::vector<DetectedLaneChange>& lane_changes() const {
     return lane_changes_;
   }
+
+  /// Defense diagnostics for one source (health, quarantine, gate stats).
+  SourceDiagnostics source_diagnostics(VelocitySource which) const;
+
+  /// Current consensus accelerometer-bias estimate (m/s^2); 0 unless the
+  /// defense layer's bias compensation has engaged.
+  double accel_bias_estimate() const { return accel_bias_; }
 
  private:
   // Fixed-capacity ring over the detection-rate samples, addressed by
@@ -163,10 +303,38 @@ class OnlineGradientEstimator {
   };
 
   struct SourceFilter {
+    explicit SourceFilter(const char* source_name);
+
     std::optional<GradeEkf> ekf;
     double variance = 0.1;
-    double last_t = 0.0;  ///< newest accepted measurement timestamp
+    double last_t = 0.0;  ///< newest *consumed* measurement timestamp
     bool has_t = false;
+
+    // ---- defense state (OnlineDefenseConfig; sample-time driven) ----
+    double health = 1.0;     ///< [0,1]; gate agreement + bias penalty
+    double nis_ewma = 1.0;   ///< capped normalized-innovation^2 EWMA
+    double bias_ewma = 0.0;  ///< clamped signed normalized-innovation EWMA
+    double r_eff = 0.0;      ///< last effective measurement variance
+    double last_accept_t = 0.0;  ///< newest EKF-applied timestamp
+    bool has_accept_t = false;
+    bool quarantined = false;
+    double probe_open_t = 0.0;  ///< sample time when probes may begin
+    int probes_passed = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t gated = 0;
+#if RGE_OBS_ENABLED
+    // Per-source metric handles (runtime names; the OBS_* macros bind a
+    // single static name per site, so they cannot serve <src> suffixes).
+    obs::Counter c_gate_rejected;
+    obs::Gauge g_r_eff;        ///< milli-(m/s)^2
+    obs::Gauge g_health;       ///< permille
+    obs::Gauge g_quarantined;  ///< 0/1
+    // Last values published to the gauges (gauges are delta-updated; the
+    // registry cell starts at 0, so these must too).
+    std::int64_t r_eff_milli_pub = 0;
+    std::int64_t health_permille_pub = 0;
+    std::int64_t quarantined_pub = 0;
+#endif
   };
 
   void on_detector_tick(double now);
@@ -185,7 +353,24 @@ class OnlineGradientEstimator {
   double displacement_walk(std::size_t i0, std::size_t i1) const;
   double fused_speed() const;
   double current_alpha(double t) const;
-  static bool accept_measurement_time(SourceFilter& src, double t);
+  /// Classify `t` against the source's stream clock without mutating it;
+  /// the clock advances only when a measurement is actually consumed.
+  enum class TimeGate { kAccept, kDuplicate, kStale };
+  static TimeGate classify_measurement_time(const SourceFilter& src,
+                                            double t);
+  /// Defense pipeline for one velocity measurement whose timestamp was
+  /// admitted: gate / health / quarantine-probe / bias learning / EKF
+  /// update. Returns true if the measurement was applied to the EKF.
+  bool admit_velocity(SourceFilter& src, double t, double v);
+  void enter_quarantine(SourceFilter& src, double t);
+  void readmit(SourceFilter& src);
+  void learn_accel_bias(const SourceFilter& src, double t, double y);
+  bool bias_consensus(double sign) const;
+  double applied_accel_bias() const;
+  bool fused_state(double* v, double* th) const;
+  bool source_usable(const SourceFilter& src) const;
+  bool any_usable_source() const;
+  void publish_source_gauges(SourceFilter& src);
 
   vehicle::VehicleParams params_;
   OnlineEstimatorConfig cfg_;
@@ -234,10 +419,25 @@ class OnlineGradientEstimator {
   double alpha_until_ = -1e9;
 
   // EKFs per source.
-  SourceFilter gps_;
-  SourceFilter speedometer_;
-  SourceFilter canbus_;
+  SourceFilter gps_{"gps"};
+  SourceFilter speedometer_{"speedometer"};
+  SourceFilter canbus_{"canbus"};
   double odometry_ = 0.0;
+  /// Accel-bias estimate (m/s^2), written by the velocity-consensus
+  /// learner or (preferred, when baro flows) the barometer anchor; stays
+  /// 0 while defense (or bias compensation) is off, keeping the legacy
+  /// path bit-identical.
+  double accel_bias_ = 0.0;
+
+  // Barometer anchoring state (defense-only accel-bias observer).
+  bool have_baro_ = false;
+  double last_baro_t_ = 0.0;
+  double baro_smooth_ = 0.0;        ///< endpoint-EWMA altitude (m)
+  bool baro_anchor_active_ = false;
+  double baro_anchor_t_ = 0.0;
+  double baro_anchor_alt_ = 0.0;
+  double climb_pred_int_ = 0.0;  ///< sum v*sin(theta)*dt since anchor (m)
+  double dist_int_ = 0.0;        ///< sum v*dt since anchor (m)
 };
 
 }  // namespace rge::core

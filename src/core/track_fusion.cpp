@@ -180,6 +180,46 @@ FusionAccumulator::FusionAccumulator(const FusionGrid& grid,
   speed_sum_.assign(grid_.n, 0.0);
   t_sum_.assign(grid_.n, 0.0);
   coverage_.assign(grid_.n, 0);
+  if (decay_enabled()) {
+    ref_t_.assign(grid_.n, 0.0);
+    decayed_count_.assign(grid_.n, 0.0);
+  }
+}
+
+double FusionAccumulator::add_cell_decayed(std::size_t i, double w, double g,
+                                           double v, double tc) {
+  // Sums are stored decayed to ref_t_[i]; the decay factor depends only
+  // on contribution sample times, never on wall clock.
+  const double tau = cfg_.decay_tau_s;
+  if (coverage_[i] == 0) {
+    ref_t_[i] = tc;
+    weight_sum_[i] = w;
+    grade_sum_[i] = g * w;
+    speed_sum_[i] = v * w;
+    t_sum_[i] = tc;
+    decayed_count_[i] = 1.0;
+    return 0.0;
+  }
+  if (tc >= ref_t_[i]) {
+    // Newer contribution: age the existing sums up to tc, add at weight 1.
+    const double d = std::exp(-(tc - ref_t_[i]) / tau);
+    const double evicted = weight_sum_[i] * (1.0 - d);
+    weight_sum_[i] = weight_sum_[i] * d + w;
+    grade_sum_[i] = grade_sum_[i] * d + g * w;
+    speed_sum_[i] = speed_sum_[i] * d + v * w;
+    t_sum_[i] = t_sum_[i] * d + tc;
+    decayed_count_[i] = decayed_count_[i] * d + 1.0;
+    ref_t_[i] = tc;
+    return evicted;
+  }
+  // Older contribution (late upload): it arrives already aged.
+  const double da = std::exp(-(ref_t_[i] - tc) / tau);
+  weight_sum_[i] += w * da;
+  grade_sum_[i] += g * w * da;
+  speed_sum_[i] += v * w * da;
+  t_sum_[i] += tc * da;
+  decayed_count_[i] += da;
+  return w * (1.0 - da);
 }
 
 void FusionAccumulator::add_track(const GradeTrack& track) {
@@ -239,15 +279,33 @@ void FusionAccumulator::add_track_cells(const GradeTrack& track,
 
   math::InterpCursor cursor;
   const std::span<const double> keys{track.s.data(), track.s.size()};
-  for (std::size_t i = i_lo; i < i_hi; ++i) {
-    const math::InterpPos pos = cursor.advance(keys, grid_.at(i));
-    const double p = std::max(cfg_.min_variance, lerp_at(pos, track.grade_var));
-    const double w = 1.0 / p;
-    weight_sum_[i] += w;
-    grade_sum_[i] += lerp_at(pos, track.grade) * w;
-    speed_sum_[i] += lerp_at(pos, track.speed) * w;
-    t_sum_[i] += lerp_at(pos, track.t);
-    ++coverage_[i];
+  if (!decay_enabled()) {
+    for (std::size_t i = i_lo; i < i_hi; ++i) {
+      const math::InterpPos pos = cursor.advance(keys, grid_.at(i));
+      const double p =
+          std::max(cfg_.min_variance, lerp_at(pos, track.grade_var));
+      const double w = 1.0 / p;
+      weight_sum_[i] += w;
+      grade_sum_[i] += lerp_at(pos, track.grade) * w;
+      speed_sum_[i] += lerp_at(pos, track.speed) * w;
+      t_sum_[i] += lerp_at(pos, track.t);
+      ++coverage_[i];
+    }
+  } else {
+    double evicted = 0.0;
+    for (std::size_t i = i_lo; i < i_hi; ++i) {
+      const math::InterpPos pos = cursor.advance(keys, grid_.at(i));
+      const double p =
+          std::max(cfg_.min_variance, lerp_at(pos, track.grade_var));
+      evicted += add_cell_decayed(i, 1.0 / p, lerp_at(pos, track.grade),
+                                  lerp_at(pos, track.speed),
+                                  lerp_at(pos, track.t));
+      ++coverage_[i];
+    }
+    // Weight evicted by aging, in milli-units (inverse rad^2 weights are
+    // typically O(1e4-1e8); milli keeps small evictions visible).
+    OBS_COUNT("fusion.decayed_weight",
+              static_cast<std::int64_t>(std::llround(evicted * 1000.0)));
   }
   ++tracks_added_;
 }
@@ -326,18 +384,59 @@ void FusionAccumulator::merge_cells(const FusionAccumulator& other,
     merge_mismatch("config distance_step_m", cfg_.distance_step_m,
                    other.cfg_.distance_step_m);
   }
+  if (cfg_.decay_tau_s != other.cfg_.decay_tau_s) {
+    merge_mismatch("config decay_tau_s", cfg_.decay_tau_s,
+                   other.cfg_.decay_tau_s);
+  }
   if (cell_begin > cell_end) {
     throw std::invalid_argument(
         "FusionAccumulator::merge_cells: cell_begin > cell_end");
   }
   cell_end = std::min(cell_end, grid_.n);
   cell_begin = std::min(cell_begin, cell_end);
-  for (std::size_t i = cell_begin; i < cell_end; ++i) {
-    weight_sum_[i] += other.weight_sum_[i];
-    grade_sum_[i] += other.grade_sum_[i];
-    speed_sum_[i] += other.speed_sum_[i];
-    t_sum_[i] += other.t_sum_[i];
-    coverage_[i] += other.coverage_[i];
+  if (!decay_enabled()) {
+    for (std::size_t i = cell_begin; i < cell_end; ++i) {
+      weight_sum_[i] += other.weight_sum_[i];
+      grade_sum_[i] += other.grade_sum_[i];
+      speed_sum_[i] += other.speed_sum_[i];
+      t_sum_[i] += other.t_sum_[i];
+      coverage_[i] += other.coverage_[i];
+    }
+  } else {
+    // Align each cell's reference times before summing: the side with
+    // the older ref is aged up to the newer one, so the merged cell is
+    // decayed to max(ref_a, ref_b). When the ranges partition disjoint
+    // cells (shard rebalance: one side has coverage 0 per cell), this
+    // degenerates to an exact copy and the round trip is bit-identical.
+    double evicted = 0.0;
+    for (std::size_t i = cell_begin; i < cell_end; ++i) {
+      if (other.coverage_[i] == 0) continue;
+      if (coverage_[i] == 0) {
+        weight_sum_[i] = other.weight_sum_[i];
+        grade_sum_[i] = other.grade_sum_[i];
+        speed_sum_[i] = other.speed_sum_[i];
+        t_sum_[i] = other.t_sum_[i];
+        decayed_count_[i] = other.decayed_count_[i];
+        ref_t_[i] = other.ref_t_[i];
+        coverage_[i] = other.coverage_[i];
+        continue;
+      }
+      const double ref = std::max(ref_t_[i], other.ref_t_[i]);
+      const double dm = std::exp(-(ref - ref_t_[i]) / cfg_.decay_tau_s);
+      const double d_other = std::exp(-(ref - other.ref_t_[i]) / cfg_.decay_tau_s);
+      evicted += weight_sum_[i] * (1.0 - dm) +
+                 other.weight_sum_[i] * (1.0 - d_other);
+      weight_sum_[i] = weight_sum_[i] * dm + other.weight_sum_[i] * d_other;
+      grade_sum_[i] = grade_sum_[i] * dm + other.grade_sum_[i] * d_other;
+      speed_sum_[i] = speed_sum_[i] * dm + other.speed_sum_[i] * d_other;
+      t_sum_[i] = t_sum_[i] * dm + other.t_sum_[i] * d_other;
+      decayed_count_[i] =
+          decayed_count_[i] * dm + other.decayed_count_[i] * d_other;
+      ref_t_[i] = ref;
+      coverage_[i] += other.coverage_[i];
+    }
+    OBS_COUNT("fusion.decayed_weight",
+              static_cast<std::int64_t>(std::llround(evicted * 1000.0)));
   }
   tracks_added_ += other.tracks_added_;
 }
@@ -368,7 +467,10 @@ GradeTrack FusionAccumulator::snapshot() const {
     fused.grade[j] = grade_sum_[i] / weight_sum_[i];
     fused.grade_var[j] = 1.0 / weight_sum_[i];
     fused.speed[j] = speed_sum_[i] / weight_sum_[i];
-    fused.t[j] = t_sum_[i] / n_tracks;
+    // With decay on, t_sum_ is a decayed sum of timestamps, so the
+    // matching divisor is the decayed contribution count, not tracks.
+    fused.t[j] =
+        t_sum_[i] / (decay_enabled() ? decayed_count_[i] : n_tracks);
   }
   fused.validate();
   return fused;
@@ -400,7 +502,9 @@ FusionAccumulator::CoverageSnapshot FusionAccumulator::snapshot_covered(
     // Mean traversal time over the tracks that covered THIS cell. When
     // coverage_[i] == tracks_added_ this divides by the same double as
     // snapshot(), keeping the all-covered case bit-identical.
-    out.track.t[j] = t_sum_[i] / static_cast<double>(coverage_[i]);
+    out.track.t[j] = t_sum_[i] / (decay_enabled()
+                                      ? decayed_count_[i]
+                                      : static_cast<double>(coverage_[i]));
     ++j;
   }
   return out;

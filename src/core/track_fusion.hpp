@@ -37,6 +37,15 @@ struct FusionConfig {
   double min_variance = 1e-8;
   /// Resampling step for distance-domain fusion (m); must be positive.
   double distance_step_m = 5.0;
+  /// Time constant (s) for exponential eviction of stale contributions in
+  /// FusionAccumulator: contributions are down-weighted by
+  /// exp(-age / decay_tau_s), where age is measured per cell against the
+  /// newest contribution's *sample* time (never wall clock — see
+  /// DESIGN.md determinism rules). 0 (the default) disables decay; the
+  /// disabled path is bit-identical to an accumulator without the
+  /// feature. Only FusionAccumulator honors this; the batch
+  /// fuse_tracks_* functions fuse one coherent upload set and ignore it.
+  double decay_tau_s = 0.0;
 
   bool operator==(const FusionConfig&) const = default;
 };
@@ -82,6 +91,21 @@ FusionGrid make_overlap_grid(const std::vector<GradeTrack>& tracks,
 ///    differs from serial adds, so parallel fills agree with serial only
 ///    to rounding (add_tracks_parallel is self-deterministic for any
 ///    thread count because its chunking is fixed, not thread-dependent).
+///
+/// Time-decayed eviction (cfg.decay_tau_s > 0): per cell, the stored sums
+/// are kept decayed to the newest contribution's sample time ref_t. A
+/// newer contribution first scales the existing sums by
+/// exp(-(t_new - ref_t)/tau) and advances ref_t; an older one is itself
+/// down-weighted by exp(-(ref_t - t_old)/tau). Because the decay factor
+/// is a pure function of contribution sample times, and because each
+/// cell's operations happen in upload order regardless of shard x thread
+/// layout (cells are shard-exclusive in the map service), decayed maps
+/// stay bit-reproducible across layouts. Snapshot ratios are unchanged
+/// for a single-epoch fleet (scaling every contribution by the same
+/// factor cancels in sum-of-weighted / sum-of-weights); decay only
+/// re-weights *across* epochs, which is exactly the repaving semantics.
+/// With decay_tau_s == 0 every code path below is bit-identical to the
+/// pre-decay accumulator.
 class FusionAccumulator {
  public:
   explicit FusionAccumulator(const FusionGrid& grid,
@@ -177,14 +201,26 @@ class FusionAccumulator {
   std::span<const std::uint32_t> coverage() const { return coverage_; }
 
  private:
+  bool decay_enabled() const { return cfg_.decay_tau_s > 0.0; }
+  /// Decay-path cell update: returns the weight evicted from the cell
+  /// (for the fusion.decayed_weight counter).
+  double add_cell_decayed(std::size_t i, double w, double g, double v,
+                          double tc);
+
   FusionGrid grid_;
   FusionConfig cfg_;
   std::size_t tracks_added_ = 0;
-  std::vector<double> weight_sum_;  ///< sum_k 1/max(min_var, P_k)
-  std::vector<double> grade_sum_;   ///< sum_k theta_k / P_k
-  std::vector<double> speed_sum_;   ///< sum_k v_k / P_k
-  std::vector<double> t_sum_;       ///< sum_k t_k (unweighted)
+  std::vector<double> weight_sum_;  ///< sum_k d_k/max(min_var, P_k)
+  std::vector<double> grade_sum_;   ///< sum_k d_k theta_k / P_k
+  std::vector<double> speed_sum_;   ///< sum_k d_k v_k / P_k
+  std::vector<double> t_sum_;       ///< sum_k d_k t_k (d_k == 1 w/o decay)
   std::vector<std::uint32_t> coverage_;
+  // Decay-only state (empty when cfg_.decay_tau_s == 0): per-cell
+  // reference sample time of the stored sums, and the decayed
+  // contribution count sum_k d_k (the divisor for the decayed mean
+  // traversal time; equals coverage_ when decay is off).
+  std::vector<double> ref_t_;
+  std::vector<double> decayed_count_;
 };
 
 /// Fuse tracks on the timeline of `tracks[reference]`. Each other track is

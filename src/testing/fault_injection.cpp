@@ -186,6 +186,26 @@ void inject_out_of_order(SensorTrace& trace, const FaultSpec& spec) {
   }
 }
 
+void hold_scalars(std::vector<ScalarSample>& xs, double t0, double t1) {
+  bool have_held = false;
+  double held = 0.0;
+  for (auto& s : xs) {
+    if (s.t < t0 || s.t >= t1) continue;
+    if (!have_held) {
+      held = s.value;
+      have_held = true;
+    }
+    s.value = held;
+  }
+}
+
+void inject_stuck_sensor(SensorTrace& trace, const FaultSpec& spec) {
+  const double t0 = spec.stuck_start_frac * trace.duration_s();
+  const double t1 = t0 + spec.stuck_duration_s;
+  hold_scalars(trace.speedometer, t0, t1);
+  hold_scalars(trace.canbus_speed, t0, t1);
+}
+
 }  // namespace
 
 std::vector<FaultKind> standard_fault_modes() {
@@ -193,7 +213,8 @@ std::vector<FaultKind> standard_fault_modes() {
           FaultKind::kImuDropout,     FaultKind::kImuSaturation,
           FaultKind::kTruncateTrip,   FaultKind::kNanSpikes,
           FaultKind::kDuplicateImuBlock, FaultKind::kAccelBiasRamp,
-          FaultKind::kGpsSpoofJump,   FaultKind::kOutOfOrderImu};
+          FaultKind::kGpsSpoofJump,   FaultKind::kOutOfOrderImu,
+          FaultKind::kStuckSensor};
 }
 
 std::string fault_name(FaultKind kind) {
@@ -209,6 +230,7 @@ std::string fault_name(FaultKind kind) {
     case FaultKind::kAccelBiasRamp: return "accel_bias_ramp";
     case FaultKind::kGpsSpoofJump: return "gps_spoof_jump";
     case FaultKind::kOutOfOrderImu: return "out_of_order_imu";
+    case FaultKind::kStuckSensor: return "stuck_sensor";
   }
   return "unknown";
 }
@@ -235,6 +257,7 @@ void apply_fault(sensors::SensorTrace& trace, const FaultSpec& spec) {
     case FaultKind::kAccelBiasRamp: inject_bias_ramp(trace, spec); return;
     case FaultKind::kGpsSpoofJump: inject_gps_spoof(trace, spec); return;
     case FaultKind::kOutOfOrderImu: inject_out_of_order(trace, spec); return;
+    case FaultKind::kStuckSensor: inject_stuck_sensor(trace, spec); return;
   }
   throw std::invalid_argument("apply_fault: unknown fault kind");
 }

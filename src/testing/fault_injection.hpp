@@ -34,6 +34,7 @@ enum class FaultKind {
   kAccelBiasRamp,     ///< slow thermal bias ramp on the forward accel axis
   kGpsSpoofJump,      ///< fixes teleport a fixed offset for a window
   kOutOfOrderImu,     ///< batched logger flushes IMU blocks out of order
+  kStuckSensor,       ///< speedometer + CAN bus freeze at their last value
 };
 
 /// The fault modes the scenario matrix runs (everything except kNone).
@@ -87,6 +88,12 @@ struct FaultSpec {
   // in samples.
   int out_of_order_swaps = 4;
   int out_of_order_block = 25;
+
+  // kStuckSensor: speedometer and CAN-bus speed hold whatever value they
+  // reported at window entry (a wedged vehicle-interface daemon keeps
+  // republishing the last frame with fresh timestamps).
+  double stuck_start_frac = 0.4;
+  double stuck_duration_s = 45.0;
 };
 
 /// Convenience: a spec of the given kind with default knobs.

@@ -253,17 +253,18 @@ void run_online_stage(FuzzReport& report, const sensors::SensorTrace& trace,
                       const vehicle::VehicleParams& params, std::size_t i) {
   const std::string tag = "online[" + std::to_string(i) + "]";
   core::OnlineGradientEstimator est(params);
-  // Merge the four push streams by timestamp (NaN timestamps order first;
+  // Merge the five push streams by timestamp (NaN timestamps order first;
   // the estimator must reject them at the boundary).
   const auto key = [](double t) {
     return std::isnan(t) ? -std::numeric_limits<double>::infinity() : t;
   };
-  std::size_t ii = 0, gi = 0, si = 0, ci = 0;
+  std::size_t ii = 0, gi = 0, si = 0, ci = 0, bi = 0;
   double prev_odometry = 0.0;
   bool failed = false;
   while (!failed &&
          (ii < trace.imu.size() || gi < trace.gps.size() ||
-          si < trace.speedometer.size() || ci < trace.canbus_speed.size())) {
+          si < trace.speedometer.size() || ci < trace.canbus_speed.size() ||
+          bi < trace.barometer_alt.size())) {
     const double t_imu = ii < trace.imu.size()
                              ? key(trace.imu[ii].t)
                              : std::numeric_limits<double>::infinity();
@@ -276,8 +277,15 @@ void run_online_stage(FuzzReport& report, const sensors::SensorTrace& trace,
     const double t_can = ci < trace.canbus_speed.size()
                              ? key(trace.canbus_speed[ci].t)
                              : std::numeric_limits<double>::infinity();
-    const double lo = std::min(std::min(t_imu, t_gps), std::min(t_spd, t_can));
-    if (t_gps == lo) {
+    const double t_bar = bi < trace.barometer_alt.size()
+                             ? key(trace.barometer_alt[bi].t)
+                             : std::numeric_limits<double>::infinity();
+    const double lo = std::min(std::min(std::min(t_imu, t_gps), t_bar),
+                               std::min(t_spd, t_can));
+    if (t_bar == lo) {
+      est.push_baro(trace.barometer_alt[bi].t, trace.barometer_alt[bi].value);
+      ++bi;
+    } else if (t_gps == lo) {
       est.push_gps(trace.gps[gi++]);
     } else if (t_spd == lo) {
       est.push_speedometer(trace.speedometer[si].t,
@@ -304,6 +312,14 @@ void run_online_stage(FuzzReport& report, const sensors::SensorTrace& trace,
       } else if (e.odometry_m < prev_odometry - 1e-9) {
         add_violation(report, tag + ": odometry decreased at t=" +
                                   std::to_string(e.t));
+        failed = true;
+      } else if ((e.sources_fused_mask & e.sources_quarantined_mask) != 0 &&
+                 e.sources_fused_mask != e.sources_quarantined_mask) {
+        // A quarantined source may only contribute in the all-quarantined
+        // fallback, where the two masks are equal by construction.
+        add_violation(report,
+                      tag + ": quarantined source fused at t=" +
+                          std::to_string(e.t));
         failed = true;
       }
       prev_odometry = e.odometry_m;

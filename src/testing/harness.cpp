@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <ostream>
 
+#include "core/online_estimator.hpp"
 #include "obs/obs.hpp"
 #include "runtime/metrics.hpp"
 #include "testing/json.hpp"
@@ -41,6 +43,81 @@ class Reporter {
   std::ostream& log_;
   int failures_ = 0;
 };
+
+/// Does the online defense layer care about this fault? (The other modes
+/// perturb streams the velocity gate cannot see, e.g. barometer steps.)
+bool defense_relevant(FaultKind kind) {
+  return kind == FaultKind::kAccelBiasRamp ||
+         kind == FaultKind::kGpsSpoofJump || kind == FaultKind::kStuckSensor;
+}
+
+struct OnlineDefenseOutcome {
+  bool finite = true;
+  std::uint64_t gate_rejected = 0;  ///< across all three velocity sources
+  int quarantined = 0;              ///< sources in quarantine at trace end
+};
+
+/// Stream trip 0's faulted trace through a default-config (defended)
+/// online estimator, merged by timestamp the same way the fuzzer does.
+/// This is what populates the online.gate_rejected.* / online.health.* /
+/// online.quarantined.* counters in the harness metrics snapshot.
+OnlineDefenseOutcome replay_online_defended(
+    const sensors::SensorTrace& trace) {
+  const vehicle::VehicleParams params;
+  core::OnlineGradientEstimator est(params);
+  const auto key = [](double t) {
+    return std::isnan(t) ? -std::numeric_limits<double>::infinity() : t;
+  };
+  OnlineDefenseOutcome out;
+  std::size_t ii = 0, gi = 0, si = 0, ci = 0, bi = 0;
+  while (ii < trace.imu.size() || gi < trace.gps.size() ||
+         si < trace.speedometer.size() || ci < trace.canbus_speed.size() ||
+         bi < trace.barometer_alt.size()) {
+    const double t_imu = ii < trace.imu.size()
+                             ? key(trace.imu[ii].t)
+                             : std::numeric_limits<double>::infinity();
+    const double t_gps = gi < trace.gps.size()
+                             ? key(trace.gps[gi].t)
+                             : std::numeric_limits<double>::infinity();
+    const double t_spd = si < trace.speedometer.size()
+                             ? key(trace.speedometer[si].t)
+                             : std::numeric_limits<double>::infinity();
+    const double t_can = ci < trace.canbus_speed.size()
+                             ? key(trace.canbus_speed[ci].t)
+                             : std::numeric_limits<double>::infinity();
+    const double t_bar = bi < trace.barometer_alt.size()
+                             ? key(trace.barometer_alt[bi].t)
+                             : std::numeric_limits<double>::infinity();
+    const double lo = std::min(std::min(std::min(t_imu, t_gps), t_bar),
+                               std::min(t_spd, t_can));
+    if (t_bar == lo) {
+      est.push_baro(trace.barometer_alt[bi].t, trace.barometer_alt[bi].value);
+      ++bi;
+    } else if (t_gps == lo) {
+      est.push_gps(trace.gps[gi++]);
+    } else if (t_spd == lo) {
+      est.push_speedometer(trace.speedometer[si].t,
+                           trace.speedometer[si].value);
+      ++si;
+    } else if (t_can == lo) {
+      est.push_canbus(trace.canbus_speed[ci].t, trace.canbus_speed[ci].value);
+      ++ci;
+    } else {
+      est.push_imu(trace.imu[ii++]);
+    }
+  }
+  const core::OnlineEstimate e = est.estimate();
+  out.finite = std::isfinite(e.grade_rad) && std::isfinite(e.speed_mps) &&
+               std::isfinite(e.grade_var) && e.grade_var >= 0.0;
+  for (const core::VelocitySource src :
+       {core::VelocitySource::kGps, core::VelocitySource::kSpeedometer,
+        core::VelocitySource::kCanbus}) {
+    const core::SourceDiagnostics diag = est.source_diagnostics(src);
+    out.gate_rejected += diag.gate_rejected;
+    if (diag.quarantined) ++out.quarantined;
+  }
+  return out;
+}
 
 /// <dir>/BENCH_scenarios.json -> <dir>/BENCH_scenarios_metrics.json.
 std::string metrics_path_for(const std::string& bench_out) {
@@ -198,6 +275,23 @@ int run_harness(const HarnessOptions& opts, std::ostream& log) {
             report.fail(spec.name, label + ": non-finite metrics");
           } else {
             report.pass(spec.name, label + ": degraded gracefully");
+          }
+          // ---- online-defense column: velocity-visible faults only ----
+          if (defense_relevant(kind)) {
+            sensors::SensorTrace faulted_trace = world.traces.front();
+            apply_fault(faulted_trace, make_fault(kind));
+            const OnlineDefenseOutcome defense =
+                replay_online_defended(faulted_trace);
+            if (!defense.finite) {
+              report.fail(spec.name,
+                          label + ": defended online estimate non-finite");
+            } else {
+              report.pass(spec.name,
+                          label + ": online defense (gated=" +
+                              std::to_string(defense.gate_rejected) +
+                              ", quarantined=" +
+                              std::to_string(defense.quarantined) + ")");
+            }
           }
         } catch (const std::exception& e) {
           report.fail(spec.name, label + ": threw " + e.what());

@@ -7,6 +7,7 @@
 #include "road/network.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
+#include "testing/terrain.hpp"
 
 namespace rge::testing {
 
@@ -194,12 +195,49 @@ std::vector<ScenarioSpec> scenario_matrix() {
     s.n_trips = 3;
     add(std::move(s), 111, 211);
   }
+  // Fuzzer-found worlds promoted from the committed corpus (fuzz_runner
+  // --seed=N): terrains that exercise GPS denial and steep grades harder
+  // than any hand-built route above.
+  {
+    // Corpus seed 2: canyon -> switchbacks -> tunnel. Multipath bursts
+    // followed by a hard denial with +-8..12 % hairpins in between.
+    ScenarioSpec s;
+    s.name = "hostile_canyon_switchbacks";
+    s.hostile_seed = 2;
+    add(std::move(s), 112, 212);
+  }
+  {
+    // Corpus seed 7: steep climb -> canyon -> steep descent. Once a NaN
+    // repro in the fuzzer; pinned so the regression surface keeps it.
+    ScenarioSpec s;
+    s.name = "hostile_steep_canyon";
+    s.hostile_seed = 7;
+    add(std::move(s), 113, 213);
+  }
+  {
+    // Corpus seed 11: tunnel -> rolling hills -> switchbacks -> canyon.
+    // Both GPS-denial flavours on one route, driven calmly.
+    ScenarioSpec s;
+    s.name = "hostile_tunnel_canyon";
+    s.hostile_seed = 11;
+    s.trip = driver_profile(DriverProfile::kCalm);
+    add(std::move(s), 114, 214);
+  }
   return specs;
 }
 
 ScenarioWorld build_world(const ScenarioSpec& spec) {
   ScenarioWorld world;
-  world.road = build_route(spec.route);
+  std::vector<std::pair<double, double>> denied_s;
+  std::vector<std::pair<double, double>> degraded_s;
+  if (spec.hostile_seed != 0) {
+    HostileWorld hostile = compose_hostile_world(spec.hostile_seed);
+    world.road = std::move(hostile.road);
+    denied_s = std::move(hostile.gps_denied_s);
+    degraded_s = std::move(hostile.gps_degraded_s);
+  } else {
+    world.road = build_route(spec.route);
+  }
   world.reference = road::survey_reference_profile(world.road);
   const vehicle::VehicleParams params;
   const int n = std::max(1, spec.n_trips);
@@ -209,11 +247,26 @@ ScenarioWorld build_world(const ScenarioSpec& spec) {
     vehicle::TripConfig tc = spec.trip;
     tc.seed = spec.trip.seed + kTripSeedStride * static_cast<std::uint64_t>(i);
     world.trips.push_back(vehicle::simulate_trip(world.road, tc));
+    const vehicle::Trip& trip = world.trips.back();
     sensors::SmartphoneConfig pc = spec.phone;
     pc.seed =
         spec.phone.seed + kTripSeedStride * static_cast<std::uint64_t>(i);
+    // Same terrain -> sensor-environment folding as the fuzzer: tunnels
+    // deny GPS over their full time window, canyons burst it.
+    for (const auto& [s0, s1] : denied_s) {
+      for (const auto& window : arc_interval_to_time_windows(trip, s0, s1)) {
+        pc.gps_outages.push_back(window);
+      }
+    }
+    for (const auto& [s0, s1] : degraded_s) {
+      for (const auto& [t0, t1] : arc_interval_to_time_windows(trip, s0, s1)) {
+        for (double t = t0; t < t1; t += 12.0) {
+          pc.gps_outages.emplace_back(t, std::min(t1, t + 4.0));
+        }
+      }
+    }
     world.traces.push_back(sensors::simulate_sensors(
-        world.trips.back(), world.road.anchor(), params, pc));
+        trip, world.road.anchor(), params, pc));
   }
   return world;
 }

@@ -45,6 +45,12 @@ struct ScenarioSpec {
   /// cloud-fuses the per-trip tracks on the arc-length grid — the
   /// multi-trip fusion axis of the matrix.
   int n_trips = 1;
+  /// When nonzero, the route comes from the hostile-world composer
+  /// (testing/terrain.hpp) seeded with this value instead of `route`, and
+  /// the terrain's GPS-denied/degraded arc spans are folded into each
+  /// trip's phone outage windows — fuzzer-found worlds promoted into the
+  /// committed matrix.
+  std::uint64_t hostile_seed = 0;
 };
 
 /// Route/driver builders (exposed for tests).

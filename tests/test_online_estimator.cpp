@@ -11,6 +11,7 @@
 #include "core/velocity_sources.hpp"
 #include "math/angles.hpp"
 #include "math/stats.hpp"
+#include "obs/obs.hpp"
 #include "road/network.hpp"
 #include "sensors/smartphone.hpp"
 #include "vehicle/trip.hpp"
@@ -178,6 +179,50 @@ TEST(GradeEkfBaro, BarometerAddsLittleOverVelocityChannel) {
   EXPECT_LT(e_baro, 1.5 * e_plain);
   EXPECT_GT(e_baro, 0.5 * e_plain);
 }
+
+// ---- timestamp admission policy regressions ----------------------------
+
+TEST(OnlineEstimator, GateRejectedOutlierDoesNotAdvanceStreamClock) {
+  // A spoofed sample must not shadow a legitimate one at the same epoch:
+  // the innovation gate rejects without consuming the timestamp.
+  OnlineGradientEstimator est(vehicle::VehicleParams{});
+  est.push_canbus(0.0, 10.0);  // seeds the filter
+  est.push_canbus(0.1, 60.0);  // wildly implausible: gate-rejected
+  SourceDiagnostics d = est.source_diagnostics(VelocitySource::kCanbus);
+  EXPECT_EQ(d.gate_rejected, 1u);
+  EXPECT_EQ(d.accepted, 1u);
+  // The same epoch is still available to the real measurement...
+  est.push_canbus(0.1, 10.05);
+  EXPECT_EQ(est.source_diagnostics(VelocitySource::kCanbus).accepted, 2u);
+  // ... and once consumed, a replay of it is a duplicate.
+  est.push_canbus(0.1, 10.05);
+  EXPECT_EQ(est.source_diagnostics(VelocitySource::kCanbus).accepted, 2u);
+}
+
+#if RGE_OBS_ENABLED
+TEST(OnlineEstimator, InvalidAndDuplicateRejectionsCountedSeparately) {
+  obs::reset_all();
+  obs::set_enabled(true);
+  {
+    OnlineGradientEstimator est(vehicle::VehicleParams{});
+    sensors::GpsFix invalid;
+    invalid.t = 0.5;
+    invalid.speed_mps = 12.0;
+    invalid.valid = false;  // receiver-flagged outage
+    est.push_gps(invalid);
+    EXPECT_FALSE(
+        est.source_diagnostics(VelocitySource::kGps).seeded);  // dropped
+    est.push_speedometer(1.0, 10.0);
+    est.push_speedometer(1.0, 10.0);  // replay of a consumed epoch
+    est.push_speedometer(0.5, 10.0);  // out-of-order delivery
+  }
+  const auto snap = obs::Registry::global().snapshot();
+  obs::set_enabled(false);
+  EXPECT_EQ(snap.counters.at("online.rejected_invalid"), 1);
+  EXPECT_EQ(snap.counters.at("online.rejected_duplicate_t"), 1);
+  EXPECT_EQ(snap.counters.at("online.rejected_nonmonotonic"), 1);
+}
+#endif
 
 TEST(GradeEkfBaro, Validation) {
   EXPECT_THROW(run_grade_ekf_with_baro("x", std::vector<double>{0.0, 1.0},
