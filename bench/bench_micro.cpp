@@ -1,22 +1,36 @@
 // Google-benchmark microbenchmarks: throughput of the estimation stack's
 // hot paths (EKF steps, LOESS smoothing, bump extraction / detection,
-// track fusion, trace CSV parsing). These bound how far the pipeline is
-// from real-time on phone-class sample rates (50 Hz IMU).
+// track fusion, trace CSV parsing), plus the fleet-scale SoA batch kernels
+// against their scalar per-vehicle references. These bound how far the
+// pipeline is from real-time on phone-class sample rates (50 Hz IMU).
+//
+// Besides the console report, the run writes BENCH_micro.json (override
+// the path with RGE_BENCH_MICRO_OUT): per-benchmark ns/op and the
+// scalar-vs-batch fleet speedups, the checked-in perf-trajectory artifact
+// for the batch kernels.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <map>
 #include <sstream>
 
 #include "core/bump.hpp"
 #include "core/grade_ekf.hpp"
+#include "core/grade_ekf_batch.hpp"
 #include "core/lane_change_detector.hpp"
 #include "core/pipeline.hpp"
 #include "core/track_fusion.hpp"
+#include "math/interp.hpp"
+#include "math/interp_batch.hpp"
 #include "math/loess.hpp"
+#include "math/loess_batch.hpp"
 #include "math/matrix.hpp"
 #include "math/rng.hpp"
+#include "math/simd.hpp"
 #include "road/network.hpp"
 #include "sensors/smartphone.hpp"
 #include "sensors/trace.hpp"
+#include "testing/json.hpp"
 #include "vehicle/trip.hpp"
 
 namespace {
@@ -142,6 +156,222 @@ void BM_TraceCsvRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceCsvRoundTrip);
 
+// ---- fleet-scale SoA batch kernels vs scalar references ----------------
+
+constexpr std::size_t kFleetLanes = 1000;
+
+void BM_GradeEkfFleetScalar(benchmark::State& state) {
+  const vehicle::VehicleParams params{};
+  const core::GradeEkfConfig cfg{};
+  math::Rng rng(6);
+  std::vector<core::GradeEkf> fleet;
+  std::vector<double> f(kFleetLanes);
+  fleet.reserve(kFleetLanes);
+  for (std::size_t l = 0; l < kFleetLanes; ++l) {
+    fleet.emplace_back(params, cfg, rng.uniform(3.0, 30.0),
+                       rng.uniform(-0.08, 0.08));
+    f[l] = rng.uniform(-3.0, 3.0);
+  }
+  for (auto _ : state) {
+    for (std::size_t l = 0; l < kFleetLanes; ++l) fleet[l].predict(f[l], 0.02);
+    benchmark::DoNotOptimize(fleet.front().grade());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kFleetLanes));
+}
+BENCHMARK(BM_GradeEkfFleetScalar);
+
+void BM_GradeEkfFleetBatch(benchmark::State& state) {
+  const vehicle::VehicleParams params{};
+  math::Rng rng(6);
+  core::GradeEkfBatch batch(kFleetLanes, params, core::GradeEkfConfig{});
+  std::vector<double> f(kFleetLanes);
+  std::vector<double> dt(kFleetLanes, 0.02);
+  for (std::size_t l = 0; l < kFleetLanes; ++l) {
+    batch.seed(l, rng.uniform(3.0, 30.0), rng.uniform(-0.08, 0.08));
+    f[l] = rng.uniform(-3.0, 3.0);
+  }
+  for (auto _ : state) {
+    batch.predict(f, dt);
+    benchmark::DoNotOptimize(batch.grade(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kFleetLanes));
+}
+BENCHMARK(BM_GradeEkfFleetBatch);
+
+constexpr std::size_t kLoessSeries = 64;
+constexpr std::size_t kLoessPoints = 400;
+
+struct LoessFleetInputs {
+  std::vector<double> x;
+  std::vector<double> ys;
+  math::LoessConfig cfg;
+};
+
+const LoessFleetInputs& loess_fleet_inputs() {
+  static const LoessFleetInputs in = [] {
+    LoessFleetInputs r;
+    math::Rng rng(7);
+    r.x.resize(kLoessPoints);
+    double t = 0.0;
+    for (auto& xi : r.x) {
+      t += rng.uniform(0.01, 0.05);
+      xi = t;
+    }
+    r.ys.resize(kLoessSeries * kLoessPoints);
+    for (auto& y : r.ys) y = rng.gaussian(0.0, 1.0);
+    r.cfg.span = 0.2;
+    return r;
+  }();
+  return in;
+}
+
+void BM_LoessFleetScalar(benchmark::State& state) {
+  const auto& in = loess_fleet_inputs();
+  const math::LoessSmoother smoother(in.cfg);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < kLoessSeries; ++b) {
+      const auto fit = smoother.fit(
+          in.x, std::span<const double>(in.ys).subspan(b * kLoessPoints,
+                                                       kLoessPoints));
+      sum += fit.back();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kLoessSeries * kLoessPoints));
+}
+BENCHMARK(BM_LoessFleetScalar);
+
+void BM_LoessFleetBatch(benchmark::State& state) {
+  const auto& in = loess_fleet_inputs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        math::loess_fit_batch(in.cfg, in.x, in.ys, kLoessSeries));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kLoessSeries * kLoessPoints));
+}
+BENCHMARK(BM_LoessFleetBatch);
+
+constexpr std::size_t kInterpKeys = 20000;
+constexpr std::size_t kInterpQueries = 50000;
+
+struct InterpInputs {
+  std::vector<double> keys;
+  std::vector<double> vals;
+  std::vector<double> queries;
+};
+
+const InterpInputs& interp_inputs() {
+  static const InterpInputs in = [] {
+    InterpInputs r;
+    math::Rng rng(8);
+    r.keys.resize(kInterpKeys);
+    r.vals.resize(kInterpKeys);
+    double s = 0.0;
+    for (std::size_t i = 0; i < kInterpKeys; ++i) {
+      s += rng.uniform(0.01, 1.0);
+      r.keys[i] = s;
+      r.vals[i] = rng.gaussian(0.0, 2.0);
+    }
+    r.queries.resize(kInterpQueries);
+    for (std::size_t i = 0; i < kInterpQueries; ++i) {
+      r.queries[i] =
+          s * static_cast<double>(i) / static_cast<double>(kInterpQueries);
+    }
+    return r;
+  }();
+  return in;
+}
+
+void BM_ResampleScalar(benchmark::State& state) {
+  const auto& in = interp_inputs();
+  const math::LinearInterpolator interp(in.keys, in.vals);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (double q : in.queries) sum += interp(q);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kInterpQueries));
+}
+BENCHMARK(BM_ResampleScalar);
+
+void BM_ResampleBatch(benchmark::State& state) {
+  const auto& in = interp_inputs();
+  std::vector<double> out(kInterpQueries);
+  for (auto _ : state) {
+    math::resample_sorted(in.keys, in.vals, in.queries, out);
+    benchmark::DoNotOptimize(out.front());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kInterpQueries));
+}
+BENCHMARK(BM_ResampleBatch);
+
+// ---- JSON artifact ------------------------------------------------------
+
+/// Console report plus a ns/op collection that lands in BENCH_micro.json.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const double iters = static_cast<double>(run.iterations);
+      if (iters <= 0.0) continue;
+      ns_per_op_[run.benchmark_name()] =
+          run.real_accumulated_time / iters * 1e9;
+    }
+  }
+
+  const std::map<std::string, double>& ns_per_op() const { return ns_per_op_; }
+
+ private:
+  std::map<std::string, double> ns_per_op_;
+};
+
+void write_bench_json(const std::map<std::string, double>& ns_per_op) {
+  rge::testing::Json::Object doc;
+  rge::testing::Json::Object benches;
+  for (const auto& [name, ns] : ns_per_op) benches[name] = ns;
+  doc["ns_per_op"] = benches;
+  doc["simd"] = math::simd_enabled();
+  doc["workload"] = rge::testing::Json::Object{
+      {"fleet_lanes", kFleetLanes},
+      {"loess_series", kLoessSeries},
+      {"loess_points", kLoessPoints},
+      {"interp_keys", kInterpKeys},
+      {"interp_queries", kInterpQueries},
+  };
+  const auto speedup = [&](const char* scalar, const char* batch,
+                           const char* key) {
+    const auto s = ns_per_op.find(scalar);
+    const auto b = ns_per_op.find(batch);
+    if (s != ns_per_op.end() && b != ns_per_op.end() && b->second > 0.0) {
+      doc["speedup"][key] = s->second / b->second;
+    }
+  };
+  speedup("BM_GradeEkfFleetScalar", "BM_GradeEkfFleetBatch",
+          "ekf_fleet_predict");
+  speedup("BM_LoessFleetScalar", "BM_LoessFleetBatch", "loess_fleet");
+  speedup("BM_ResampleScalar", "BM_ResampleBatch", "interp_resample");
+  const char* out = std::getenv("RGE_BENCH_MICRO_OUT");
+  rge::testing::write_json_file(rge::testing::Json(doc),
+                                out != nullptr ? out : "BENCH_micro.json");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_bench_json(reporter.ns_per_op());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,14 +5,17 @@
 #include <span>
 #include <stdexcept>
 
+#include "core/grade_ekf_kernel.hpp"
+#include "math/matn.hpp"
+
 namespace rge::core {
 
-using math::Mat;
-using math::Vec;
+using math::MatN;
+using math::VecN;
 
 namespace {
 
-constexpr double kMaxGradeRad = 0.35;  // ~20 degrees, physical sanity clamp
+constexpr double kMaxGradeRad = ekf_kernel::kMaxGradeRad;
 
 }  // namespace
 
@@ -48,90 +51,26 @@ GradeEkf::GradeEkf(const vehicle::VehicleParams& params,
       p01_(0.0),
       p11_(cfg.initial_grade_var) {}
 
-// The expressions below are the generic-EKF computation unrolled for this
-// 2-state model; association order matches Mat::operator* accumulation so
-// the results are bit-identical (see the hpp note).
+// The arithmetic lives in grade_ekf_kernel.hpp (shared with the SoA batch
+// filter); it is the generic-EKF computation unrolled for this 2-state
+// model with association order matching Mat::operator* accumulation, so
+// the results are bit-identical (see the hpp note). The scalar filter
+// always uses libm sin/cos regardless of RGE_SIMD.
 
 void GradeEkf::predict(double specific_force, double dt) {
-  if (dt <= 0.0) return;
-  const double g = params_.gravity;
+  ekf_kernel::StateRef s{v_, th_, p00_, p01_, p11_};
   // rho * A_f * C_d / m  (Eq. 4 coefficient; drag_k = rho*A_f*C_d/2)
   const double c = 2.0 * params_.drag_k() / params_.mass_kg;
-  const bool drift = cfg_.use_paper_drift_term;
-  const double f_hat = specific_force;
-  const double v = v_;
-  const double theta = th_;
-
-  // Jacobian, evaluated at the pre-propagation state.
-  const double cth = std::cos(theta);
-  const double j01 = -g * cth * dt;
-  double j10 = 0.0;
-  double j11 = 1.0;
-  if (drift) {
-    j10 = c * f_hat * dt / (g * cth);
-    j11 = 1.0 + c * v * f_hat * dt * std::sin(theta) / (g * cth * cth);
-  }
-
-  // State propagation (paper Eq. 4/5).
-  double v_next = v + (f_hat - g * std::sin(theta)) * dt;
-  v_next = std::max(0.0, v_next);
-  double theta_next = theta;
-  if (drift) {
-    theta_next += c * v * f_hat * dt / (g * std::cos(theta));
-  }
-  theta_next = std::clamp(theta_next, -kMaxGradeRad, kMaxGradeRad);
-  v_ = v_next;
-  th_ = theta_next;
-
-  // P <- F P F^T + Q with F = [[1, j01], [j10, j11]].
-  const double a00 = 1.0 * p00_ + j01 * p01_;
-  const double a01 = 1.0 * p01_ + j01 * p11_;
-  const double a10 = j10 * p00_ + j11 * p01_;
-  const double a11 = j10 * p01_ + j11 * p11_;
-  const double b00 = a00 * 1.0 + a01 * j01;
-  const double b01 = a00 * j10 + a01 * j11;
-  const double b10 = a10 * 1.0 + a11 * j01;
-  const double b11 = a10 * j10 + a11 * j11;
-  const double qv = cfg_.accel_sigma * cfg_.accel_sigma * dt * dt;
-  p00_ = b00 + qv;
-  p11_ = b11 + cfg_.grade_process_psd * dt;
-  p01_ = 0.5 * (b01 + b10);  // symmetrize
+  ekf_kernel::predict(
+      s, specific_force, dt, params_.gravity, c, cfg_.use_paper_drift_term,
+      cfg_.accel_sigma, cfg_.grade_process_psd,
+      [](double x) { return std::sin(x); },
+      [](double x) { return std::cos(x); });
 }
 
 bool GradeEkf::update_velocity(double v_meas, double variance) {
-  // H = [1, 0], so S = p00 + R and the innovation is scalar.
-  const double y = v_meas - v_;
-  const double s = p00_ + variance;
-  if (std::abs(s) < 1e-300) {
-    throw math::SingularMatrixError("Mat::inverse: singular matrix");
-  }
-  const double s_inv = 1.0 / s;
-  const double nis = y * (s_inv * y);
-  if (cfg_.gate_nis > 0.0 && nis > cfg_.gate_nis) return false;
-
-  const double k0 = p00_ * s_inv;
-  const double k1 = p01_ * s_inv;
-  v_ = v_ + k0 * y;
-  th_ = th_ + k1 * y;
-
-  // Joseph form: P <- (I-KH) P (I-KH)^T + K R K^T, with
-  // I-KH = [[1-k0, 0], [-k1, 1]].
-  const double i00 = 1.0 - k0;
-  const double i10 = 0.0 - k1;
-  const double a00 = i00 * p00_;
-  const double a01 = i00 * p01_;
-  const double a10 = i10 * p00_ + 1.0 * p01_;
-  const double a11 = i10 * p01_ + 1.0 * p11_;
-  const double b00 = a00 * i00;
-  const double b01 = a00 * i10 + a01;
-  const double b10 = a10 * i00;
-  const double b11 = a10 * i10 + a11;
-  const double c0 = k0 * variance;
-  const double c1 = k1 * variance;
-  p00_ = b00 + c0 * k0;
-  p11_ = b11 + c1 * k1;
-  p01_ = 0.5 * ((b01 + c0 * k1) + (b10 + c1 * k0));  // symmetrize
-  return true;
+  ekf_kernel::StateRef s{v_, th_, p00_, p01_, p11_};
+  return ekf_kernel::update_velocity(s, v_meas, variance, cfg_.gate_nis);
 }
 
 GradeTrack run_grade_ekf(const std::string& source_name,
@@ -218,65 +157,64 @@ GradeTrack run_grade_rts(const std::string& source_name,
   if (n < 2) return track;
 
   // ---- Forward EKF pass, recording what the backward sweep needs. ----
+  // Fixed-size (stack) state math: the Mat/Vec version of this pass
+  // allocated ~30 small matrices per smoothing step; EkfN<2>/MatN<2,2>
+  // mirror the dynamic filter's arithmetic bit-for-bit (math/matn.hpp)
+  // with zero heap traffic in the step loop.
   const double g = params.gravity;
   const double c = 2.0 * params.drag_k() / params.mass_kg;
   const bool drift = cfg.use_paper_drift_term;
 
-  math::MeasurementModel vel_model;
-  vel_model.h = [](const Vec& x) { return Vec{x[0]}; };
-  vel_model.jacobian = [](const Vec&) { return Mat{{1.0, 0.0}}; };
-
   const double v0 = measurements.empty() ? 0.0 : measurements.front().v;
-  math::ExtendedKalmanFilter ekf(
-      Vec{v0, 0.0},
-      Mat{{cfg.initial_speed_var, 0.0}, {0.0, cfg.initial_grade_var}});
+  MatN<2, 2> p0;
+  p0(0, 0) = cfg.initial_speed_var;
+  p0(1, 1) = cfg.initial_grade_var;
+  math::EkfN<2> ekf(VecN<2>{{v0, 0.0}}, p0);
 
-  std::vector<Vec> x_filt(n, Vec(2));
-  std::vector<Mat> p_filt(n, Mat(2, 2));
-  std::vector<Vec> x_pred(n, Vec(2));   // prediction *into* step k
-  std::vector<Mat> p_pred(n, Mat(2, 2));
-  std::vector<Mat> f_jacs(n, Mat(2, 2));  // Jacobian used for k-1 -> k
+  MatN<1, 2> vel_h;
+  vel_h(0, 0) = 1.0;
+
+  std::vector<VecN<2>> x_filt(n);
+  std::vector<MatN<2, 2>> p_filt(n);
+  std::vector<VecN<2>> x_pred(n);  // prediction *into* step k
+  std::vector<MatN<2, 2>> p_pred(n);
+  std::vector<MatN<2, 2>> f_jacs(n);  // Jacobian used for k-1 -> k
 
   std::size_t m_idx = 0;
   for (std::size_t k = 0; k < n; ++k) {
     if (k > 0) {
       const double step = grid_t[k] - grid_t[k - 1];
       const double f_hat = grid_f[k];
-      math::ProcessModel model;
-      model.f = [=](const Vec& x, const Vec&) {
-        const double v = x[0];
-        const double theta = x[1];
-        double v_next = std::max(0.0, v + (f_hat - g * std::sin(theta)) * step);
-        double theta_next = theta;
-        if (drift) theta_next += c * v * f_hat * step / (g * std::cos(theta));
-        theta_next = std::clamp(theta_next, -kMaxGradeRad, kMaxGradeRad);
-        return Vec{v_next, theta_next};
-      };
-      model.jacobian = [=](const Vec& x, const Vec&) {
-        const double v = x[0];
-        const double theta = x[1];
-        const double cth = std::cos(theta);
-        Mat j = Mat::identity(2);
-        j(0, 1) = -g * cth * step;
-        if (drift) {
-          j(1, 0) = c * f_hat * step / (g * cth);
-          j(1, 1) = 1.0 + c * v * f_hat * step * std::sin(theta) /
-                              (g * cth * cth);
-        }
-        return j;
-      };
+      const double v = ekf.state()[0];
+      const double theta = ekf.state()[1];
+      const double cth = std::cos(theta);
+      MatN<2, 2> j = MatN<2, 2>::identity();
+      j(0, 1) = -g * cth * step;
+      if (drift) {
+        j(1, 0) = c * f_hat * step / (g * cth);
+        j(1, 1) =
+            1.0 + c * v * f_hat * step * std::sin(theta) / (g * cth * cth);
+      }
+      double v_next = std::max(0.0, v + (f_hat - g * std::sin(theta)) * step);
+      double theta_next = theta;
+      if (drift) theta_next += c * v * f_hat * step / (g * std::cos(theta));
+      theta_next = std::clamp(theta_next, -kMaxGradeRad, kMaxGradeRad);
       const double qv = cfg.accel_sigma * cfg.accel_sigma * step * step;
-      model.q = Mat{{qv, 0.0}, {0.0, cfg.grade_process_psd * step}};
-      f_jacs[k] = model.jacobian(ekf.state(), Vec{});
-      ekf.predict(model, Vec{});
+      MatN<2, 2> q;
+      q(0, 0) = qv;
+      q(1, 1) = cfg.grade_process_psd * step;
+      f_jacs[k] = j;
+      ekf.predict(VecN<2>{{v_next, theta_next}}, j, q);
     } else {
-      f_jacs[k] = Mat::identity(2);
+      f_jacs[k] = MatN<2, 2>::identity();
     }
     x_pred[k] = ekf.state();
     p_pred[k] = ekf.covariance();
     while (m_idx < measurements.size() && measurements[m_idx].t <= grid_t[k]) {
-      vel_model.r = Mat{{measurements[m_idx].variance}};
-      ekf.update(vel_model, Vec{measurements[m_idx].v}, cfg.gate_nis);
+      MatN<1, 1> r;
+      r(0, 0) = measurements[m_idx].variance;
+      ekf.update(VecN<1>{{ekf.state()[0]}}, vel_h, r,
+                 VecN<1>{{measurements[m_idx].v}}, cfg.gate_nis);
       ++m_idx;
     }
     x_filt[k] = ekf.state();
@@ -284,13 +222,13 @@ GradeTrack run_grade_rts(const std::string& source_name,
   }
 
   // ---- Backward RTS sweep. ----
-  std::vector<Vec> x_smooth(n, Vec(2));
-  std::vector<Mat> p_smooth(n, Mat(2, 2));
+  std::vector<VecN<2>> x_smooth(n);
+  std::vector<MatN<2, 2>> p_smooth(n);
   x_smooth[n - 1] = x_filt[n - 1];
   p_smooth[n - 1] = p_filt[n - 1];
   for (std::size_t k = n - 1; k-- > 0;) {
     // Gain C_k = P_f[k] F_{k+1}^T P_pred[k+1]^{-1}.
-    Mat gain;
+    MatN<2, 2> gain;
     try {
       gain = p_filt[k] * f_jacs[k + 1].transpose() * p_pred[k + 1].inverse();
     } catch (const math::SingularMatrixError&) {
@@ -299,8 +237,8 @@ GradeTrack run_grade_rts(const std::string& source_name,
       continue;
     }
     x_smooth[k] = x_filt[k] + gain * (x_smooth[k + 1] - x_pred[k + 1]);
-    Mat p = p_filt[k] +
-            gain * (p_smooth[k + 1] - p_pred[k + 1]) * gain.transpose();
+    MatN<2, 2> p = p_filt[k] +
+                   gain * (p_smooth[k + 1] - p_pred[k + 1]) * gain.transpose();
     p.symmetrize();
     // Guard against numerical loss of positive-definiteness.
     if (p(0, 0) <= 0.0 || p(1, 1) <= 0.0) p = p_filt[k];
@@ -341,20 +279,20 @@ GradeTrack run_grade_ekf_with_baro(
   const double v0 = measurements.empty() ? 0.0 : measurements.front().v;
   const double z0 = barometer.empty() ? 0.0 : barometer.front().value;
 
-  math::ExtendedKalmanFilter ekf(
-      Vec{z0, v0, 0.0},
-      Mat{{25.0, 0.0, 0.0},
-          {0.0, cfg.initial_speed_var, 0.0},
-          {0.0, 0.0, cfg.initial_grade_var}});
+  // 3-state [z, v, theta] filter on fixed-size math (bit-identical to the
+  // dynamic EKF it replaced; zero heap allocation per IMU sample).
+  MatN<3, 3> p0;
+  p0(0, 0) = 25.0;
+  p0(1, 1) = cfg.initial_speed_var;
+  p0(2, 2) = cfg.initial_grade_var;
+  math::EkfN<3> ekf(VecN<3>{{z0, v0, 0.0}}, p0);
 
-  math::MeasurementModel vel_model;
-  vel_model.h = [](const Vec& x) { return Vec{x[1]}; };
-  vel_model.jacobian = [](const Vec&) { return Mat{{0.0, 1.0, 0.0}}; };
-
-  math::MeasurementModel baro_model;
-  baro_model.h = [](const Vec& x) { return Vec{x[0]}; };
-  baro_model.jacobian = [](const Vec&) { return Mat{{1.0, 0.0, 0.0}}; };
-  baro_model.r = Mat{{baro_variance}};
+  MatN<1, 3> vel_h;
+  vel_h(0, 1) = 1.0;
+  MatN<1, 3> baro_h;
+  baro_h(0, 0) = 1.0;
+  MatN<1, 1> baro_r;
+  baro_r(0, 0) = baro_variance;
 
   std::size_t m_idx = 0;
   std::size_t b_idx = 0;
@@ -364,39 +302,36 @@ GradeTrack run_grade_ekf_with_baro(
   for (std::size_t i = 0; i < t.size(); ++i) {
     const double dt = i > 0 ? t[i] - t[i - 1] : 0.0;
     if (dt > 0.0) {
-      math::ProcessModel model;
       const double f_hat = accel_forward[i];
-      model.f = [dt, f_hat, g](const Vec& x, const Vec&) {
-        const double z = x[0];
-        const double v = x[1];
-        const double theta = x[2];
-        return Vec{z + v * std::sin(theta) * dt,
-                   std::max(0.0, v + (f_hat - g * std::sin(theta)) * dt),
-                   std::clamp(theta, -kMaxGradeRad, kMaxGradeRad)};
-      };
-      model.jacobian = [dt, g](const Vec& x, const Vec&) {
-        const double v = x[1];
-        const double theta = x[2];
-        Mat f_jac = Mat::identity(3);
-        f_jac(0, 1) = std::sin(theta) * dt;
-        f_jac(0, 2) = v * std::cos(theta) * dt;
-        f_jac(1, 2) = -g * std::cos(theta) * dt;
-        return f_jac;
-      };
+      const double z = ekf.state()[0];
+      const double v = ekf.state()[1];
+      const double theta = ekf.state()[2];
+      const VecN<3> x_next{
+          {z + v * std::sin(theta) * dt,
+           std::max(0.0, v + (f_hat - g * std::sin(theta)) * dt),
+           std::clamp(theta, -kMaxGradeRad, kMaxGradeRad)}};
+      MatN<3, 3> f_jac = MatN<3, 3>::identity();
+      f_jac(0, 1) = std::sin(theta) * dt;
+      f_jac(0, 2) = v * std::cos(theta) * dt;
+      f_jac(1, 2) = -g * std::cos(theta) * dt;
       const double qv = cfg.accel_sigma * cfg.accel_sigma * dt * dt;
-      model.q = Mat{{1e-3 * dt, 0.0, 0.0},
-                    {0.0, qv, 0.0},
-                    {0.0, 0.0, cfg.grade_process_psd * dt}};
-      ekf.predict(model, Vec{});
+      MatN<3, 3> q;
+      q(0, 0) = 1e-3 * dt;
+      q(1, 1) = qv;
+      q(2, 2) = cfg.grade_process_psd * dt;
+      ekf.predict(x_next, f_jac, q);
       odometry += ekf.state()[1] * dt;
     }
     while (m_idx < measurements.size() && measurements[m_idx].t <= t[i]) {
-      vel_model.r = Mat{{measurements[m_idx].variance}};
-      ekf.update(vel_model, Vec{measurements[m_idx].v}, cfg.gate_nis);
+      MatN<1, 1> r;
+      r(0, 0) = measurements[m_idx].variance;
+      ekf.update(VecN<1>{{ekf.state()[1]}}, vel_h, r,
+                 VecN<1>{{measurements[m_idx].v}}, cfg.gate_nis);
       ++m_idx;
     }
     while (b_idx < barometer.size() && barometer[b_idx].t <= t[i]) {
-      ekf.update(baro_model, Vec{barometer[b_idx].value});
+      ekf.update(VecN<1>{{ekf.state()[0]}}, baro_h, baro_r,
+                 VecN<1>{{barometer[b_idx].value}});
       ++b_idx;
     }
     if (i % decim == 0) {

@@ -1,0 +1,124 @@
+// Scalar per-lane kernels of the 2-state grade EKF (paper Section III-C).
+//
+// The predict/update arithmetic of GradeEkf lives here as inline functions
+// over a 5-double state so the scalar filter (grade_ekf.cpp) and the SoA
+// batch filter (grade_ekf_batch.cpp) share one definition: the expressions
+// and association order are exactly the hand-rolled unrolled generic-EKF
+// computation that the class has carried since PR 3, so the extraction is
+// pure code motion and every scalar result stays bit-identical (pinned by
+// test_grade_ekf.MatchesGenericEkfBitExact and the golden scenarios).
+//
+// `sin_fn`/`cos_fn` are injected so the batch kernel can substitute the
+// vectorizable polynomial versions under RGE_SIMD=ON while the scalar
+// filter keeps libm.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/matrix.hpp"
+
+namespace rge::core::ekf_kernel {
+
+/// ~20 degrees; physical sanity clamp on the gradient state.
+inline constexpr double kMaxGradeRad = 0.35;
+
+/// One lane's filter state: x = [v, theta] and the symmetric covariance.
+struct StateRef {
+  double& v;
+  double& th;
+  double& p00;
+  double& p01;
+  double& p11;
+};
+
+/// One predict step (state + covariance + process noise), mirroring
+/// GradeEkf::predict line by line. `g` is gravity, `c` is 2*drag_k/m (the
+/// Eq. 4 coefficient); `accel_sigma`/`grade_process_psd` are the
+/// GradeEkfConfig noise fields.
+template <class SinFn, class CosFn>
+inline void predict(StateRef s, double specific_force, double dt, double g,
+                    double c, bool drift, double accel_sigma,
+                    double grade_process_psd, SinFn sin_fn, CosFn cos_fn) {
+  if (dt <= 0.0) return;
+  const double f_hat = specific_force;
+  const double v = s.v;
+  const double theta = s.th;
+
+  // Jacobian, evaluated at the pre-propagation state.
+  const double cth = cos_fn(theta);
+  const double sth = sin_fn(theta);
+  const double j01 = -g * cth * dt;
+  double j10 = 0.0;
+  double j11 = 1.0;
+  if (drift) {
+    j10 = c * f_hat * dt / (g * cth);
+    j11 = 1.0 + c * v * f_hat * dt * sth / (g * cth * cth);
+  }
+
+  // State propagation (paper Eq. 4/5).
+  double v_next = v + (f_hat - g * sth) * dt;
+  v_next = std::max(0.0, v_next);
+  double theta_next = theta;
+  if (drift) {
+    theta_next += c * v * f_hat * dt / (g * cth);
+  }
+  theta_next = std::clamp(theta_next, -kMaxGradeRad, kMaxGradeRad);
+  s.v = v_next;
+  s.th = theta_next;
+
+  // P <- F P F^T + Q with F = [[1, j01], [j10, j11]].
+  const double a00 = 1.0 * s.p00 + j01 * s.p01;
+  const double a01 = 1.0 * s.p01 + j01 * s.p11;
+  const double a10 = j10 * s.p00 + j11 * s.p01;
+  const double a11 = j10 * s.p01 + j11 * s.p11;
+  const double b00 = a00 * 1.0 + a01 * j01;
+  const double b01 = a00 * j10 + a01 * j11;
+  const double b10 = a10 * 1.0 + a11 * j01;
+  const double b11 = a10 * j10 + a11 * j11;
+  const double qv = accel_sigma * accel_sigma * dt * dt;
+  s.p00 = b00 + qv;
+  s.p11 = b11 + grade_process_psd * dt;
+  s.p01 = 0.5 * (b01 + b10);  // symmetrize
+}
+
+/// One velocity update (H = [1, 0]), mirroring GradeEkf::update_velocity.
+/// Returns false when the NIS gate rejects the measurement.
+inline bool update_velocity(StateRef s, double v_meas, double variance,
+                            double gate_nis) {
+  // H = [1, 0], so S = p00 + R and the innovation is scalar.
+  const double y = v_meas - s.v;
+  const double sc = s.p00 + variance;
+  if (std::abs(sc) < 1e-300) {
+    throw math::SingularMatrixError("Mat::inverse: singular matrix");
+  }
+  const double s_inv = 1.0 / sc;
+  const double nis = y * (s_inv * y);
+  if (gate_nis > 0.0 && nis > gate_nis) return false;
+
+  const double k0 = s.p00 * s_inv;
+  const double k1 = s.p01 * s_inv;
+  s.v = s.v + k0 * y;
+  s.th = s.th + k1 * y;
+
+  // Joseph form: P <- (I-KH) P (I-KH)^T + K R K^T, with
+  // I-KH = [[1-k0, 0], [-k1, 1]].
+  const double i00 = 1.0 - k0;
+  const double i10 = 0.0 - k1;
+  const double a00 = i00 * s.p00;
+  const double a01 = i00 * s.p01;
+  const double a10 = i10 * s.p00 + 1.0 * s.p01;
+  const double a11 = i10 * s.p01 + 1.0 * s.p11;
+  const double b00 = a00 * i00;
+  const double b01 = a00 * i10 + a01;
+  const double b10 = a10 * i00;
+  const double b11 = a10 * i10 + a11;
+  const double c0 = k0 * variance;
+  const double c1 = k1 * variance;
+  s.p00 = b00 + c0 * k0;
+  s.p11 = b11 + c1 * k1;
+  s.p01 = 0.5 * ((b01 + c0 * k1) + (b10 + c1 * k0));  // symmetrize
+  return true;
+}
+
+}  // namespace rge::core::ekf_kernel

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "core/grade_ekf_batch.hpp"
 #include "math/angles.hpp"
 #include "obs/obs.hpp"
 
@@ -90,6 +91,68 @@ OnlineGradientEstimator::SourceFilter::SourceFilter(const char* source_name)
   (void)source_name;
 }
 
+// SourceFilter EKF access: dispatch to the attached SoA batch lane when
+// the filter was re-homed by OnlineEstimatorBatch, else to the owned
+// GradeEkf. GradeEkfBatch's update_velocity/seed/accessors are defined
+// inline in its header and run the exact scalar kernel, so both branches
+// perform identical arithmetic.
+bool OnlineGradientEstimator::SourceFilter::seeded() const {
+  return batch != nullptr ? batch->seeded(batch_lane) : ekf.has_value();
+}
+
+double OnlineGradientEstimator::SourceFilter::speed() const {
+  return batch != nullptr ? batch->speed(batch_lane) : ekf->speed();
+}
+
+double OnlineGradientEstimator::SourceFilter::grade() const {
+  return batch != nullptr ? batch->grade(batch_lane) : ekf->grade();
+}
+
+double OnlineGradientEstimator::SourceFilter::grade_variance() const {
+  return batch != nullptr ? batch->grade_variance(batch_lane)
+                          : ekf->grade_variance();
+}
+
+double OnlineGradientEstimator::SourceFilter::speed_variance() const {
+  return batch != nullptr ? batch->speed_variance(batch_lane)
+                          : ekf->speed_variance();
+}
+
+bool OnlineGradientEstimator::SourceFilter::update_velocity(double v_meas,
+                                                            double variance) {
+  return batch != nullptr ? batch->update_velocity(batch_lane, v_meas, variance)
+                          : ekf->update_velocity(v_meas, variance);
+}
+
+void OnlineGradientEstimator::SourceFilter::predict(double specific_force,
+                                                    double dt) {
+  // Batch-attached lanes are predicted lane-parallel by the fleet driver
+  // between push_imu_begin and push_imu_finish.
+  if (batch == nullptr && ekf) ekf->predict(specific_force, dt);
+}
+
+void OnlineGradientEstimator::SourceFilter::seed_filter(
+    const vehicle::VehicleParams& params, const GradeEkfConfig& cfg,
+    double initial_speed) {
+  if (batch != nullptr) {
+    batch->seed(batch_lane, initial_speed);
+  } else {
+    ekf.emplace(params, cfg, initial_speed, 0.0);
+  }
+}
+
+void OnlineGradientEstimator::attach_batch(GradeEkfBatch* gps,
+                                           GradeEkfBatch* speedometer,
+                                           GradeEkfBatch* canbus,
+                                           std::size_t lane) {
+  gps_.batch = gps;
+  gps_.batch_lane = lane;
+  speedometer_.batch = speedometer;
+  speedometer_.batch_lane = lane;
+  canbus_.batch = canbus;
+  canbus_.batch_lane = lane;
+}
+
 OnlineGradientEstimator::TimeGate
 OnlineGradientEstimator::classify_measurement_time(const SourceFilter& src,
                                                    double t) {
@@ -151,7 +214,7 @@ bool OnlineGradientEstimator::bias_consensus(double sign) const {
   int n_seeded = 0;
   int n_agree = 0;
   for (const SourceFilter* s : {&gps_, &speedometer_, &canbus_}) {
-    if (!s->ekf || s->quarantined) continue;
+    if (!s->seeded() || s->quarantined) continue;
     ++n_seeded;
     if (sign * s->bias_ewma >= cfg_.defense.bias_engage_sigma) ++n_agree;
   }
@@ -186,10 +249,10 @@ void OnlineGradientEstimator::learn_accel_bias(const SourceFilter& src,
 bool OnlineGradientEstimator::admit_velocity(SourceFilter& src, double t,
                                              double v) {
   const OnlineDefenseConfig& d = cfg_.defense;
-  if (!src.ekf) {
+  if (!src.seeded()) {
     // First measurement seeds the filter; there is no prediction to gate
     // against yet.
-    src.ekf.emplace(params_, cfg_.ekf, v, 0.0);
+    src.seed_filter(params_, cfg_.ekf, v);
     src.last_t = t;
     src.has_t = true;
     src.last_accept_t = t;
@@ -200,15 +263,15 @@ bool OnlineGradientEstimator::admit_velocity(SourceFilter& src, double t,
   if (!d.enabled) {  // trusting legacy path
     src.last_t = t;
     src.has_t = true;
-    src.ekf->update_velocity(v, src.variance);
+    src.update_velocity(v, src.variance);
     src.last_accept_t = t;
     src.has_accept_t = true;
     ++src.accepted;
     return true;
   }
 
-  const double p00 = src.ekf->speed_variance();
-  const double y = v - src.ekf->speed();
+  const double p00 = src.speed_variance();
+  const double y = v - src.speed();
   const double s_base = p00 + src.variance;
   const double gate2 = d.gate_nsigma * d.gate_nsigma;
 
@@ -277,7 +340,7 @@ bool OnlineGradientEstimator::admit_velocity(SourceFilter& src, double t,
   learn_accel_bias(src, t, y);
   src.last_t = t;
   src.has_t = true;
-  src.ekf->update_velocity(v, src.r_eff);
+  src.update_velocity(v, src.r_eff);
   src.last_accept_t = t;
   src.has_accept_t = true;
   ++src.accepted;
@@ -306,7 +369,7 @@ void OnlineGradientEstimator::push_gps(const sensors::GpsFix& fix) {
     case TimeGate::kAccept:
       break;
   }
-  if (!gps_.ekf) gps_.variance = 0.09;
+  if (!gps_.seeded()) gps_.variance = 0.09;
   if (!admit_velocity(gps_, fix.t, fix.speed_mps)) return;
   // Heading chain and speed cache follow only measurements that were
   // actually applied: a gated (spoofed) fix must not steer the alignment.
@@ -337,7 +400,7 @@ void OnlineGradientEstimator::push_speedometer(double t, double speed_mps) {
     case TimeGate::kAccept:
       break;
   }
-  if (!speedometer_.ekf) speedometer_.variance = 0.16;
+  if (!speedometer_.seeded()) speedometer_.variance = 0.16;
   if (!admit_velocity(speedometer_, t, speed_mps)) return;
   latest_speed_meas_ = speed_mps;
 }
@@ -357,7 +420,7 @@ void OnlineGradientEstimator::push_canbus(double t, double speed_mps) {
     case TimeGate::kAccept:
       break;
   }
-  if (!canbus_.ekf) canbus_.variance = 0.01;
+  if (!canbus_.seeded()) canbus_.variance = 0.01;
   if (!admit_velocity(canbus_, t, speed_mps)) return;
   latest_speed_meas_ = speed_mps;
 }
@@ -388,7 +451,7 @@ void OnlineGradientEstimator::push_baro(double t, double altitude_m) {
   if (!d.enabled || !d.compensate_accel_bias || !d.baro_anchor) return;
   if (!baro_anchor_active_) {
     // Anchoring needs a climb prediction, i.e. at least one seeded filter.
-    if (!gps_.ekf && !speedometer_.ekf && !canbus_.ekf) return;
+    if (!gps_.seeded() && !speedometer_.seeded() && !canbus_.seeded()) return;
     baro_anchor_active_ = true;
     baro_anchor_t_ = t;
     baro_anchor_alt_ = baro_smooth_;
@@ -424,7 +487,7 @@ double OnlineGradientEstimator::current_alpha(double t) const {
 }
 
 bool OnlineGradientEstimator::source_usable(const SourceFilter& src) const {
-  return src.ekf.has_value() && !src.quarantined;
+  return src.seeded() && !src.quarantined;
 }
 
 bool OnlineGradientEstimator::any_usable_source() const {
@@ -443,13 +506,13 @@ double OnlineGradientEstimator::fused_speed() const {
   double speed = 0.0;
   bool any = false;
   for (const SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
-    if (!src->ekf) continue;
+    if (!src->seeded()) continue;
     if (src->quarantined && !all_quarantined) continue;
-    const double var = src->ekf->grade_variance();
+    const double var = src->grade_variance();
     if (!any || var < best_var) {
       any = true;
       best_var = var;
-      speed = src->ekf->speed();
+      speed = src->speed();
     }
   }
   return speed;
@@ -462,14 +525,14 @@ bool OnlineGradientEstimator::fused_state(double* v, double* th) const {
   double best_var = 0.0;
   bool any = false;
   for (const SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
-    if (!src->ekf) continue;
+    if (!src->seeded()) continue;
     if (src->quarantined && !all_quarantined) continue;
-    const double var = src->ekf->grade_variance();
+    const double var = src->grade_variance();
     if (!any || var < best_var) {
       any = true;
       best_var = var;
-      *v = src->ekf->speed();
-      *th = src->ekf->grade();
+      *v = src->speed();
+      *th = src->grade();
     }
   }
   return any;
@@ -484,13 +547,26 @@ double OnlineGradientEstimator::applied_accel_bias() const {
 }
 
 void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
+  const ImuStep step = push_imu_begin(sample);
+  if (!step.accepted) return;
+  if (step.dt > 0.0) {
+    for (SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
+      src->predict(step.f, step.dt);
+    }
+  }
+  push_imu_finish(step);
+}
+
+OnlineGradientEstimator::ImuStep OnlineGradientEstimator::push_imu_begin(
+    const sensors::ImuSample& sample) {
+  ImuStep step;
   if (!finite_imu_sample(sample)) {
     OBS_COUNT("online.rejected_nonfinite", 1);
-    return;
+    return step;
   }
   if (have_imu_ && sample.t <= last_imu_t_) {
     OBS_COUNT("online.rejected_nonmonotonic", 1);
-    return;
+    return step;
   }
   const std::int64_t obs_t0 = obs::enabled() ? obs::trace_now_ns() : -1;
   const double dt = have_imu_ ? sample.t - last_imu_t_ : 0.0;
@@ -539,10 +615,20 @@ void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
     f = f * std::cos(alpha) - latest_speed_meas_ * steer * sa -
         params_.gravity * cfg_.assumed_road_crown * sa;
   }
+
+  step.accepted = true;
+  step.t = sample.t;
+  step.dt = dt;
+  step.f = f;
+  step.steer = steer;
+  step.obs_t0 = obs_t0;
+  return step;
+}
+
+void OnlineGradientEstimator::push_imu_finish(const ImuStep& step) {
+  const double dt = step.dt;
+  const double steer = step.steer;
   if (dt > 0.0) {
-    for (SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
-      if (src->ekf) src->ekf->predict(f, dt);
-    }
     odometry_ += fused_speed() * dt;
     if (baro_anchor_active_) {
       double v_f = 0.0;
@@ -555,9 +641,9 @@ void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
   }
 
   // ---- detection buffer at the detector rate -----------------------
-  if (sample.t >= next_det_t_) {
-    next_det_t_ = sample.t + 1.0 / cfg_.detector_rate_hz;
-    det_.push_back(sample.t, steer, latest_speed_meas_);
+  if (step.t >= next_det_t_) {
+    next_det_t_ = step.t + 1.0 / cfg_.detector_rate_hz;
+    det_.push_back(step.t, steer, latest_speed_meas_);
     // Evict by age, but never a sample the detection machine still
     // references: the active excursion, and a pending bump that can
     // still pair (its gap deadline has not passed, or an excursion that
@@ -572,12 +658,12 @@ void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
       const double deadline =
           pair_pending_.t_end + cfg_.detector.max_bump_gap_s;
       const bool alive =
-          sample.t <= deadline ||
+          step.t <= deadline ||
           (exc_.active && det_.t(exc_.start_abs) <= deadline);
       if (alive) protect = std::min(protect, pair_pending_.start_abs);
     }
     while (!det_.empty() && det_.first() < protect &&
-           sample.t - det_.t(det_.first()) > cfg_.detector_buffer_s) {
+           step.t - det_.t(det_.first()) > cfg_.detector_buffer_s) {
       const std::size_t f = det_.first();
       evicted_class_ =
           f < next_finalize_abs_
@@ -588,12 +674,12 @@ void OnlineGradientEstimator::push_imu(const sensors::ImuSample& sample) {
     // A pathologically short buffer could evict not-yet-finalized
     // samples; never let the finalize cursor point before the ring.
     next_finalize_abs_ = std::max(next_finalize_abs_, det_.first());
-    on_detector_tick(sample.t);
+    on_detector_tick(step.t);
   }
 
-  if (obs_t0 >= 0) {
+  if (step.obs_t0 >= 0) {
     OBS_OBSERVE("online.push_imu_us",
-                static_cast<double>(obs::trace_now_ns() - obs_t0) / 1000.0,
+                static_cast<double>(obs::trace_now_ns() - step.obs_t0) / 1000.0,
                 obs::latency_bounds_us());
   }
 }
@@ -852,13 +938,13 @@ OnlineEstimate OnlineGradientEstimator::estimate() const {
   std::vector<double> speeds;
   std::uint8_t bit = 1;
   for (const SourceFilter* src : {&gps_, &speedometer_, &canbus_}) {
-    if (src->ekf) {
+    if (src->seeded()) {
       if (src->quarantined) out.sources_quarantined_mask |= bit;
       if (!src->quarantined || all_quarantined) {
         out.sources_fused_mask |= bit;
-        grades.push_back(src->ekf->grade());
-        variances.push_back(src->ekf->grade_variance());
-        speeds.push_back(src->ekf->speed());
+        grades.push_back(src->grade());
+        variances.push_back(src->grade_variance());
+        speeds.push_back(src->speed());
       }
     }
     bit = static_cast<std::uint8_t>(bit << 1);
@@ -892,7 +978,7 @@ SourceDiagnostics OnlineGradientEstimator::source_diagnostics(
       break;
   }
   SourceDiagnostics d;
-  d.seeded = src->ekf.has_value();
+  d.seeded = src->seeded();
   d.quarantined = src->quarantined;
   d.health = src->health;
   d.nis_ewma = src->nis_ewma;

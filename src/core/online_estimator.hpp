@@ -40,6 +40,9 @@
 
 namespace rge::core {
 
+class GradeEkfBatch;
+class OnlineEstimatorBatch;
+
 /// Self-defense layer for the per-source velocity filters: innovation
 /// gating with an adaptive measurement-noise floor (R_eff inflated from
 /// recent normalized-innovation statistics), per-source health scoring,
@@ -306,6 +309,26 @@ class OnlineGradientEstimator {
     explicit SourceFilter(const char* source_name);
 
     std::optional<GradeEkf> ekf;
+    /// Non-null when this source's EKF state lives in a lane of a shared
+    /// SoA batch (OnlineEstimatorBatch) instead of `ekf`. All filter
+    /// access below goes through the accessors, which dispatch to the
+    /// batch lane when attached; with `batch == nullptr` they inline to
+    /// the exact legacy GradeEkf calls, so the scalar path is untouched.
+    GradeEkfBatch* batch = nullptr;
+    std::size_t batch_lane = 0;
+
+    bool seeded() const;
+    double speed() const;
+    double grade() const;
+    double grade_variance() const;
+    double speed_variance() const;
+    bool update_velocity(double v_meas, double variance);
+    /// Scalar in-place predict; no-op when attached to a batch (the batch
+    /// driver runs the lane-parallel predict between begin and finish).
+    void predict(double specific_force, double dt);
+    void seed_filter(const vehicle::VehicleParams& params,
+                     const GradeEkfConfig& cfg, double initial_speed);
+
     double variance = 0.1;
     double last_t = 0.0;  ///< newest *consumed* measurement timestamp
     bool has_t = false;
@@ -336,6 +359,30 @@ class OnlineGradientEstimator {
     std::int64_t quarantined_pub = 0;
 #endif
   };
+
+  // The SoA fleet driver streams lanes in lockstep: per sample it runs
+  // push_imu_begin on every lane, one lane-parallel EKF predict per
+  // source across all lanes, then push_imu_finish on every lane — the
+  // exact stage order of the scalar push_imu.
+  friend class OnlineEstimatorBatch;
+
+  /// One admitted IMU sample, staged between push_imu's causal front half
+  /// (admission, alignment, lane-change projection) and its post-predict
+  /// back half (odometry, baro integrals, detection buffer).
+  struct ImuStep {
+    bool accepted = false;  ///< passed the finite/monotonic admission
+    double t = 0.0;
+    double dt = 0.0;
+    double f = 0.0;      ///< bias-compensated, maneuver-projected force
+    double steer = 0.0;  ///< aligned steering rate (detector input)
+    std::int64_t obs_t0 = -1;
+  };
+  ImuStep push_imu_begin(const sensors::ImuSample& sample);
+  void push_imu_finish(const ImuStep& step);
+  /// Re-home the three source filters' EKF state into lane `lane` of the
+  /// given per-source batches (OnlineEstimatorBatch's constructor wiring).
+  void attach_batch(GradeEkfBatch* gps, GradeEkfBatch* speedometer,
+                    GradeEkfBatch* canbus, std::size_t lane);
 
   void on_detector_tick(double now);
   void finalize_sample(std::size_t j);

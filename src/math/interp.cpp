@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "math/interp_batch.hpp"
+
 namespace rge::math {
 
 LinearInterpolator::LinearInterpolator(std::vector<double> xs,
@@ -33,9 +35,11 @@ double LinearInterpolator::operator()(double x) const {
 }
 
 std::vector<double> LinearInterpolator::sample(std::size_t n) const {
-  std::vector<double> out;
-  out.reserve(n);
-  for (double x : linspace(x_min(), x_max(), n)) out.push_back((*this)(x));
+  // Sorted-grid batch kernel; bit-identical to evaluating operator() per
+  // point (see interp_batch.hpp) but O(knots + n) instead of O(n log knots).
+  const std::vector<double> grid = linspace(x_min(), x_max(), n);
+  std::vector<double> out(grid.size(), 0.0);
+  resample_sorted(xs_, ys_, grid, out);
   return out;
 }
 

@@ -1,0 +1,107 @@
+#include "math/interp_batch.hpp"
+
+#include <stdexcept>
+
+namespace rge::math {
+
+namespace {
+
+void check_inputs(std::span<const double> keys,
+                  std::span<const double> queries, std::size_t out_size,
+                  const char* fn) {
+  if (keys.empty()) {
+    throw std::invalid_argument(std::string(fn) + ": keys must be non-empty");
+  }
+  if (out_size != queries.size()) {
+    throw std::invalid_argument(std::string(fn) + ": output size mismatch");
+  }
+  for (std::size_t i = 1; i < queries.size(); ++i) {
+    if (queries[i] < queries[i - 1]) {
+      throw std::invalid_argument(std::string(fn) +
+                                  ": queries must be non-decreasing");
+    }
+  }
+}
+
+}  // namespace
+
+void resample_positions(std::span<const double> keys,
+                        std::span<const double> queries,
+                        std::span<InterpPos> out) {
+  check_inputs(keys, queries, out.size(), "resample_positions");
+  const std::size_t m = queries.size();
+  const double x_front = keys.front();
+  const double x_back = keys.back();
+  const std::size_t last = keys.size() - 1;
+
+  std::size_t qi = 0;
+  // Leading clamp run: locate() returns {0, 0, 0} for q <= keys.front().
+  while (qi < m && queries[qi] <= x_front) out[qi++] = {0, 0, 0.0};
+
+  // Interior: walk to each query's bracket once; all queries sharing the
+  // bracket form a contiguous run whose fractions vectorize.
+  std::size_t hi = 1;
+  while (qi < m && queries[qi] < x_back) {
+    const double q0 = queries[qi];
+    while (keys[hi] <= q0) ++hi;  // safe: q0 < keys.back()
+    std::size_t run = qi + 1;
+    while (run < m && queries[run] < x_back && queries[run] < keys[hi]) ++run;
+    const std::size_t lo = hi - 1;
+    const double x_lo = keys[lo];
+    const double denom = keys[hi] - x_lo;
+    if (denom > 0.0) {
+      for (std::size_t k = qi; k < run; ++k) {
+        out[k] = {lo, hi, (queries[k] - x_lo) / denom};
+      }
+    } else {
+      for (std::size_t k = qi; k < run; ++k) out[k] = {lo, hi, 0.0};
+    }
+    qi = run;
+  }
+
+  // Trailing clamp run: {last, last, 0}.
+  while (qi < m) out[qi++] = {last, last, 0.0};
+}
+
+void resample_sorted(std::span<const double> keys,
+                     std::span<const double> vals,
+                     std::span<const double> queries, std::span<double> out) {
+  check_inputs(keys, queries, out.size(), "resample_sorted");
+  if (vals.size() != keys.size()) {
+    throw std::invalid_argument("resample_sorted: vals/keys size mismatch");
+  }
+  const std::size_t m = queries.size();
+  const double x_front = keys.front();
+  const double x_back = keys.back();
+
+  std::size_t qi = 0;
+  while (qi < m && queries[qi] <= x_front) out[qi++] = vals.front();
+
+  std::size_t hi = 1;
+  while (qi < m && queries[qi] < x_back) {
+    const double q0 = queries[qi];
+    while (keys[hi] <= q0) ++hi;
+    std::size_t run = qi + 1;
+    while (run < m && queries[run] < x_back && queries[run] < keys[hi]) ++run;
+    const std::size_t lo = hi - 1;
+    const double x_lo = keys[lo];
+    const double denom = keys[hi] - x_lo;
+    const double y_lo = vals[lo];
+    const double y_hi = vals[hi];
+    if (denom > 0.0) {
+      for (std::size_t k = qi; k < run; ++k) {
+        const double f = (queries[k] - x_lo) / denom;
+        out[k] = y_lo * (1.0 - f) + y_hi * f;
+      }
+    } else {
+      for (std::size_t k = qi; k < run; ++k) {
+        out[k] = y_lo * (1.0 - 0.0) + y_hi * 0.0;
+      }
+    }
+    qi = run;
+  }
+
+  while (qi < m) out[qi++] = vals.back();
+}
+
+}  // namespace rge::math

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "math/matrix.hpp"
+#include "math/small_solve.hpp"
 #include "math/stats.hpp"
 
 namespace rge::math {
@@ -65,10 +66,15 @@ double LoessSmoother::fit_at(std::span<const double> x,
   }
   if (max_dist <= 0.0) max_dist = 1.0;
 
-  // Weighted polynomial least squares: build normal equations.
+  // Weighted polynomial least squares: build normal equations. The p x p
+  // system lives on the stack (p <= 3) and detail::solve_small mirrors
+  // Mat::solve bit-for-bit, so this is the old Mat/Vec code minus its
+  // per-point heap allocations (the online detector calls fit_at per
+  // smoothing-window sample at 10 Hz).
   const int p = cfg_.degree + 1;
-  Mat ata(static_cast<std::size_t>(p), static_cast<std::size_t>(p), 0.0);
-  Vec atb(static_cast<std::size_t>(p), 0.0);
+  const std::size_t up = static_cast<std::size_t>(p);
+  double ata[9] = {};
+  double atb[3] = {};
   for (std::size_t j = lo; j < hi; ++j) {
     const double d = std::abs(x[j] - x[i]) / max_dist;
     double w = tricube(d);
@@ -78,7 +84,7 @@ double LoessSmoother::fit_at(std::span<const double> x,
     double basis[3] = {1.0, dx, dx * dx};
     for (int r = 0; r < p; ++r) {
       for (int c = 0; c < p; ++c) {
-        ata(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) +=
+        ata[static_cast<std::size_t>(r) * up + static_cast<std::size_t>(c)] +=
             w * basis[r] * basis[c];
       }
       atb[static_cast<std::size_t>(r)] += w * basis[r] * y[j];
@@ -87,10 +93,12 @@ double LoessSmoother::fit_at(std::span<const double> x,
   // Ridge fallback: if all weight collapsed on too few points, the normal
   // matrix can be singular; nudge the diagonal.
   for (int r = 0; r < p; ++r) {
-    ata(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) += 1e-12;
+    ata[static_cast<std::size_t>(r) * up + static_cast<std::size_t>(r)] +=
+        1e-12;
   }
   try {
-    const Vec beta = ata.solve(atb);
+    double beta[3];
+    detail::solve_small(up, ata, atb, beta);
     return beta[0];  // fitted value at dx = 0
   } catch (const SingularMatrixError&) {
     return y[i];

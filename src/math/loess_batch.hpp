@@ -1,0 +1,39 @@
+// Batched LOESS smoothing over series that share one x grid (SoA kernel).
+//
+// The per-vehicle steering-rate profiles of a lock-stepped fleet share
+// their sample timeline, so the window search, tricube weights and (in the
+// non-robust case) the whole normal matrix of each local fit are identical
+// across vehicles — only the right-hand side differs per lane. The batch
+// kernel computes that shared work once per fit point, LU-factors the
+// normal matrix once, and runs the per-lane accumulation + substitution as
+// lane-contiguous vector loops.
+//
+// Parity contract (DESIGN.md §8):
+//   RGE_SIMD=OFF  delegates to LoessSmoother::fit per series —
+//                 bit-identical to the scalar smoother by construction.
+//   RGE_SIMD=ON   runs the shared-window kernel under host-tuned flags;
+//                 the arithmetic per lane is the scalar algorithm's
+//                 operation sequence exactly (test_loess_batch pins
+//                 equality within the documented FMA-contraction
+//                 tolerance, and exact equality in simd-off builds).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/loess.hpp"
+
+namespace rge::math {
+
+/// Smooth `series` equal-length series over a shared sorted x grid.
+/// `ys` is row-major (series x n: series b occupies ys[b*n .. b*n+n));
+/// the result uses the same layout. Matches LoessSmoother::fit per series:
+/// same config validation, same sorted-x requirement, series of length
+/// < 2 are returned unsmoothed.
+std::vector<double> loess_fit_batch(const LoessConfig& cfg,
+                                    std::span<const double> x,
+                                    std::span<const double> ys,
+                                    std::size_t series);
+
+}  // namespace rge::math

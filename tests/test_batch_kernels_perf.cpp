@@ -1,0 +1,221 @@
+// Perf-tier budgets for the SoA batch kernels (ctest -L perf):
+//
+//   * GradeEkfBatch::predict over a 1000-vehicle fleet must beat stepping
+//     1000 scalar GradeEkf instances by >= 4x per core;
+//   * loess_fit_batch over a lock-stepped fleet's shared grid must beat
+//     per-series LoessSmoother::fit by >= 4x;
+//   * batched resample_sorted must not lose to per-query interpolation
+//     (>= 1x guard; it is bit-exact, so any win is free).
+//
+// Budgets only apply to RGE_SIMD=ON builds (the OFF fallback is the scalar
+// code by construction — the test SKIPs) and are relaxed to 2x under
+// sanitizers, whose instrumentation flattens vector gains. Measured
+// numbers land in BENCH_batch_kernels.json (override with
+// RGE_BENCH_BATCH_KERNELS_OUT) as this workload's perf-trajectory
+// artifact.
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/grade_ekf_batch.hpp"
+#include "math/interp.hpp"
+#include "math/interp_batch.hpp"
+#include "math/loess_batch.hpp"
+#include "math/rng.hpp"
+#include "math/simd.hpp"
+#include "testing/json.hpp"
+
+namespace rge::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(const Clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+constexpr double kBudget = kSanitized ? 2.0 : 4.0;
+
+TEST(BatchKernelsPerf, FleetSpeedupsMeetBudget) {
+  if constexpr (!math::simd_enabled()) {
+    GTEST_SKIP() << "RGE_SIMD=OFF: batch kernels are the scalar code";
+  }
+
+  const vehicle::VehicleParams params{};
+  const GradeEkfConfig cfg{};
+  math::Rng rng(51);
+
+  // ---- EKF predict: 1000 lanes x kSteps ------------------------------
+  constexpr std::size_t kLanes = 1000;
+  const std::size_t ekf_steps = kSanitized ? 400 : 2000;
+  std::vector<double> v0(kLanes);
+  std::vector<double> th0(kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    v0[l] = rng.uniform(3.0, 30.0);
+    th0[l] = rng.uniform(-0.08, 0.08);
+  }
+  std::vector<double> f(kLanes);
+  std::vector<double> dt(kLanes, 0.02);
+  for (auto& x : f) x = rng.uniform(-3.0, 3.0);
+
+  std::vector<GradeEkf> fleet;
+  fleet.reserve(kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    fleet.emplace_back(params, cfg, v0[l], th0[l]);
+  }
+  GradeEkfBatch batch(kLanes, params, cfg);
+  for (std::size_t l = 0; l < kLanes; ++l) batch.seed(l, v0[l], th0[l]);
+
+  // Warm both paths (page in code + state).
+  for (std::size_t l = 0; l < kLanes; ++l) fleet[l].predict(f[l], 0.02);
+  batch.predict(f, dt);
+
+  const auto t_scalar = Clock::now();
+  for (std::size_t s = 0; s < ekf_steps; ++s) {
+    for (std::size_t l = 0; l < kLanes; ++l) fleet[l].predict(f[l], 0.02);
+  }
+  const double ekf_scalar_ms = ms_since(t_scalar);
+  const auto t_batch = Clock::now();
+  for (std::size_t s = 0; s < ekf_steps; ++s) batch.predict(f, dt);
+  const double ekf_batch_ms = ms_since(t_batch);
+  const double ekf_speedup = ekf_scalar_ms / ekf_batch_ms;
+  // Keep the optimizer honest: consume both results.
+  double checksum = 0.0;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    checksum += batch.grade(l) + fleet[l].grade();
+  }
+  ASSERT_TRUE(std::isfinite(checksum));
+
+  EXPECT_GE(ekf_speedup, kBudget)
+      << "EKF fleet predict: scalar " << ekf_scalar_ms << " ms vs batch "
+      << ekf_batch_ms << " ms";
+
+  // ---- LOESS: shared grid, one series per vehicle --------------------
+  const std::size_t loess_series = kSanitized ? 48 : 128;
+  const std::size_t loess_n = 400;
+  std::vector<double> x(loess_n);
+  double t = 0.0;
+  for (auto& xi : x) {
+    t += rng.uniform(0.01, 0.05);
+    xi = t;
+  }
+  std::vector<double> ys(loess_series * loess_n);
+  for (auto& y : ys) y = rng.gaussian(0.0, 1.0);
+  math::LoessConfig lcfg;
+  lcfg.span = 0.2;
+  lcfg.degree = 1;
+  const math::LoessSmoother scalar_smoother(lcfg);
+
+  // Warm.
+  auto warm_scalar = scalar_smoother.fit(
+      x, std::span<const double>(ys).subspan(0, loess_n));
+  auto warm_batch = math::loess_fit_batch(lcfg, x, ys, loess_series);
+  ASSERT_TRUE(std::isfinite(warm_scalar[0] + warm_batch[0]));
+
+  const auto t_lscalar = Clock::now();
+  double lsum = 0.0;
+  for (std::size_t b = 0; b < loess_series; ++b) {
+    const auto fit = scalar_smoother.fit(
+        x, std::span<const double>(ys).subspan(b * loess_n, loess_n));
+    lsum += fit.back();
+  }
+  const double loess_scalar_ms = ms_since(t_lscalar);
+  const auto t_lbatch = Clock::now();
+  const auto lbatch = math::loess_fit_batch(lcfg, x, ys, loess_series);
+  const double loess_batch_ms = ms_since(t_lbatch);
+  lsum += lbatch.back();
+  ASSERT_TRUE(std::isfinite(lsum));
+  const double loess_speedup = loess_scalar_ms / loess_batch_ms;
+
+  EXPECT_GE(loess_speedup, kBudget)
+      << "LOESS fleet smooth: scalar " << loess_scalar_ms
+      << " ms vs batch " << loess_batch_ms << " ms";
+
+  // ---- Interp resampling: guard only (bit-exact kernel) --------------
+  const std::size_t interp_n = 20000;
+  const std::size_t interp_q = 50000;
+  std::vector<double> keys(interp_n);
+  std::vector<double> vals(interp_n);
+  double s = 0.0;
+  for (std::size_t i = 0; i < interp_n; ++i) {
+    s += rng.uniform(0.01, 1.0);
+    keys[i] = s;
+    vals[i] = rng.gaussian(0.0, 2.0);
+  }
+  std::vector<double> queries(interp_q);
+  for (std::size_t i = 0; i < interp_q; ++i) {
+    queries[i] = s * static_cast<double>(i) / static_cast<double>(interp_q);
+  }
+  const math::LinearInterpolator interp(keys, vals);
+  std::vector<double> out(interp_q);
+  math::resample_sorted(keys, vals, queries, out);  // warm
+
+  const auto t_iscalar = Clock::now();
+  double isum = 0.0;
+  for (std::size_t i = 0; i < interp_q; ++i) isum += interp(queries[i]);
+  const double interp_scalar_ms = ms_since(t_iscalar);
+  const auto t_ibatch = Clock::now();
+  math::resample_sorted(keys, vals, queries, out);
+  const double interp_batch_ms = ms_since(t_ibatch);
+  for (double v : out) isum += v;
+  ASSERT_TRUE(std::isfinite(isum));
+  const double interp_speedup = interp_scalar_ms / interp_batch_ms;
+  EXPECT_GE(interp_speedup, 1.0)
+      << "batched resample lost to per-query interpolation: scalar "
+      << interp_scalar_ms << " ms vs batch " << interp_batch_ms << " ms";
+
+  // ---- perf-trajectory artifact --------------------------------------
+  testing::Json::Object doc;
+  doc["workload"] = testing::Json::Object{
+      {"fleet_lanes", kLanes},
+      {"ekf_steps", ekf_steps},
+      {"loess_series", loess_series},
+      {"loess_points", loess_n},
+      {"interp_keys", interp_n},
+      {"interp_queries", interp_q},
+      {"sanitized", kSanitized},
+      {"simd", math::simd_enabled()},
+  };
+  doc["ekf_predict"] = testing::Json::Object{
+      {"scalar_ms", ekf_scalar_ms},
+      {"batch_ms", ekf_batch_ms},
+      {"speedup", ekf_speedup},
+      {"budget_min_speedup", kBudget},
+  };
+  doc["loess"] = testing::Json::Object{
+      {"scalar_ms", loess_scalar_ms},
+      {"batch_ms", loess_batch_ms},
+      {"speedup", loess_speedup},
+      {"budget_min_speedup", kBudget},
+  };
+  doc["interp"] = testing::Json::Object{
+      {"scalar_ms", interp_scalar_ms},
+      {"batch_ms", interp_batch_ms},
+      {"speedup", interp_speedup},
+      {"budget_min_speedup", 1.0},
+  };
+  const char* out_path = std::getenv("RGE_BENCH_BATCH_KERNELS_OUT");
+  testing::write_json_file(testing::Json(doc),
+                           out_path != nullptr ? out_path
+                                               : "BENCH_batch_kernels.json");
+}
+
+}  // namespace
+}  // namespace rge::core

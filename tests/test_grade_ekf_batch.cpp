@@ -1,0 +1,231 @@
+// GradeEkfBatch parity vs N independent scalar GradeEkf instances.
+//
+// Assertion policy (DESIGN.md §8): with RGE_SIMD=OFF every comparison is
+// bit-exact (==); with RGE_SIMD=ON only predict carries the pinned kernel
+// tolerance (polynomial sin/cos + FMA contraction), so state comparisons
+// after predicts use expect_parity while update-only sequences and the
+// structural properties (masking, permutation invariance) stay bit-exact
+// in every build mode.
+#include "core/grade_ekf_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "math/simd.hpp"
+
+namespace rge::core {
+namespace {
+
+void expect_parity(double batch, double scalar) {
+  if constexpr (math::simd_enabled()) {
+    EXPECT_NEAR(batch, scalar, 1e-9 * std::max(1.0, std::abs(scalar)));
+  } else {
+    EXPECT_EQ(batch, scalar);
+  }
+}
+
+struct LaneInput {
+  double f = 0.0;
+  double dt = 0.0;
+};
+
+TEST(GradeEkfBatch, PredictUpdateParityVsScalarFleet) {
+  const vehicle::VehicleParams params{};
+  const GradeEkfConfig cfg{};
+  constexpr std::size_t kLanes = 13;  // not a lane-width multiple
+  GradeEkfBatch batch(kLanes, params, cfg);
+  std::vector<GradeEkf> fleet;
+  math::Rng rng(41);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    const double v0 = rng.uniform(3.0, 25.0);
+    const double th0 = rng.uniform(-0.08, 0.08);
+    batch.seed(l, v0, th0);
+    fleet.emplace_back(params, cfg, v0, th0);
+  }
+  std::vector<double> f(kLanes);
+  std::vector<double> dt(kLanes);
+  for (int step = 0; step < 400; ++step) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      f[l] = rng.uniform(-3.0, 3.0);
+      dt[l] = 0.02;
+    }
+    batch.predict(f, dt);
+    for (std::size_t l = 0; l < kLanes; ++l) fleet[l].predict(f[l], dt[l]);
+    if (step % 9 == 4) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        // Occasional far-off measurement exercises the NIS gate.
+        const double v_meas = (step % 27 == 4)
+                                  ? fleet[l].speed() + 200.0
+                                  : fleet[l].speed() + rng.gaussian(0.0, 0.5);
+        const bool ok_b = batch.update_velocity(l, v_meas, 0.25);
+        const bool ok_s = fleet[l].update_velocity(v_meas, 0.25);
+        EXPECT_EQ(ok_b, ok_s) << "lane " << l << " step " << step;
+      }
+    }
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      expect_parity(batch.speed(l), fleet[l].speed());
+      expect_parity(batch.grade(l), fleet[l].grade());
+      expect_parity(batch.speed_variance(l), fleet[l].speed_variance());
+      expect_parity(batch.grade_variance(l), fleet[l].grade_variance());
+    }
+  }
+}
+
+TEST(GradeEkfBatch, UpdateOnlySequenceBitExactEveryMode) {
+  // update_velocity is inline in the header (compiled with the caller's
+  // flags), so with no predicts in between it is bit-identical to the
+  // scalar filter even in SIMD builds.
+  const vehicle::VehicleParams params{};
+  GradeEkfConfig cfg;
+  cfg.gate_nis = 9.0;
+  GradeEkfBatch batch(3, params, cfg);
+  std::vector<GradeEkf> fleet;
+  math::Rng rng(42);
+  for (std::size_t l = 0; l < 3; ++l) {
+    const double v0 = 10.0 + static_cast<double>(l);
+    batch.seed(l, v0);
+    fleet.emplace_back(params, cfg, v0, 0.0);
+  }
+  for (int k = 0; k < 60; ++k) {
+    for (std::size_t l = 0; l < 3; ++l) {
+      const double v = (k % 13 == 7) ? 500.0 : 10.0 + rng.gaussian(0.0, 1.0);
+      const double r = rng.uniform(0.05, 0.5);
+      EXPECT_EQ(batch.update_velocity(l, v, r),
+                fleet[l].update_velocity(v, r));
+      EXPECT_EQ(batch.speed(l), fleet[l].speed());
+      EXPECT_EQ(batch.grade(l), fleet[l].grade());
+      EXPECT_EQ(batch.speed_variance(l), fleet[l].speed_variance());
+      EXPECT_EQ(batch.grade_variance(l), fleet[l].grade_variance());
+    }
+  }
+}
+
+TEST(GradeEkfBatch, MaskedAndUnseededLanesFreezeBitExact) {
+  const vehicle::VehicleParams params{};
+  GradeEkfBatch batch(4, params, GradeEkfConfig{});
+  batch.seed(0, 12.0, 0.01);
+  batch.seed(2, 20.0, -0.02);
+  // Lane 1 and 3 never seeded.
+  EXPECT_TRUE(batch.seeded(0));
+  EXPECT_FALSE(batch.seeded(1));
+
+  GradeEkfBatch ref(4, params, GradeEkfConfig{});
+  ref.seed(0, 12.0, 0.01);
+  ref.seed(2, 20.0, -0.02);
+
+  const std::vector<double> f = {1.0, 2.0, -1.5, 0.5};
+  const std::vector<double> dt = {0.02, 0.02, 0.02, 0.02};
+  const std::vector<std::uint8_t> mask = {1, 1, 0, 1};
+  const double frozen_v = batch.speed(2);
+  const double frozen_p11 = batch.grade_variance(2);
+  for (int k = 0; k < 50; ++k) {
+    batch.predict(f, dt, mask);
+    ref.predict(f, dt);  // unmasked reference
+  }
+  // Masked-off seeded lane froze bit-exactly.
+  EXPECT_EQ(batch.speed(2), frozen_v);
+  EXPECT_EQ(batch.grade_variance(2), frozen_p11);
+  // Unseeded lanes never move in either batch.
+  EXPECT_EQ(batch.speed(1), 0.0);
+  EXPECT_EQ(batch.grade(3), 0.0);
+  // The active masked lane matches the unmasked reference bit-for-bit:
+  // masking is a pure select, not a different code path.
+  EXPECT_EQ(batch.speed(0), ref.speed(0));
+  EXPECT_EQ(batch.grade(0), ref.grade(0));
+  EXPECT_EQ(batch.grade_variance(0), ref.grade_variance(0));
+
+  // dt == 0 is GradeEkf::predict's early-out: nothing moves.
+  const double before = batch.speed(0);
+  const std::vector<double> dt0(4, 0.0);
+  batch.predict(f, dt0);
+  EXPECT_EQ(batch.speed(0), before);
+}
+
+TEST(GradeEkfBatch, LanePermutationInvarianceBitExact) {
+  // Shuffling vehicles across lanes must leave every per-vehicle output
+  // bit-identical in EVERY build mode: lanes are padded, independent, and
+  // run identical elementwise code (DESIGN.md §8 determinism rule).
+  const vehicle::VehicleParams params{};
+  constexpr std::size_t kLanes = 11;
+  math::Rng rng(43);
+  std::vector<double> v0(kLanes);
+  std::vector<double> th0(kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    v0[l] = rng.uniform(5.0, 30.0);
+    th0[l] = rng.uniform(-0.1, 0.1);
+  }
+  std::vector<std::size_t> perm(kLanes);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::reverse(perm.begin(), perm.end());
+  std::swap(perm[0], perm[5]);
+
+  GradeEkfBatch a(kLanes, params, GradeEkfConfig{});
+  GradeEkfBatch b(kLanes, params, GradeEkfConfig{});
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    a.seed(l, v0[l], th0[l]);
+    b.seed(perm[l], v0[l], th0[l]);
+  }
+  std::vector<double> fa(kLanes);
+  std::vector<double> dta(kLanes);
+  std::vector<double> fb(kLanes);
+  std::vector<double> dtb(kLanes);
+  for (int step = 0; step < 300; ++step) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      fa[l] = rng.uniform(-2.0, 2.0);
+      dta[l] = rng.uniform(0.01, 0.03);
+      fb[perm[l]] = fa[l];
+      dtb[perm[l]] = dta[l];
+    }
+    a.predict(fa, dta);
+    b.predict(fb, dtb);
+    if (step % 11 == 3) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const double v = v0[l] + rng.gaussian(0.0, 1.0);
+        EXPECT_EQ(a.update_velocity(l, v, 0.16),
+                  b.update_velocity(perm[l], v, 0.16));
+      }
+    }
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      ASSERT_EQ(a.speed(l), b.speed(perm[l])) << "step " << step;
+      ASSERT_EQ(a.grade(l), b.grade(perm[l])) << "step " << step;
+      ASSERT_EQ(a.grade_variance(l), b.grade_variance(perm[l]))
+          << "step " << step;
+    }
+  }
+}
+
+TEST(GradeEkfBatch, ReseedResetsLane) {
+  const vehicle::VehicleParams params{};
+  GradeEkfBatch batch(2, params, GradeEkfConfig{});
+  batch.seed(0, 10.0, 0.05);
+  const std::vector<double> f = {2.0, 0.0};
+  const std::vector<double> dt = {0.02, 0.02};
+  for (int k = 0; k < 20; ++k) batch.predict(f, dt);
+  batch.seed(0, 10.0, 0.05);
+  const GradeEkf fresh(params, GradeEkfConfig{}, 10.0, 0.05);
+  EXPECT_EQ(batch.speed(0), fresh.speed());
+  EXPECT_EQ(batch.grade(0), fresh.grade());
+  EXPECT_EQ(batch.speed_variance(0), fresh.speed_variance());
+  EXPECT_EQ(batch.grade_variance(0), fresh.grade_variance());
+}
+
+TEST(GradeEkfBatch, InputValidation) {
+  const vehicle::VehicleParams params{};
+  GradeEkfBatch batch(3, params, GradeEkfConfig{});
+  EXPECT_THROW(batch.seed(3, 1.0), std::out_of_range);
+  const std::vector<double> short_span = {1.0};
+  const std::vector<double> dt = {0.02, 0.02, 0.02};
+  EXPECT_THROW(batch.predict(short_span, dt), std::invalid_argument);
+  const std::vector<double> f = {1.0, 1.0, 1.0};
+  const std::vector<std::uint8_t> short_mask = {1};
+  EXPECT_THROW(batch.predict(f, dt, short_mask), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rge::core

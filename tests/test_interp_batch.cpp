@@ -1,0 +1,120 @@
+// Batched resampling parity: resample_positions/resample_sorted are
+// bit-exact against per-query locate()/LinearInterpolator in EVERY build
+// mode — these kernels are compiled with default flags on purpose, so the
+// assertions here are ==, never near, regardless of RGE_SIMD.
+#include "math/interp_batch.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/interp.hpp"
+#include "math/rng.hpp"
+
+namespace rge::math {
+namespace {
+
+std::vector<double> random_sorted(Rng& rng, std::size_t n, double lo,
+                                  double hi) {
+  std::vector<double> xs(n);
+  double x = lo;
+  for (std::size_t i = 0; i < n; ++i) {
+    x += rng.uniform(0.0, (hi - lo) / static_cast<double>(n));
+    xs[i] = x;
+  }
+  return xs;
+}
+
+TEST(InterpBatch, PositionsMatchLocateBitExact) {
+  Rng rng(21);
+  const auto keys = random_sorted(rng, 300, 0.0, 100.0);
+  // Queries sweep past both ends and across every bracket, including
+  // exact key hits.
+  std::vector<double> queries;
+  for (double q = keys.front() - 5.0; q <= keys.back() + 5.0; q += 0.21) {
+    queries.push_back(q);
+  }
+  for (std::size_t i = 0; i < keys.size(); i += 7) queries.push_back(keys[i]);
+  std::sort(queries.begin(), queries.end());
+
+  std::vector<InterpPos> out(queries.size());
+  resample_positions(keys, queries, out);
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    const InterpPos ref = locate(keys, queries[k]);
+    EXPECT_EQ(out[k].lo, ref.lo) << "query " << k;
+    EXPECT_EQ(out[k].hi, ref.hi) << "query " << k;
+    EXPECT_EQ(out[k].f, ref.f) << "query " << k;
+  }
+}
+
+TEST(InterpBatch, SortedResampleMatchesInterpolatorBitExact) {
+  Rng rng(22);
+  const auto keys = random_sorted(rng, 500, 0.0, 250.0);
+  std::vector<double> vals(keys.size());
+  for (auto& v : vals) v = rng.gaussian(0.0, 3.0);
+  const LinearInterpolator interp(keys, vals);
+
+  std::vector<double> queries;
+  for (double q = keys.front() - 2.0; q <= keys.back() + 2.0; q += 0.117) {
+    queries.push_back(q);
+  }
+  std::vector<double> out(queries.size());
+  resample_sorted(keys, vals, queries, out);
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    EXPECT_EQ(out[k], interp(queries[k])) << "query " << k;
+  }
+}
+
+TEST(InterpBatch, DuplicateKeysMatchScalarTieHandling) {
+  // Repeated keys produce zero-width brackets; the scalar locate() puts
+  // f = 0 there, and the batch walker must agree (LinearInterpolator
+  // rejects duplicate knots, so the reference here is locate() itself).
+  const std::vector<double> keys = {0.0, 1.0, 1.0, 1.0, 2.0, 3.0};
+  const std::vector<double> vals = {0.0, 10.0, 20.0, 30.0, 40.0, 50.0};
+  std::vector<double> queries;
+  for (double q = -0.5; q <= 3.5; q += 0.05) queries.push_back(q);
+  std::vector<double> out(queries.size());
+  resample_sorted(keys, vals, queries, out);
+  std::vector<InterpPos> pos(queries.size());
+  resample_positions(keys, queries, pos);
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    const InterpPos ref = locate(keys, queries[k]);
+    EXPECT_EQ(pos[k].lo, ref.lo);
+    EXPECT_EQ(pos[k].hi, ref.hi);
+    EXPECT_EQ(pos[k].f, ref.f);
+    const double expect =
+        vals[ref.lo] * (1.0 - ref.f) + vals[ref.hi] * ref.f;
+    EXPECT_EQ(out[k], expect);
+  }
+}
+
+TEST(InterpBatch, SingleKeyClampsEverywhere) {
+  const std::vector<double> keys = {5.0};
+  const std::vector<double> vals = {42.0};
+  const std::vector<double> queries = {-1.0, 5.0, 9.0};
+  std::vector<double> out(queries.size());
+  resample_sorted(keys, vals, queries, out);
+  for (double v : out) EXPECT_EQ(v, 42.0);
+}
+
+TEST(InterpBatch, InputValidation) {
+  const std::vector<double> keys = {0.0, 1.0};
+  const std::vector<double> vals = {0.0, 1.0};
+  const std::vector<double> unsorted = {1.0, 0.5};
+  const std::vector<double> empty;
+  std::vector<double> out(2);
+  std::vector<InterpPos> pos(2);
+  EXPECT_THROW(resample_sorted(empty, empty, keys, out),
+               std::invalid_argument);
+  EXPECT_THROW(resample_sorted(keys, vals, unsorted, out),
+               std::invalid_argument);
+  std::vector<double> short_out(1);
+  EXPECT_THROW(resample_sorted(keys, vals, keys, short_out),
+               std::invalid_argument);
+  EXPECT_THROW(resample_positions(empty, keys, pos),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rge::math

@@ -1,0 +1,146 @@
+// Batched LOESS parity: loess_fit_batch vs per-series LoessSmoother::fit.
+// With RGE_SIMD=OFF the batch delegates to the scalar smoother and every
+// value is asserted bit-identical; with RGE_SIMD=ON the shared-window
+// kernel runs under host-tuned flags and parity is pinned to the
+// documented FMA-contraction tolerance (DESIGN.md §8).
+#include "math/loess_batch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "math/simd.hpp"
+
+namespace rge::math {
+namespace {
+
+/// Exact in scalar builds, pinned tolerance in SIMD builds.
+void expect_parity(double batch, double scalar) {
+  if constexpr (simd_enabled()) {
+    EXPECT_NEAR(batch, scalar, 1e-9 * std::max(1.0, std::abs(scalar)));
+  } else {
+    EXPECT_EQ(batch, scalar);
+  }
+}
+
+std::vector<double> sorted_grid(Rng& rng, std::size_t n) {
+  std::vector<double> x(n);
+  double t = 0.0;
+  for (auto& v : x) {
+    t += rng.uniform(0.01, 0.2);
+    v = t;
+  }
+  return x;
+}
+
+TEST(LoessBatch, MatchesScalarPerSeries) {
+  Rng rng(31);
+  const std::size_t n = 180;
+  const std::size_t series = 7;  // not a lane-width multiple
+  const auto x = sorted_grid(rng, n);
+  std::vector<double> ys(series * n);
+  for (std::size_t b = 0; b < series; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ys[b * n + i] = std::sin(0.3 * x[i] + static_cast<double>(b)) +
+                      rng.gaussian(0.0, 0.2);
+    }
+  }
+  LoessConfig cfg;
+  cfg.span = 0.25;
+  cfg.degree = 1;
+  const auto batch = loess_fit_batch(cfg, x, ys, series);
+  ASSERT_EQ(batch.size(), ys.size());
+  const LoessSmoother scalar(cfg);
+  for (std::size_t b = 0; b < series; ++b) {
+    const auto ref = scalar.fit(
+        x, std::span<const double>(ys).subspan(b * n, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      expect_parity(batch[b * n + i], ref[i]);
+    }
+  }
+}
+
+TEST(LoessBatch, Degree2RobustMatchesScalar) {
+  Rng rng(32);
+  const std::size_t n = 120;
+  const std::size_t series = 4;
+  const auto x = sorted_grid(rng, n);
+  std::vector<double> ys(series * n);
+  for (std::size_t b = 0; b < series; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = 0.05 * x[i] * x[i] + rng.gaussian(0.0, 0.1);
+      if (i % 17 == 3) v += 5.0;  // outliers the robust pass downweights
+      ys[b * n + i] = v;
+    }
+  }
+  LoessConfig cfg;
+  cfg.span = 0.4;
+  cfg.degree = 2;
+  cfg.robust_iterations = 2;
+  const auto batch = loess_fit_batch(cfg, x, ys, series);
+  const LoessSmoother scalar(cfg);
+  for (std::size_t b = 0; b < series; ++b) {
+    const auto ref = scalar.fit(
+        x, std::span<const double>(ys).subspan(b * n, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      expect_parity(batch[b * n + i], ref[i]);
+    }
+  }
+}
+
+TEST(LoessBatch, TiedXValuesMatchScalar) {
+  // LoessSmoother allows ties in x; the shared-window kernel must pick
+  // the same windows and weights.
+  const std::vector<double> x = {0.0, 1.0, 1.0, 2.0, 3.0, 3.0, 4.0, 5.0};
+  std::vector<double> ys;
+  Rng rng(33);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ys.push_back(rng.gaussian(0.0, 1.0));
+    }
+  }
+  LoessConfig cfg;
+  cfg.span = 0.6;
+  const auto batch = loess_fit_batch(cfg, x, ys, 3);
+  const LoessSmoother scalar(cfg);
+  for (std::size_t b = 0; b < 3; ++b) {
+    const auto ref = scalar.fit(
+        x, std::span<const double>(ys).subspan(b * x.size(), x.size()));
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      expect_parity(batch[b * x.size() + i], ref[i]);
+    }
+  }
+}
+
+TEST(LoessBatch, ShortSeriesReturnedUnsmoothed) {
+  const std::vector<double> x = {2.5};
+  const std::vector<double> ys = {1.0, -3.0};
+  const auto out = loess_fit_batch(LoessConfig{}, x, ys, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], -3.0);
+}
+
+TEST(LoessBatch, ZeroSeriesReturnsEmpty) {
+  const std::vector<double> x = {0.0, 1.0, 2.0};
+  EXPECT_TRUE(loess_fit_batch(LoessConfig{}, x, {}, 0).empty());
+}
+
+TEST(LoessBatch, InputValidationMatchesScalar) {
+  const std::vector<double> sorted = {0.0, 1.0, 2.0};
+  const std::vector<double> unsorted = {0.0, 2.0, 1.0};
+  const std::vector<double> ys = {0.0, 1.0, 2.0};
+  EXPECT_THROW(loess_fit_batch(LoessConfig{}, unsorted, ys, 1),
+               std::invalid_argument);
+  EXPECT_THROW(loess_fit_batch(LoessConfig{}, sorted, ys, 2),
+               std::invalid_argument);
+  LoessConfig bad;
+  bad.span = 0.0;
+  EXPECT_THROW(loess_fit_batch(bad, sorted, ys, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rge::math
