@@ -4,12 +4,17 @@
 // flat-road fuel) planner picks the short route; with smartphone-estimated
 // gradients in the VSP model, the planner sees the hill's true cost and
 // picks the cheaper route.
+// The closing section scales the same idea up: on a ~10.9k-edge synthetic
+// city frozen into a CSR graph, a single ALT query answers "cheapest route
+// by fuel" in well under a millisecond (see bench/bench_eco_routing).
 #include <cstdio>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "emissions/emissions.hpp"
 #include "math/angles.hpp"
+#include "planning/city_gen.hpp"
+#include "planning/csr_graph.hpp"
 #include "road/road.hpp"
 #include "sensors/smartphone.hpp"
 #include "vehicle/trip.hpp"
@@ -106,5 +111,31 @@ int main() {
       emissions::emission_mass_g(
           std::abs(ra.fuel_true_gal - rb.fuel_true_gal),
           emissions::kCo2GramsPerGallon));
+
+  // The same decision at network scale: freeze a ~10.9k-edge city into a
+  // CSR graph with precomputed fuel costs and answer eco-routing queries
+  // through the ALT engine.
+  planning::OsmCityConfig cfg;
+  cfg.rows = 26;
+  cfg.cols = 26;
+  const planning::RouteGraph city = planning::make_osm_city(cfg);
+  const planning::CsrGraph csr(city);
+  planning::QueryContext ctx;
+  const std::size_t from = 0;
+  const std::size_t to = city.node_count() - 1;
+  const auto shortest =
+      csr.route(from, to, planning::Metric::kDistance, ctx);
+  const auto eco = csr.route(from, to, planning::Metric::kFuel, ctx);
+  if (shortest.found && eco.found) {
+    double fuel_shortest = 0.0;
+    for (const std::size_t ei : shortest.edges) {
+      fuel_shortest += csr.edge_cost(planning::Metric::kFuel, ei);
+    }
+    std::printf(
+        "\nat city scale (%zu street segments, ALT query): the eco route "
+        "saves %.4f gal over the shortest route for %.0f m extra driving\n",
+        csr.edge_count(), fuel_shortest - eco.cost,
+        eco.length_m - shortest.length_m);
+  }
   return 0;
 }

@@ -38,4 +38,46 @@ double fuel_per_km_gal(double speed_mps, double grade_rad,
   return rate / km_per_h;
 }
 
+double profile_fuel_gal(std::span<const double> grades, double step_m,
+                        double speed_mps, const VspParams& p) {
+  if (speed_mps <= 0.0) {
+    throw std::invalid_argument("profile_fuel: speed must be > 0");
+  }
+  if (step_m <= 0.0) {
+    throw std::invalid_argument("profile_fuel: step must be > 0");
+  }
+  const double dt_s = step_m / speed_mps;
+  double fuel = 0.0;
+  for (const double g : grades) {
+    fuel += fuel_used_gal(speed_mps, 0.0, g, dt_s, p);
+  }
+  return fuel;
+}
+
+void profile_fuel_batch(std::span<const double> grades,
+                        std::span<const std::uint32_t> offsets,
+                        std::span<const double> step_m,
+                        std::span<const double> speed_mps,
+                        std::span<double> fuel_out, const VspParams& p) {
+  if (offsets.empty()) {
+    throw std::invalid_argument("profile_fuel_batch: empty offsets");
+  }
+  const std::size_t n = offsets.size() - 1;
+  if (step_m.size() != n || speed_mps.size() != n || fuel_out.size() != n) {
+    throw std::invalid_argument("profile_fuel_batch: ragged arrays");
+  }
+  if (offsets.back() != grades.size()) {
+    throw std::invalid_argument(
+        "profile_fuel_batch: offsets do not cover the grade array");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (offsets[i + 1] < offsets[i]) {
+      throw std::invalid_argument("profile_fuel_batch: offsets not sorted");
+    }
+    fuel_out[i] = profile_fuel_gal(
+        grades.subspan(offsets[i], offsets[i + 1] - offsets[i]), step_m[i],
+        speed_mps[i], p);
+  }
+}
+
 }  // namespace rge::emissions

@@ -18,6 +18,9 @@
 // totals higher on net (Section IV-C's +33.4%).
 #pragma once
 
+#include <cstdint>
+#include <span>
+
 namespace rge::emissions {
 
 /// Table II parameters (printed values; see the unit note above).
@@ -48,5 +51,26 @@ double fuel_used_gal(double speed_mps, double accel_mps2, double grade_rad,
 /// Fuel economy in gallons per km at steady speed on a constant grade.
 double fuel_per_km_gal(double speed_mps, double grade_rad,
                        const VspParams& p = {});
+
+/// Fuel (gallons) to traverse a gradient profile at constant cruise speed:
+/// the sum of fuel_used_gal(speed, 0, g, step_m / speed) over the samples,
+/// accumulated left to right. This is the per-edge energy cost the routing
+/// layer precomputes; keeping the accumulation order fixed here is what
+/// lets a frozen cost table stay bit-identical to an on-the-fly
+/// edge_cost_fuel evaluation.
+/// @throws std::invalid_argument on non-positive speed or step.
+double profile_fuel_gal(std::span<const double> grades, double step_m,
+                        double speed_mps, const VspParams& p = {});
+
+/// Batch per-edge costing over profiles stored back-to-back in CSR layout:
+/// profile i is grades[offsets[i] .. offsets[i+1]) sampled every step_m[i],
+/// driven at speed_mps[i]. Writes profile_fuel_gal of each profile into
+/// fuel_out[i] — one pass over the flat arrays, no per-edge allocation.
+/// @throws std::invalid_argument on ragged array sizes or bad offsets.
+void profile_fuel_batch(std::span<const double> grades,
+                        std::span<const std::uint32_t> offsets,
+                        std::span<const double> step_m,
+                        std::span<const double> speed_mps,
+                        std::span<double> fuel_out, const VspParams& p = {});
 
 }  // namespace rge::emissions

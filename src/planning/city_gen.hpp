@@ -1,0 +1,72 @@
+// Scale generators for the eco-routing engine: a deterministic OSM-like
+// synthetic city with 10k+ directed street segments, and a routing graph
+// stitched from a road::RoadNetwork (e.g. the paper's 164.8 km Table-III
+// network) whose edge gradient profiles come from an externally supplied
+// grade map — typically the fused output of the estimation pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "planning/route_graph.hpp"
+#include "road/network.hpp"
+
+namespace rge::planning {
+
+/// Configuration for the generated OSM-like city. The defaults produce a
+/// 52x52 intersection grid (~10.9k directed edges) with jittered block
+/// lengths (no two streets the same length, like a real extract), an
+/// arterial/collector/residential street hierarchy with per-class speeds,
+/// occasional diagonal shortcuts, and a conservative multi-hill elevation
+/// field (street grades derive from node elevations, so no loop gains
+/// energy). Deterministic per seed.
+struct OsmCityConfig {
+  std::size_t rows = 52;
+  std::size_t cols = 52;
+  double block_m = 220.0;           ///< mean block length
+  double block_jitter = 0.3;        ///< per-grid-line length jitter (+/- fraction)
+  std::size_t arterial_every = 6;   ///< every k-th grid line is an arterial
+  double diagonal_per_block = 0.05; ///< fraction of blocks with a diagonal
+  std::size_t hill_count = 3;
+  double hill_height_m = 90.0;
+  double arterial_speed_mps = 60.0 / 3.6;
+  double collector_speed_mps = 45.0 / 3.6;
+  double residential_speed_mps = 30.0 / 3.6;
+  std::uint64_t seed = 2026;
+};
+
+/// Generate the OSM-like city. @throws std::invalid_argument on degenerate
+/// dimensions (< 2 rows/cols or non-positive block length).
+RouteGraph make_osm_city(const OsmCityConfig& cfg = {});
+
+/// Options for stitching a road::RoadNetwork into a routing graph.
+struct NetworkGraphOptions {
+  double target_edge_m = 250.0;  ///< roads are split into ~this-long edges
+  double grade_step_m = 25.0;    ///< edge grade profile sample spacing
+  std::size_t junctions = 0;     ///< shared endpoints; 0 = max(4, roads/2)
+  std::uint64_t seed = 7;        ///< chord endpoint assignment
+  double arterial_speed_mps = 60.0 / 3.6;
+  double collector_speed_mps = 45.0 / 3.6;
+  double residential_speed_mps = 30.0 / 3.6;
+};
+
+/// Build a connected, bidirectional routing graph from a road network plus
+/// one grade profile per road (sampled every `profile_step_m` from s=0 to
+/// the road end — e.g. a fused grade-map snapshot, or ground truth).
+///
+/// Topology: the network's roads have no junction information, so a
+/// deterministic one is synthesised — the first J roads form a ring over J
+/// junction nodes (guaranteeing connectivity), the rest become seeded
+/// chords between junction pairs. Each road is split into ~target_edge_m
+/// chains of internal nodes; every edge is added bidirectionally with
+/// mirrored grades, and carries the per-class speed and the road's class
+/// (for AADT traffic weighting).
+///
+/// @throws std::invalid_argument if profiles are missing/too short or the
+///         network is empty.
+RouteGraph build_network_graph(
+    const road::RoadNetwork& net,
+    const std::vector<std::vector<double>>& grade_profiles,
+    double profile_step_m, const NetworkGraphOptions& opt = {});
+
+}  // namespace rge::planning

@@ -21,6 +21,16 @@ std::size_t RouteGraph::add_edge(Edge edge) {
       edge.grade_step_m <= 0.0) {
     throw std::invalid_argument("RouteGraph::add_edge: bad edge payload");
   }
+  // The stored sample spacing must tile the edge exactly (to fp tolerance):
+  // edge_cost_fuel integrates with grade_step_m, so an inconsistent step
+  // would silently mis-weight every fuel/CO2 cost derived from this edge.
+  const double covered =
+      edge.grade_step_m * static_cast<double>(edge.grades.size());
+  if (std::abs(covered - edge.length_m) >
+      1e-6 * std::max(1.0, edge.length_m)) {
+    throw std::invalid_argument(
+        "RouteGraph::add_edge: grade_step_m * grades.size() != length_m");
+  }
   const std::size_t idx = edges_.size();
   adjacency_[edge.from].push_back(idx);
   edges_.push_back(std::move(edge));
@@ -62,10 +72,18 @@ RouteGraph::Route RouteGraph::shortest_path(std::size_t from, std::size_t to,
       if (c < 0.0) {
         throw std::logic_error("RouteGraph: negative edge cost");
       }
-      if (d + c < dist[e.to]) {
-        dist[e.to] = d + c;
+      const double nd = d + c;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
         via_edge[e.to] = ei;
-        queue.emplace(dist[e.to], e.to);
+        queue.emplace(nd, e.to);
+      } else if (nd == dist[e.to] && ei < via_edge[e.to]) {
+        // Deterministic tie-break: on bitwise-equal cost, keep the lowest
+        // incoming edge index. Every genuine tie predecessor settles
+        // strictly before the target (all costs are positive), so the final
+        // via_edge is the arg-min over all equal-cost relaxations no matter
+        // which order the heap served them in.
+        via_edge[e.to] = ei;
       }
     }
   }
@@ -103,13 +121,8 @@ double edge_cost_fuel(const Edge& e, double speed_mps,
   if (speed_mps <= 0.0) {
     throw std::invalid_argument("edge_cost_fuel: speed must be > 0");
   }
-  double fuel = 0.0;
-  const double step = e.length_m / static_cast<double>(e.grades.size());
-  for (double g : e.grades) {
-    fuel += emissions::fuel_used_gal(speed_mps, 0.0, g, step / speed_mps,
+  return emissions::profile_fuel_gal(e.grades, e.grade_step_m, speed_mps,
                                      vsp);
-  }
-  return fuel;
 }
 
 RouteGraph make_grid_city(std::size_t rows, std::size_t cols, double block_m,

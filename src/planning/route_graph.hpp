@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "emissions/vsp.hpp"
+#include "road/network.hpp"
 
 namespace rge::planning {
 
@@ -23,8 +24,16 @@ struct Edge {
   double length_m = 0.0;
   /// Gradient (rad) sampled every `grade_step_m` along the edge, in the
   /// from->to direction. Reverse edges must carry negated samples.
+  /// `grade_step_m * grades.size()` must equal `length_m` (to within
+  /// floating-point tolerance); add_edge rejects inconsistent profiles so
+  /// the stored step and the derived step can never silently diverge.
   std::vector<double> grades;
   double grade_step_m = 25.0;
+  /// Free-flow cruise speed for this street (m/s). <= 0 means "unset";
+  /// cost models substitute their default speed.
+  double speed_mps = 0.0;
+  /// Functional class, used for per-class speeds and AADT traffic volumes.
+  road::RoadClass road_class = road::RoadClass::kResidential;
   std::string name;
 };
 
@@ -58,7 +67,11 @@ class RouteGraph {
     bool found = false;
   };
 
-  /// Dijkstra shortest path under the given cost.
+  /// Dijkstra shortest path under the given cost. Tie-breaking is
+  /// deterministic: when two incoming relaxations of a node have bitwise
+  /// equal cost, the lower edge index wins, so the returned path is a pure
+  /// function of the graph and cost — independent of heap pop order and
+  /// therefore reproducible across platforms and libstdc++ versions.
   /// @throws std::invalid_argument on out-of-range endpoints.
   Route shortest_path(std::size_t from, std::size_t to,
                       const CostFn& cost) const;
@@ -72,7 +85,10 @@ class RouteGraph {
 double edge_cost_distance(const Edge& e);
 /// Travel time at a constant cruise speed (s).
 double edge_cost_time(const Edge& e, double speed_mps);
-/// VSP fuel (gallons) at a constant cruise speed using the edge's grades.
+/// VSP fuel (gallons) at a constant cruise speed, integrating the edge's
+/// grade profile with the stored `grade_step_m` sample spacing (the step
+/// add_edge validated against length_m — not a step re-derived from the
+/// sample count, which silently diverged when they disagreed).
 double edge_cost_fuel(const Edge& e, double speed_mps,
                       const emissions::VspParams& vsp = {});
 

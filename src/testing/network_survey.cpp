@@ -1,0 +1,93 @@
+#include "testing/network_survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/map_matching.hpp"
+#include "core/pipeline.hpp"
+#include "core/track_fusion.hpp"
+#include "math/interp.hpp"
+#include "sensors/smartphone.hpp"
+#include "vehicle/trip.hpp"
+
+namespace rge::testing {
+
+namespace {
+
+std::vector<double> survey_one_road(const road::NetworkRoad& nr,
+                                    std::size_t road_index,
+                                    int trips_per_road,
+                                    std::uint64_t base_seed, double step_m) {
+  const road::Road& road = nr.road;
+  const auto n_samples = static_cast<std::size_t>(
+      std::floor(road.length_m() / step_m)) + 1;
+
+  std::vector<double> profile(n_samples, 0.0);
+  if (trips_per_road == 0) {
+    for (std::size_t i = 0; i < n_samples; ++i) {
+      profile[i] = road.grade_at(static_cast<double>(i) * step_m);
+    }
+    return profile;
+  }
+
+  const vehicle::VehicleParams car;
+  std::vector<core::GradeTrack> uploads;
+  for (int trip_i = 0; trip_i < trips_per_road; ++trip_i) {
+    vehicle::TripConfig tc;
+    tc.seed = base_seed + road_index * 131 + static_cast<std::uint64_t>(trip_i);
+    const auto trip = vehicle::simulate_trip(road, tc);
+    sensors::SmartphoneConfig pc;
+    pc.seed = tc.seed + 1000003;
+    const auto trace =
+        sensors::simulate_sensors(trip, road.anchor(), car, pc);
+    const auto res = core::estimate_gradient(trace, car);
+    core::GradeTrack keyed =
+        core::rekey_track_by_road(res.fused, road, trace.gps);
+    keyed.source = "trip-" + std::to_string(trip_i);
+    uploads.push_back(std::move(keyed));
+  }
+
+  core::FusionConfig fc;
+  fc.distance_step_m = 5.0;
+  core::FusionAccumulator acc(core::make_overlap_grid(uploads, fc), fc);
+  acc.add_tracks(uploads);
+  const core::GradeTrack fused = acc.snapshot();
+  if (fused.s.size() < 2) {
+    throw std::logic_error("survey_network_grades: degenerate fused map for " +
+                           road.name());
+  }
+
+  // Resample the fused map onto the uniform step grid; the fused grid may
+  // start after 0 or end before the road end, so queries clamp.
+  const math::LinearInterpolator interp(fused.s, fused.grade);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const double s = std::clamp(static_cast<double>(i) * step_m,
+                                interp.x_min(), interp.x_max());
+    profile[i] = interp(s);
+  }
+  return profile;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> survey_network_grades(
+    const road::RoadNetwork& net, int trips_per_road, std::uint64_t base_seed,
+    double step_m, runtime::ThreadPool* pool) {
+  if (step_m <= 0.0) {
+    throw std::invalid_argument("survey_network_grades: bad step");
+  }
+  std::vector<std::vector<double>> profiles(net.size());
+  auto body = [&](std::size_t i) {
+    profiles[i] = survey_one_road(net.roads()[i], i, trips_per_road,
+                                  base_seed, step_m);
+  };
+  if (pool != nullptr) {
+    runtime::parallel_for(*pool, net.size(), body);
+  } else {
+    for (std::size_t i = 0; i < net.size(); ++i) body(i);
+  }
+  return profiles;
+}
+
+}  // namespace rge::testing

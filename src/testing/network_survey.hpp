@@ -1,0 +1,28 @@
+// Fleet survey of a road network into per-road fused grade profiles — the
+// grade-map production step the eco-routing graph builder consumes. Each
+// road is driven by `trips_per_road` simulated phone trips, every trip runs
+// through the full estimation pipeline, is re-keyed to road distance, and
+// is streamed into a per-road FusionAccumulator; the snapshot is resampled
+// onto a uniform `step_m` grid from s=0 to the road end.
+//
+// trips_per_road == 0 skips the survey and returns the ground-truth grade
+// profiles instead (fast path for topology-only tests).
+//
+// Determinism: per-road work is independent (seeds derive from base_seed
+// and the road index alone), so the optional thread pool changes wall time
+// only — the returned profiles are bit-identical across 1..N threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "road/network.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace rge::testing {
+
+std::vector<std::vector<double>> survey_network_grades(
+    const road::RoadNetwork& net, int trips_per_road, std::uint64_t base_seed,
+    double step_m, runtime::ThreadPool* pool = nullptr);
+
+}  // namespace rge::testing

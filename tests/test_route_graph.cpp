@@ -2,10 +2,12 @@
 #include "planning/route_graph.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "math/angles.hpp"
+#include "planning/city_gen.hpp"
 
 namespace rge::planning {
 namespace {
@@ -97,6 +99,190 @@ TEST(RouteGraph, EdgeCostHelpers) {
   const Edge flat = make_edge(0, 1, 1000.0, 0.0);
   EXPECT_GT(fuel_up, edge_cost_fuel(flat, 10.0));
   EXPECT_THROW(edge_cost_fuel(e, -1.0), std::invalid_argument);
+}
+
+TEST(RouteGraph, AddEdgeRejectsInconsistentGradeStep) {
+  RouteGraph g(2);
+  // 4 samples * 25 m = 100 m: consistent.
+  Edge ok = make_edge(0, 1, 100.0);
+  ASSERT_EQ(ok.grades.size(), 4u);
+  EXPECT_NO_THROW(g.add_edge(ok));
+  // Same samples but a lying step: 4 * 10 m != 100 m.
+  Edge bad = make_edge(0, 1, 100.0);
+  bad.grade_step_m = 10.0;
+  EXPECT_THROW(g.add_edge(bad), std::invalid_argument);
+  // Dropping a sample without fixing the step is equally inconsistent.
+  bad = make_edge(0, 1, 100.0);
+  bad.grades.pop_back();
+  EXPECT_THROW(g.add_edge(bad), std::invalid_argument);
+  // Non-default steps are fine when they cover the length exactly.
+  Edge fine = make_edge(0, 1, 100.0);
+  fine.grade_step_m = 12.5;
+  fine.grades.assign(8, 0.01);
+  EXPECT_NO_THROW(g.add_edge(fine));
+}
+
+TEST(RouteGraph, FuelCostUsesStoredGradeStep) {
+  // Regression: edge_cost_fuel used to re-derive the step as
+  // length / grades.size(), silently ignoring grade_step_m. With a
+  // non-default (but consistent) step the integration time per sample
+  // must come from the stored step.
+  Edge e;
+  e.from = 0;
+  e.to = 1;
+  e.length_m = 100.0;
+  e.grade_step_m = 12.5;
+  e.grades.assign(8, deg2rad(3.0));
+  const double v = 12.0;
+  const double got = edge_cost_fuel(e, v);
+  double manual = 0.0;
+  for (const double g : e.grades) {
+    manual += emissions::fuel_used_gal(v, 0.0, g, e.grade_step_m / v,
+                                       emissions::VspParams{});
+  }
+  EXPECT_EQ(got, manual);
+  // And the cost is invariant to how the same physical profile is sampled
+  // only through the dt = step/speed scaling, so halving the step while
+  // doubling the sample count keeps the total integration time equal.
+  Edge finer = e;
+  finer.grade_step_m = 6.25;
+  finer.grades.assign(16, deg2rad(3.0));
+  EXPECT_NEAR(edge_cost_fuel(finer, v), got, 1e-15);
+}
+
+TEST(RouteGraph, ShortestPathTieBreaksByLowerEdgeIndex) {
+  // Diamond with two bitwise-equal-cost paths; the lower-indexed edges
+  // must win regardless of heap pop order.
+  RouteGraph g(4);
+  g.add_edge(make_edge(0, 1, 100.0));  // e0
+  g.add_edge(make_edge(0, 2, 100.0));  // e1
+  g.add_edge(make_edge(1, 3, 100.0));  // e2
+  g.add_edge(make_edge(2, 3, 100.0));  // e3
+  const auto route = g.shortest_path(0, 3, edge_cost_distance);
+  ASSERT_TRUE(route.found);
+  EXPECT_EQ(route.edges, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(route.nodes, (std::vector<std::size_t>{0, 1, 3}));
+
+  // Mirror diamond with the cheap branch added last: edge index, not
+  // insertion order of the *nodes*, decides.
+  RouteGraph h(4);
+  h.add_edge(make_edge(0, 2, 100.0));  // e0
+  h.add_edge(make_edge(2, 3, 100.0));  // e1
+  h.add_edge(make_edge(0, 1, 100.0));  // e2
+  h.add_edge(make_edge(1, 3, 100.0));  // e3
+  const auto route2 = h.shortest_path(0, 3, edge_cost_distance);
+  ASSERT_TRUE(route2.found);
+  EXPECT_EQ(route2.edges, (std::vector<std::size_t>{0, 1}));
+}
+
+// FNV-1a over every edge's topology and gradient bits: any change to the
+// generator's sampling order or arithmetic shows up as a hash change.
+std::uint64_t edge_list_fingerprint(const RouteGraph& g) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  auto mix_double = [&](double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  for (std::size_t ei = 0; ei < g.edge_count(); ++ei) {
+    const Edge& e = g.edge(ei);
+    mix(e.from);
+    mix(e.to);
+    mix_double(e.length_m);
+    mix_double(e.grade_step_m);
+    for (const double gr : e.grades) mix_double(gr);
+  }
+  return h;
+}
+
+TEST(GridCity, GoldenEdgeListFingerprint) {
+  // Golden pin of the seeded generator. If this fails you changed the
+  // city generator's output — deliberate changes must update the constant
+  // (and expect every committed routing baseline to move with it).
+  const RouteGraph g = make_grid_city(6, 6, 250.0, 3);
+  EXPECT_EQ(edge_list_fingerprint(g), 3648188215861477139ULL);
+  // And the fingerprint is actually sensitive: another seed differs.
+  EXPECT_NE(edge_list_fingerprint(make_grid_city(6, 6, 250.0, 4)),
+            3648188215861477139ULL);
+}
+
+TEST(GridCity, EveryEdgeHasAMirrorWithNegatedGrades) {
+  const RouteGraph g = make_grid_city(5, 6, 220.0, 12);
+  for (std::size_t ei = 0; ei < g.edge_count(); ++ei) {
+    const Edge& e = g.edge(ei);
+    // add_bidirectional emits forward/reverse adjacently.
+    const std::size_t mi = (ei % 2 == 0) ? ei + 1 : ei - 1;
+    const Edge& m = g.edge(mi);
+    ASSERT_EQ(m.from, e.to);
+    ASSERT_EQ(m.to, e.from);
+    EXPECT_EQ(m.length_m, e.length_m);
+    ASSERT_EQ(m.grades.size(), e.grades.size());
+    for (std::size_t k = 0; k < e.grades.size(); ++k) {
+      EXPECT_EQ(m.grades[k], -e.grades[e.grades.size() - 1 - k])
+          << "edge " << ei << " sample " << k;
+    }
+  }
+}
+
+TEST(GridCity, FuelCostsAreStrictlyPositiveOnEveryEdge) {
+  // The VSP idle floor keeps downhill fuel positive, so no cycle can have
+  // negative fuel cost and Dijkstra's nonnegativity precondition holds for
+  // every metric (this is also what the CSR freeze validates).
+  const RouteGraph g = make_grid_city(6, 6, 250.0, 3);
+  const double v = 40.0 / 3.6;
+  for (std::size_t ei = 0; ei < g.edge_count(); ++ei) {
+    EXPECT_GT(edge_cost_fuel(g.edge(ei), v), 0.0) << "edge " << ei;
+  }
+}
+
+TEST(OsmCity, StructureDeterminismAndScale) {
+  OsmCityConfig cfg;  // 52x52 defaults
+  const RouteGraph g = make_osm_city(cfg);
+  EXPECT_EQ(g.node_count(), cfg.rows * cfg.cols);
+  EXPECT_GE(g.edge_count(), 10000u) << "tentpole floor: 10k+ directed edges";
+  const RouteGraph h = make_osm_city(cfg);
+  EXPECT_EQ(edge_list_fingerprint(g), edge_list_fingerprint(h));
+  OsmCityConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  EXPECT_NE(edge_list_fingerprint(g),
+            edge_list_fingerprint(make_osm_city(other)));
+}
+
+TEST(OsmCity, ClassesSpeedsAndStepsAreWellFormed) {
+  OsmCityConfig cfg;
+  cfg.rows = 13;
+  cfg.cols = 13;
+  const RouteGraph g = make_osm_city(cfg);
+  bool saw_arterial = false;
+  bool saw_residential = false;
+  for (std::size_t ei = 0; ei < g.edge_count(); ++ei) {
+    const Edge& e = g.edge(ei);
+    ASSERT_GT(e.speed_mps, 0.0);
+    const double covered =
+        e.grade_step_m * static_cast<double>(e.grades.size());
+    EXPECT_NEAR(covered, e.length_m, 1e-6 * e.length_m);
+    saw_arterial |= e.road_class == road::RoadClass::kArterial;
+    saw_residential |= e.road_class == road::RoadClass::kResidential;
+  }
+  EXPECT_TRUE(saw_arterial);
+  EXPECT_TRUE(saw_residential);
+}
+
+TEST(OsmCity, ConnectedFromCornerSample) {
+  OsmCityConfig cfg;
+  cfg.rows = 9;
+  cfg.cols = 9;
+  const RouteGraph g = make_osm_city(cfg);
+  for (std::size_t n = 0; n < g.node_count(); n += 7) {
+    EXPECT_TRUE(g.shortest_path(0, n, edge_cost_distance).found)
+        << "node " << n;
+  }
 }
 
 TEST(GridCity, StructureAndDeterminism) {
